@@ -1,0 +1,36 @@
+"""Ablation — contribution of the biasing and fixed-point improvements.
+
+Not a figure of the paper, but the paper's Section 4 presents the two
+improvements separately; this bench quantifies each one's contribution over
+the plain layered allocator (NL) on the EEMBC stand-in.
+"""
+
+import math
+import os
+
+from benchmarks.conftest import bench_seed, publish
+from repro.experiments.figures import ablation_study
+
+
+def test_ablation(benchmark):
+    scale = 0.35 * float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    result = benchmark.pedantic(
+        lambda: ablation_study(
+            suite="eembc", seed=bench_seed(), scale=scale, register_counts=(2, 4, 8, 16), verify=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+
+    series = result.series
+    for count in (2, 4, 8, 16):
+        nl = series["NL"][count]
+        fpl = series["FPL"][count]
+        bl = series["BL"][count]
+        bfpl = series["BFPL"][count]
+        if any(math.isnan(v) for v in (nl, fpl, bl, bfpl)):
+            continue
+        # The fixed point never hurts; the full combination never trails BL.
+        assert fpl <= nl + 1e-6
+        assert bfpl <= bl + 1e-6

@@ -1,0 +1,31 @@
+"""Figure 8 — mean normalized allocation cost, SPEC CPU2000int stand-in on ST231.
+
+Regenerates the series of the paper's Figure 8: GC / NL / FPL / BL / BFPL /
+Optimal, register counts 1–32, costs normalized to the optimal allocation.
+The heavy sweep is shared (session fixture); the benchmark measures the
+normalization/aggregation step and asserts the paper's qualitative shape.
+"""
+
+import math
+
+from benchmarks.conftest import publish
+from repro.experiments.figures import figure8
+
+
+def test_figure8(benchmark, spec_st231_records):
+    result = benchmark.pedantic(
+        lambda: figure8(records=spec_st231_records), rounds=1, iterations=1
+    )
+    publish(result)
+
+    series = result.series
+    for allocator, by_count in series.items():
+        for count, value in by_count.items():
+            if not math.isnan(value):
+                assert value >= 1.0 - 1e-9, f"{allocator} beat the optimum at R={count}"
+    # Shape check: the layered family stays close to optimal on average.
+    layered_means = [
+        sum(v for v in series[name].values() if not math.isnan(v)) / len(series[name])
+        for name in ("BL", "FPL", "BFPL")
+    ]
+    assert all(mean <= 1.25 for mean in layered_means)

@@ -1,0 +1,23 @@
+"""Figure 9 — mean normalized allocation cost, EEMBC stand-in on ST231."""
+
+import math
+
+from benchmarks.conftest import publish
+from repro.experiments.figures import figure9
+
+
+def test_figure9(benchmark, eembc_st231_records):
+    result = benchmark.pedantic(
+        lambda: figure9(records=eembc_st231_records), rounds=1, iterations=1
+    )
+    publish(result)
+
+    series = result.series
+    for allocator, by_count in series.items():
+        for count, value in by_count.items():
+            if not math.isnan(value):
+                assert value >= 1.0 - 1e-9
+    # BFPL (both improvements) never trails plain NL on average.
+    bfpl = [v for v in series["BFPL"].values() if not math.isnan(v)]
+    nl = [v for v in series["NL"].values() if not math.isnan(v)]
+    assert sum(bfpl) / len(bfpl) <= sum(nl) / len(nl) + 1e-6

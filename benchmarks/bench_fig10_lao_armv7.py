@@ -1,0 +1,24 @@
+"""Figure 10 — mean normalized allocation cost, lao-kernels stand-in on ARMv7."""
+
+import math
+
+from benchmarks.conftest import publish
+from repro.experiments.figures import figure10
+
+
+def test_figure10(benchmark, lao_armv7_records):
+    result = benchmark.pedantic(
+        lambda: figure10(records=lao_armv7_records), rounds=1, iterations=1
+    )
+    publish(result)
+
+    series = result.series
+    for allocator, by_count in series.items():
+        for count, value in by_count.items():
+            if not math.isnan(value):
+                assert value >= 1.0 - 1e-9
+    # The fixed-point phase can only improve on the plain layered allocation.
+    for count, nl_value in series["NL"].items():
+        fpl_value = series["FPL"][count]
+        if not (math.isnan(nl_value) or math.isnan(fpl_value)):
+            assert fpl_value <= nl_value + 1e-6

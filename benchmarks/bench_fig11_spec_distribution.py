@@ -1,0 +1,25 @@
+"""Figure 11 — distribution of normalized costs, SPEC CPU2000int stand-in on ST231."""
+
+from benchmarks.conftest import publish
+from repro.experiments.figures import figure11
+
+
+def test_figure11(benchmark, spec_st231_records):
+    result = benchmark.pedantic(
+        lambda: figure11(records=spec_st231_records), rounds=1, iterations=1
+    )
+    publish(result)
+
+    distributions = result.distributions
+    assert set(distributions) == {"GC", "NL", "FPL", "BL", "BFPL"}
+    for allocator, by_count in distributions.items():
+        for count, summary in by_count.items():
+            if summary.count == 0:
+                continue
+            assert summary.minimum >= 1.0 - 1e-9
+            assert summary.median <= summary.maximum
+    # The paper highlights GC's higher variability relative to BFPL: compare
+    # the worst-case (maximum) normalized cost across register counts.
+    gc_worst = max(s.maximum for s in distributions["GC"].values() if s.count)
+    bfpl_worst = max(s.maximum for s in distributions["BFPL"].values() if s.count)
+    assert bfpl_worst <= gc_worst + 0.5

@@ -1,0 +1,17 @@
+"""Figure 12 — distribution of normalized costs, EEMBC stand-in on ST231."""
+
+from benchmarks.conftest import publish
+from repro.experiments.figures import figure12
+
+
+def test_figure12(benchmark, eembc_st231_records):
+    result = benchmark.pedantic(
+        lambda: figure12(records=eembc_st231_records), rounds=1, iterations=1
+    )
+    publish(result)
+
+    for allocator, by_count in result.distributions.items():
+        for summary in by_count.values():
+            if summary.count:
+                assert summary.minimum >= 1.0 - 1e-9
+                assert summary.p25 <= summary.p75

@@ -1,0 +1,16 @@
+"""Figure 13 — distribution of normalized costs, lao-kernels stand-in on ARMv7."""
+
+from benchmarks.conftest import publish
+from repro.experiments.figures import figure13
+
+
+def test_figure13(benchmark, lao_armv7_records):
+    result = benchmark.pedantic(
+        lambda: figure13(records=lao_armv7_records), rounds=1, iterations=1
+    )
+    publish(result)
+
+    for allocator, by_count in result.distributions.items():
+        for summary in by_count.values():
+            if summary.count:
+                assert summary.minimum >= 1.0 - 1e-9

@@ -1,0 +1,26 @@
+"""Figure 14 — layered heuristic vs baselines on the SPEC JVM98 stand-in."""
+
+import math
+
+from benchmarks.conftest import publish
+from repro.experiments.figures import figure14
+
+
+def test_figure14(benchmark, jvm_records):
+    result = benchmark.pedantic(lambda: figure14(records=jvm_records), rounds=1, iterations=1)
+    publish(result)
+
+    series = result.series
+    for allocator, by_count in series.items():
+        for count, value in by_count.items():
+            if not math.isnan(value):
+                assert value >= 1.0 - 1e-9
+    # Paper shape: LH tracks the optimum and beats the linear scans and GC on
+    # average across the register-count sweep.
+    def mean(name):
+        values = [v for v in series[name].values() if not math.isnan(v)]
+        return sum(values) / len(values)
+
+    assert mean("LH") <= mean("LS") + 1e-6
+    assert mean("LH") <= mean("BLS") + 1e-6
+    assert mean("LH") <= mean("GC") + 0.1

@@ -1,0 +1,28 @@
+"""Figure 15 — per-benchmark normalized cost at 6 registers (JVM stand-in)."""
+
+import math
+
+from benchmarks.conftest import publish
+from repro.experiments.figures import figure15
+
+
+def test_figure15(benchmark, jvm_records):
+    result = benchmark.pedantic(
+        lambda: figure15(records=jvm_records, register_count=6), rounds=1, iterations=1
+    )
+    publish(result)
+
+    assert result.series, "expected one row per JVM benchmark program"
+    for program, by_allocator in result.series.items():
+        for allocator, value in by_allocator.items():
+            if not math.isnan(value):
+                assert value >= 1.0 - 1e-9, f"{allocator} beat the optimum on {program}"
+    # LH wins (or ties) against the linear scan on a majority of benchmarks.
+    wins = sum(
+        1
+        for by_allocator in result.series.values()
+        if not math.isnan(by_allocator["LH"])
+        and not math.isnan(by_allocator["LS"])
+        and by_allocator["LH"] <= by_allocator["LS"] + 1e-6
+    )
+    assert wins >= len(result.series) // 2

@@ -1,0 +1,48 @@
+"""Compiler-substrate micro-benchmarks: SSA construction, liveness, extraction.
+
+Not a paper figure; these measure the cost of the surrounding pipeline so the
+allocator timings of ``bench_scaling`` can be put in context (the paper's JIT
+argument is that allocation must stay a small fraction of compile time).
+"""
+
+import pytest
+
+from repro.analysis.interference import build_interference_graph
+from repro.analysis.liveness import liveness
+from repro.analysis.ssa_construction import construct_ssa
+from repro.graphs.stable_set import maximum_weighted_stable_set
+from repro.graphs.generators import random_chordal_graph
+from repro.workloads.extraction import extract_chordal_problem
+from repro.workloads.programs import GeneratorProfile, generate_function
+
+
+@pytest.fixture(scope="module")
+def medium_function():
+    profile = GeneratorProfile(statements=120, accumulators=16, loop_depth=3)
+    return generate_function("bench_medium", profile, rng=2013)
+
+
+@pytest.fixture(scope="module")
+def medium_ssa(medium_function):
+    return construct_ssa(medium_function)
+
+
+def test_ssa_construction(benchmark, medium_function):
+    benchmark(construct_ssa, medium_function)
+
+
+def test_liveness_analysis(benchmark, medium_ssa):
+    benchmark(liveness, medium_ssa)
+
+
+def test_interference_graph_construction(benchmark, medium_ssa):
+    benchmark(build_interference_graph, medium_ssa)
+
+
+def test_full_extraction_pipeline(benchmark, medium_function):
+    benchmark(extract_chordal_problem, medium_function, "st231")
+
+
+def test_franks_algorithm_on_large_chordal_graph(benchmark):
+    graph = random_chordal_graph(1000, rng=7, extra_edge_prob=0.4)
+    benchmark(maximum_weighted_stable_set, graph)

@@ -1,0 +1,62 @@
+"""Section 4 complexity claim — layered allocation scales as O(R · (|V| + |E|)).
+
+Benchmarks the BFPL allocator (and the baselines, for contrast) on random
+chordal graphs of increasing size, and checks that the layered allocator's
+runtime grows roughly linearly in |V| + |E| (within a generous factor, since
+constant factors and Python overheads dominate at small sizes).
+"""
+
+import time
+
+import pytest
+
+from repro.alloc import get_allocator
+from repro.alloc.problem import AllocationProblem
+from repro.graphs.generators import random_chordal_graph
+
+SIZES = (100, 200, 400, 800)
+
+
+def _problem(size: int) -> AllocationProblem:
+    graph = random_chordal_graph(size, rng=size, extra_edge_prob=0.4)
+    return AllocationProblem(graph=graph, num_registers=8, name=f"scaling-{size}")
+
+
+@pytest.fixture(scope="module")
+def scaling_problems():
+    return {size: _problem(size) for size in SIZES}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bfpl_runtime_scaling(benchmark, scaling_problems, size):
+    problem = scaling_problems[size]
+    allocator = get_allocator("BFPL")
+    benchmark.extra_info["vertices"] = len(problem.graph)
+    benchmark.extra_info["edges"] = problem.graph.num_edges()
+    benchmark(allocator.allocate, problem)
+
+
+@pytest.mark.parametrize("allocator_name", ["NL", "BFPL", "GC", "LH"])
+def test_allocator_runtime_on_medium_graph(benchmark, allocator_name):
+    problem = _problem(400)
+    allocator = get_allocator(allocator_name)
+    benchmark(allocator.allocate, problem)
+
+
+def test_layered_runtime_grows_subquadratically(scaling_problems):
+    """Direct check of the quasi-linear growth claim (no pytest-benchmark)."""
+    allocator = get_allocator("BFPL")
+    timings = {}
+    for size, problem in scaling_problems.items():
+        start = time.perf_counter()
+        allocator.allocate(problem)
+        timings[size] = time.perf_counter() - start
+
+    small, large = SIZES[0], SIZES[-1]
+    work_small = len(scaling_problems[small].graph) + scaling_problems[small].graph.num_edges()
+    work_large = len(scaling_problems[large].graph) + scaling_problems[large].graph.num_edges()
+    work_ratio = work_large / work_small
+    time_ratio = timings[large] / max(timings[small], 1e-6)
+    # Allow a generous slack factor over the linear prediction; a quadratic
+    # implementation would blow well past it.
+    assert time_ratio <= work_ratio * 6, (timings, work_ratio, time_ratio)

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Walk through the worked examples of the paper (Figures 2, 5, 6 and 7).
+
+Run with::
+
+    python examples/paper_examples.py
+"""
+
+from repro.alloc import get_allocator
+from repro.alloc.problem import AllocationProblem
+from repro.graphs.chordal import is_perfect_elimination_order
+from repro.graphs.cliques import maximal_cliques
+from repro.graphs.graph import Graph
+from repro.graphs.stable_set import maximum_weighted_stable_set
+
+
+def figure2_graph() -> Graph:
+    """Counter-example to spill-set inclusion (weights adapted, see DESIGN.md)."""
+    graph = Graph()
+    for name, weight in dict(a=3, b=2, c=1, d=2, e=3).items():
+        graph.add_vertex(name, weight)
+    for u, v in [("a", "b"), ("b", "c"), ("b", "d"), ("c", "d"), ("d", "e")]:
+        graph.add_edge(u, v)
+    return graph
+
+
+def figure4_graph() -> Graph:
+    """The chordal graph of Figures 4/5/6."""
+    graph = Graph()
+    for name, weight in dict(a=1, b=2, c=2, d=5, e=2, f=6, g=1).items():
+        graph.add_vertex(name, weight)
+    edges = [
+        ("a", "d"), ("a", "f"), ("d", "f"), ("d", "e"), ("e", "f"), ("c", "d"),
+        ("c", "e"), ("b", "c"), ("b", "e"), ("b", "g"), ("c", "g"), ("e", "g"),
+    ]
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def figure7_graph() -> Graph:
+    """The 6-vertex graph motivating the fixed-point iteration."""
+    graph = Graph()
+    for name, weight in dict(a=4, b=2, c=1, d=5, e=1, f=1).items():
+        graph.add_vertex(name, weight)
+    edges = [
+        ("a", "d"), ("a", "f"), ("d", "f"), ("b", "c"), ("b", "e"),
+        ("c", "e"), ("c", "d"), ("d", "e"), ("e", "f"),
+    ]
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def show_figure2() -> None:
+    print("=" * 72)
+    print("Figure 2 - optimal spill sets are not monotone in the register count")
+    print("=" * 72)
+    graph = figure2_graph()
+    optimal = get_allocator("Optimal")
+    for registers in (1, 2):
+        result = optimal.allocate(AllocationProblem(graph=graph, num_registers=registers))
+        print(f"  R={registers}: optimal spill set = {sorted(result.spilled)} (cost {result.spill_cost})")
+    print("  -> the R=2 spill set is not contained in the R=1 spill set.\n")
+
+
+def show_figure5() -> None:
+    print("=" * 72)
+    print("Figure 5 - Frank's algorithm on the Figure 4 graph")
+    print("=" * 72)
+    graph = figure4_graph()
+    peo = list("afdebgc")
+    print(f"  perfect elimination order from the paper: {peo}")
+    print(f"  is it a valid PEO? {is_perfect_elimination_order(graph, peo)}")
+    stable = maximum_weighted_stable_set(graph, peo=peo)
+    print(f"  maximum weighted stable set: {sorted(stable)} (weight {graph.total_weight(stable)})\n")
+
+
+def show_figure6() -> None:
+    print("=" * 72)
+    print("Figure 6 - why biasing the weights helps (two registers)")
+    print("=" * 72)
+    graph = figure4_graph()
+    problem = AllocationProblem(graph=graph, num_registers=2)
+    for name in ("NL", "BL", "Optimal"):
+        result = get_allocator(name).allocate(problem)
+        print(
+            f"  {name:>7}: allocated {sorted(result.allocated)}, "
+            f"spilled {sorted(result.spilled)} (cost {result.spill_cost})"
+        )
+    print("  -> BL prefers the stable set {c, f}, which removes more interference.\n")
+
+
+def show_figure7() -> None:
+    print("=" * 72)
+    print("Figure 7 - why iterating to a fixed point helps (two registers)")
+    print("=" * 72)
+    graph = figure7_graph()
+    print(f"  maximal cliques: {[sorted(c) for c in maximal_cliques(graph)]}")
+    problem = AllocationProblem(graph=graph, num_registers=2)
+    for name in ("NL", "FPL", "BFPL", "Optimal"):
+        result = get_allocator(name).allocate(problem)
+        print(
+            f"  {name:>7}: allocated {sorted(result.allocated)}, "
+            f"spilled {sorted(result.spilled)} (cost {result.spill_cost})"
+        )
+    print("  -> once a and d are allocated, f's clique {a, d, f} is saturated,")
+    print("     but c or e can still be allocated by the fixed-point phase.\n")
+
+
+def main() -> None:
+    show_figure2()
+    show_figure5()
+    show_figure6()
+    show_figure7()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without the
+`wheel` package (PEP 517 editable installs need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

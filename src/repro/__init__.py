@@ -1,0 +1,38 @@
+"""repro — layered register allocation (Diouf, Cohen, Rastello, CGO 2013).
+
+A from-scratch reproduction of the paper *"A Polynomial Spilling Heuristic:
+Layered Allocation"*: a mini SSA compiler substrate, chordal-graph machinery,
+the layered family of spill-everywhere allocators (NL, BL, FPL, BFPL, LH) and
+every baseline the paper compares against (Chaitin–Briggs, linear scan,
+Belady linear scan, ILP optimum), plus the experiment harness regenerating
+Figures 8–15.
+
+Quick start
+-----------
+>>> from repro.workloads import generate_function, extract_chordal_problem
+>>> from repro.alloc import get_allocator
+>>> function = generate_function("demo", rng=42)
+>>> problem = extract_chordal_problem(function, "st231").with_registers(8)
+>>> result = get_allocator("BFPL").allocate(problem)
+>>> result.spill_cost >= 0
+True
+"""
+
+from repro.alloc import (
+    AllocationProblem,
+    AllocationResult,
+    available_allocators,
+    get_allocator,
+)
+from repro.graphs import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationProblem",
+    "AllocationResult",
+    "available_allocators",
+    "get_allocator",
+    "Graph",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Register assignment (coloring) of an allocation.
+
+In the decoupled approach the assignment phase runs after allocation: the
+allocated variables are mapped to concrete registers.  On chordal (SSA)
+graphs this is the easy part the paper leverages — a greedy scan of the
+reverse perfect elimination order ("tree-scan") colors the graph with exactly
+its clique number — and on general graphs a greedy coloring is attempted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import AllocationError
+from repro.graphs.chordal import is_chordal
+from repro.graphs.coloring import chordal_coloring, greedy_coloring, is_valid_coloring
+from repro.graphs.graph import Graph, Vertex
+
+
+def assign_registers(
+    graph: Graph,
+    allocated: Iterable[Vertex],
+    num_registers: int,
+    register_names: Optional[Dict[int, str]] = None,
+) -> Dict[Vertex, str]:
+    """Map each allocated variable to a register name.
+
+    ``register_names`` optionally maps color indices to target register names
+    (e.g. ``{0: "r0", 1: "r1"}``); indices are used when omitted.
+
+    Raises :class:`AllocationError` if the allocation cannot be colored with
+    ``num_registers`` registers — which, for results produced by the library's
+    allocators, indicates a bug upstream.
+    """
+    induced = graph.subgraph(allocated)
+    if len(induced) == 0:
+        return {}
+
+    if is_chordal(induced):
+        coloring = chordal_coloring(induced)
+    else:
+        coloring = greedy_coloring(induced)
+        if not is_valid_coloring(induced, coloring):
+            raise AllocationError("internal error: greedy coloring produced an invalid coloring")
+
+    colors_used = max(coloring.values()) + 1
+    if colors_used > num_registers:
+        raise AllocationError(
+            f"allocation needs {colors_used} registers but only {num_registers} are available"
+        )
+
+    def register_name(color: int) -> str:
+        if register_names is not None:
+            return register_names[color]
+        return f"r{color}"
+
+    return {vertex: register_name(color) for vertex, color in coloring.items()}

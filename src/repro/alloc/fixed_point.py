@@ -1,0 +1,121 @@
+"""Fixed-point layered allocation (paper Algorithms 3 and 4, "FPL"/"BFPL").
+
+After the first ``R`` layers, further variables may still fit: a variable can
+be allocated as long as none of the maximal cliques containing it already has
+``R`` allocated members (on a chordal graph, maximal cliques are exactly the
+sets of simultaneously-live variables, so this is precisely the register-
+pressure constraint).  The fixed-point allocator therefore:
+
+1. runs the plain layered allocation (at most ``R`` layers);
+2. counts, per maximal clique, how many of its members are allocated, and
+   removes from the candidate pool every vertex belonging to a *saturated*
+   clique (Algorithm 4, ``Update``);
+3. repeatedly allocates one more maximum weighted stable set of the remaining
+   candidates, updating the clique counts, until no candidate is left — the
+   fixed point.
+
+Note (documented deviation): the paper's Algorithm 3 omits adding ``result``
+to ``allocated_list`` inside the fixed-point loop, which is an obvious typo —
+the allocated list would otherwise never grow after the first phase.  We add
+it.  We also stop early when the stable-set search returns an empty layer
+(possible when every remaining candidate has zero weight), which guarantees
+termination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.alloc.base import register_allocator
+from repro.alloc.biased import bias_weights
+from repro.alloc.layered import LayeredOptimalAllocator, optimal_layer
+from repro.alloc.problem import AllocationProblem
+from repro.alloc.result import AllocationResult
+from repro.graphs.cliques import Clique
+from repro.graphs.graph import Vertex
+
+
+class FixedPointLayeredAllocator(LayeredOptimalAllocator):
+    """Layered allocation iterated to a fixed point (paper's FPL)."""
+
+    name = "FPL"
+
+    def allocate(self, problem: AllocationProblem) -> AllocationResult:
+        """Run Algorithm 3: R layers, then extra stable sets until saturation."""
+        graph = problem.graph
+        weights = self.layer_weights(problem)
+        num_registers = problem.num_registers
+        if num_registers <= 0:
+            # Every clique is already saturated: nothing can be allocated.
+            return self._result(problem, [], stats={"layers": 0, "fixed_point_rounds": 0})
+
+        candidates: Set[Vertex] = set(graph.vertices())
+        allocated: List[Vertex] = []
+
+        # ---------------- Phase 1: the plain layered allocation ---------- #
+        layers = 0
+        while candidates and layers < num_registers:
+            layer = optimal_layer(graph, candidates, weights=weights, step=1)
+            if not layer:
+                break
+            allocated.extend(layer)
+            candidates.difference_update(layer)
+            layers += 1
+
+        # ---------------- Phase 2: iterate to a fixed point -------------- #
+        cliques: List[Clique] = list(problem.cliques)
+        allocated_per_clique: Dict[int, int] = {i: 0 for i in range(len(cliques))}
+        allowed: Set[int] = set(range(len(cliques)))
+        clique_of_vertex: Dict[Vertex, List[int]] = {}
+        for index, clique in enumerate(cliques):
+            for vertex in clique:
+                clique_of_vertex.setdefault(vertex, []).append(index)
+
+        def update(freshly_allocated: List[Vertex]) -> None:
+            """Algorithm 4: bump clique counters, drop saturated cliques."""
+            for vertex in freshly_allocated:
+                for index in clique_of_vertex.get(vertex, []):
+                    if index not in allowed:
+                        continue
+                    allocated_per_clique[index] += 1
+                    if allocated_per_clique[index] >= num_registers:
+                        candidates.difference_update(cliques[index])
+                        allowed.discard(index)
+
+        update(allocated)
+
+        extra_rounds = 0
+        while candidates:
+            layer = optimal_layer(graph, candidates, weights=weights, step=1)
+            if not layer:
+                break
+            allocated.extend(layer)
+            candidates.difference_update(layer)
+            update(layer)
+            extra_rounds += 1
+
+        return self._result(
+            problem,
+            allocated,
+            stats={
+                "layers": layers,
+                "fixed_point_rounds": extra_rounds,
+                "saturated_cliques": len(cliques) - len(allowed),
+                "total_cliques": len(cliques),
+            },
+        )
+
+
+class BiasedFixedPointLayeredAllocator(FixedPointLayeredAllocator):
+    """Fixed-point layered allocation with degree-biased search weights (BFPL)."""
+
+    name = "BFPL"
+
+    def layer_weights(self, problem: AllocationProblem) -> Optional[Dict[Vertex, float]]:
+        """Search with the biased weights of :func:`repro.alloc.biased.bias_weights`."""
+        return bias_weights(problem.graph)
+
+
+register_allocator("FPL", FixedPointLayeredAllocator)
+register_allocator("BFPL", BiasedFixedPointLayeredAllocator)
+register_allocator("fixed-point", FixedPointLayeredAllocator)

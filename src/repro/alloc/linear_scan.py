@@ -1,0 +1,144 @@
+"""Linear scan allocators (the paper's "LS"/"DLS" and "BLS" baselines).
+
+The non-chordal evaluation (SPEC JVM98 under JikesRVM) compares against the
+JIT-style linear scan family, which operates on linearised live intervals
+rather than an interference graph:
+
+* :class:`LinearScanAllocator` (LS) — the classical Poletto–Sarkar scan, with
+  the cost-driven spill choice JikesRVM uses: whenever the active set
+  overflows, evict the interval (among the active ones plus the incoming one)
+  with the smallest spill cost.
+* :class:`BeladyLinearScanAllocator` (BLS) — the paper's variant: if several
+  candidates have spill costs within a relative ``threshold`` of the minimum,
+  prefer the one whose interval ends furthest in the future (Belady's
+  furthest-first rule).
+
+Both allocators consume :class:`~repro.analysis.live_ranges.LiveInterval`
+objects.  When a problem carries no intervals (pure-graph corpora), a
+conservative interval per vertex is synthesised from the graph using a greedy
+ordering, so the allocators remain usable — but the faithful path is to
+provide real intervals from :func:`repro.analysis.live_ranges.live_intervals`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.alloc.base import Allocator, register_allocator
+from repro.alloc.problem import AllocationProblem
+from repro.alloc.result import AllocationResult
+from repro.analysis.live_ranges import LiveInterval
+from repro.ir.values import VirtualRegister
+
+
+def _intervals_from_graph(problem: AllocationProblem) -> List[LiveInterval]:
+    """Synthesize intervals when a problem only has a graph.
+
+    Vertices are laid out on a line in insertion order; each vertex's interval
+    spans from its own position to the position of its furthest neighbour,
+    which preserves every interference of the original graph (possibly adding
+    some).  This keeps LS/BLS runnable on graph-only corpora for comparison
+    purposes.
+    """
+    order = {v: i for i, v in enumerate(problem.graph.vertices())}
+    intervals = []
+    for v in problem.graph.vertices():
+        nbr_positions = [order[u] for u in problem.graph.neighbors(v)]
+        start = min([order[v]] + nbr_positions)
+        end = max([order[v]] + nbr_positions)
+        intervals.append(LiveInterval(VirtualRegister(str(v)), start, end))
+    intervals.sort(key=lambda i: (i.start, i.end, i.register.name))
+    return intervals
+
+
+class LinearScanAllocator(Allocator):
+    """Classical linear scan with cost-driven eviction (paper's LS / DLS)."""
+
+    name = "LS"
+
+    def choose_victim(
+        self,
+        current: LiveInterval,
+        active: List[LiveInterval],
+        costs: Dict[str, float],
+    ) -> LiveInterval:
+        """Pick the interval to spill among ``active + [current]``.
+
+        The base policy evicts the cheapest interval (JikesRVM-style cost
+        heuristic); subclasses override this hook.
+        """
+        candidates = active + [current]
+        return min(candidates, key=lambda i: (costs.get(i.register.name, 0.0), i.register.name))
+
+    def allocate(self, problem: AllocationProblem) -> AllocationResult:
+        """Scan the intervals in start order, evicting on overflow."""
+        intervals = problem.intervals if problem.intervals is not None else _intervals_from_graph(problem)
+        costs = {str(v): problem.graph.weight(v) for v in problem.graph.vertices()}
+        num_registers = problem.num_registers
+
+        active: List[LiveInterval] = []
+        spilled_names: List[str] = []
+        evictions = 0
+
+        for interval in sorted(intervals, key=lambda i: (i.start, i.end, i.register.name)):
+            if interval.register.name not in costs:
+                # Interval for a register absent from the graph (e.g. never
+                # interfering zero-cost temporary): ignore it.
+                continue
+            active = [a for a in active if a.end >= interval.start]
+            if len(active) < num_registers:
+                active.append(interval)
+                continue
+            victim = self.choose_victim(interval, active, costs)
+            evictions += 1
+            spilled_names.append(victim.register.name)
+            if victim is not interval:
+                active.remove(victim)
+                active.append(interval)
+
+        allocated = [v for v in problem.graph.vertices() if str(v) not in set(spilled_names)]
+        return self._result(
+            problem,
+            allocated,
+            stats={"evictions": evictions, "intervals": len(intervals)},
+        )
+
+
+class BeladyLinearScanAllocator(LinearScanAllocator):
+    """Linear scan with Belady furthest-first tie-breaking (paper's BLS).
+
+    Parameters
+    ----------
+    threshold:
+        Relative cost window: intervals whose spill cost is within
+        ``(1 + threshold)`` of the cheapest candidate compete on their end
+        point (furthest end is evicted).
+    """
+
+    name = "BLS"
+
+    def __init__(self, threshold: float = 0.25) -> None:
+        self.threshold = float(threshold)
+
+    def choose_victim(
+        self,
+        current: LiveInterval,
+        active: List[LiveInterval],
+        costs: Dict[str, float],
+    ) -> LiveInterval:
+        """Among near-minimum-cost candidates, evict the furthest-ending one."""
+        candidates = active + [current]
+        cheapest = min(costs.get(i.register.name, 0.0) for i in candidates)
+        window = [
+            i
+            for i in candidates
+            if costs.get(i.register.name, 0.0) <= cheapest * (1.0 + self.threshold) + 1e-12
+        ]
+        return max(window, key=lambda i: (i.end, i.register.name))
+
+
+register_allocator("LS", LinearScanAllocator)
+register_allocator("DLS", LinearScanAllocator)
+register_allocator("linear-scan", LinearScanAllocator)
+register_allocator("BLS", BeladyLinearScanAllocator)
+register_allocator("belady", BeladyLinearScanAllocator)

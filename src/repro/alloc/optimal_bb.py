@@ -1,0 +1,117 @@
+"""Exact optimal allocation by branch and bound.
+
+The exact spill-everywhere optimum maximizes the total weight of allocated
+variables subject to every maximal clique keeping at most ``R`` allocated
+members.  On chordal graphs this constraint is exactly ``R``-colorability of
+the allocated sub-graph, so the optimum is the true one; on general graphs it
+is the clique relaxation the paper's framework uses (Sections 1 and 5).
+
+This module provides a dependency-free solver used as a fallback when scipy
+is unavailable and as an independent cross-check in the test suite.  It
+explores variables in decreasing weight order with a greedy upper bound and
+prunes aggressively; it is exponential in the worst case, so the experiment
+harness prefers the ILP backend for large instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.alloc.base import Allocator, register_allocator
+from repro.alloc.problem import AllocationProblem
+from repro.alloc.result import AllocationResult
+from repro.errors import AllocationError
+from repro.graphs.cliques import Clique
+from repro.graphs.graph import Graph, Vertex
+
+
+def solve_branch_and_bound(
+    graph: Graph,
+    num_registers: int,
+    cliques: Sequence[Clique] | None = None,
+    max_nodes: int = 2_000_000,
+) -> Tuple[Set[Vertex], float]:
+    """Return ``(allocated, allocated_weight)`` for the exact optimum.
+
+    ``max_nodes`` bounds the number of explored search nodes; exceeding it
+    raises :class:`AllocationError` so callers can fall back to the ILP.
+    """
+    if cliques is None:
+        from repro.graphs.cliques import maximal_cliques
+
+        cliques = maximal_cliques(graph)
+
+    vertices: List[Vertex] = sorted(graph.vertices(), key=lambda v: (-graph.weight(v), str(v)))
+    weights = [graph.weight(v) for v in vertices]
+    # Remaining-weight suffix sums for the greedy upper bound.
+    suffix = [0.0] * (len(vertices) + 1)
+    for i in range(len(vertices) - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + weights[i]
+
+    clique_indices: Dict[Vertex, List[int]] = {}
+    for index, clique in enumerate(cliques):
+        for vertex in clique:
+            clique_indices.setdefault(vertex, []).append(index)
+    capacity = [num_registers] * len(cliques)
+
+    best_weight = -1.0
+    best_set: Set[Vertex] = set()
+    current: List[Vertex] = []
+    explored = 0
+
+    def dfs(index: int, current_weight: float) -> None:
+        nonlocal best_weight, best_set, explored
+        explored += 1
+        if explored > max_nodes:
+            raise AllocationError(
+                f"branch-and-bound budget of {max_nodes} nodes exceeded "
+                f"(|V|={len(vertices)}); use the ILP backend"
+            )
+        if current_weight > best_weight:
+            best_weight = current_weight
+            best_set = set(current)
+        if index == len(vertices):
+            return
+        # Greedy bound: even taking every remaining vertex cannot beat best.
+        if current_weight + suffix[index] <= best_weight:
+            return
+        vertex = vertices[index]
+        # Branch 1: allocate the vertex if every clique containing it has room.
+        indices = clique_indices.get(vertex, [])
+        if all(capacity[i] > 0 for i in indices):
+            for i in indices:
+                capacity[i] -= 1
+            current.append(vertex)
+            dfs(index + 1, current_weight + weights[index])
+            current.pop()
+            for i in indices:
+                capacity[i] += 1
+        # Branch 2: spill the vertex.
+        dfs(index + 1, current_weight)
+
+    if num_registers <= 0:
+        return set(), 0.0
+    dfs(0, 0.0)
+    return best_set, best_weight
+
+
+class BranchAndBoundAllocator(Allocator):
+    """Exact optimal allocator backed by the branch-and-bound solver."""
+
+    name = "Optimal-BB"
+
+    def __init__(self, max_nodes: int = 2_000_000) -> None:
+        self.max_nodes = max_nodes
+
+    def allocate(self, problem: AllocationProblem) -> AllocationResult:
+        """Solve the instance exactly."""
+        allocated, _ = solve_branch_and_bound(
+            problem.graph,
+            problem.num_registers,
+            cliques=problem.cliques,
+            max_nodes=self.max_nodes,
+        )
+        return self._result(problem, allocated, stats={"backend": "branch-and-bound"})
+
+
+register_allocator("Optimal-BB", BranchAndBoundAllocator)

@@ -1,0 +1,112 @@
+"""The allocation problem instance shared by every allocator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.live_ranges import LiveInterval
+from repro.errors import AllocationError
+from repro.graphs.chordal import is_chordal, perfect_elimination_order
+from repro.graphs.cliques import Clique, maximal_cliques
+from repro.graphs.graph import Graph, Vertex
+
+
+@dataclass
+class AllocationProblem:
+    """A spill-everywhere register allocation instance.
+
+    Attributes
+    ----------
+    graph:
+        Weighted interference graph; vertex weights are spill costs.
+    num_registers:
+        ``R``, the size of the register file.
+    intervals:
+        Optional linearised live intervals (needed only by the linear-scan
+        allocators).  Interval register names must match graph vertices.
+    name:
+        Human-readable instance name (benchmark/function), used in reports.
+
+    Expensive derived structures (chordality, a perfect elimination order and
+    the maximal cliques) are computed lazily and cached because several
+    allocators running on the same instance need the same data.
+    """
+
+    graph: Graph
+    num_registers: int
+    intervals: Optional[List[LiveInterval]] = None
+    name: str = ""
+    _chordal: Optional[bool] = field(default=None, repr=False)
+    _peo: Optional[List[Vertex]] = field(default=None, repr=False)
+    _cliques: Optional[List[Clique]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_registers < 0:
+            raise AllocationError(f"negative register count {self.num_registers}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_chordal(self) -> bool:
+        """Whether the interference graph is chordal (cached)."""
+        if self._chordal is None:
+            self._chordal = is_chordal(self.graph)
+        return self._chordal
+
+    @property
+    def peo(self) -> List[Vertex]:
+        """A perfect elimination order of the graph (chordal instances only)."""
+        if self._peo is None:
+            self._peo = perfect_elimination_order(self.graph)
+        return self._peo
+
+    @property
+    def cliques(self) -> List[Clique]:
+        """The maximal cliques of the interference graph (cached)."""
+        if self._cliques is None:
+            self._cliques = maximal_cliques(self.graph)
+        return self._cliques
+
+    @property
+    def max_pressure(self) -> int:
+        """The clique number ω of the graph — MaxLive on SSA programs."""
+        return max((len(c) for c in self.cliques), default=0)
+
+    @property
+    def variables(self) -> List[Vertex]:
+        """The variables competing for registers."""
+        return self.graph.vertices()
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all spill costs — the cost of spilling everything."""
+        return self.graph.total_weight()
+
+    def needs_spilling(self) -> bool:
+        """Whether the register pressure exceeds the register count."""
+        return self.max_pressure > self.num_registers
+
+    def with_registers(self, num_registers: int) -> "AllocationProblem":
+        """Return the same instance with a different register count.
+
+        Cached graph-derived structures are shared because they do not depend
+        on ``R`` — this is what makes register-count sweeps cheap.
+        """
+        clone = AllocationProblem(
+            graph=self.graph,
+            num_registers=num_registers,
+            intervals=self.intervals,
+            name=self.name,
+        )
+        clone._chordal = self._chordal
+        clone._peo = self._peo
+        clone._cliques = self._cliques
+        return clone
+
+    def spill_cost_of(self, spilled: Sequence[Vertex]) -> float:
+        """Total cost of spilling ``spilled``."""
+        return self.graph.total_weight(spilled)
+
+    def weights(self) -> Dict[Vertex, float]:
+        """Copy of the spill-cost map."""
+        return self.graph.weights()

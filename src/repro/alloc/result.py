@@ -1,0 +1,78 @@
+"""Allocation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable
+
+from repro.graphs.graph import Vertex
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of running one allocator on one problem instance.
+
+    Attributes
+    ----------
+    allocator:
+        The registry name of the allocator that produced this result.
+    num_registers:
+        The register count the allocation was computed for.
+    allocated:
+        Variables kept in registers.
+    spilled:
+        Variables evicted to memory.
+    spill_cost:
+        Total weight of the spilled variables — the quantity every figure of
+        the paper reports (normalized to the optimal allocator's value).
+    stats:
+        Free-form per-allocator counters (iterations, layers, cliques, ...).
+    """
+
+    allocator: str
+    num_registers: int
+    allocated: FrozenSet[Vertex]
+    spilled: FrozenSet[Vertex]
+    spill_cost: float
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_sets(
+        cls,
+        allocator: str,
+        num_registers: int,
+        allocated: Iterable[Vertex],
+        spilled: Iterable[Vertex],
+        spill_cost: float,
+        stats: Dict[str, Any] | None = None,
+    ) -> "AllocationResult":
+        """Convenience constructor normalizing the collections."""
+        return cls(
+            allocator=allocator,
+            num_registers=num_registers,
+            allocated=frozenset(allocated),
+            spilled=frozenset(spilled),
+            spill_cost=float(spill_cost),
+            stats=dict(stats or {}),
+        )
+
+    @property
+    def num_allocated(self) -> int:
+        """Number of variables kept in registers."""
+        return len(self.allocated)
+
+    @property
+    def num_spilled(self) -> int:
+        """Number of spilled variables."""
+        return len(self.spilled)
+
+    def normalized_cost(self, optimal_cost: float) -> float:
+        """Cost ratio against an optimal cost.
+
+        When the optimum is zero (no spilling needed) the ratio is 1.0 if this
+        allocation also avoided spilling, and ``inf`` otherwise; the
+        experiment harness filters/flags such instances explicitly.
+        """
+        if optimal_cost > 0:
+            return self.spill_cost / optimal_cost
+        return 1.0 if self.spill_cost == 0 else float("inf")

@@ -1,0 +1,92 @@
+"""Validation of allocation results.
+
+An allocation is *feasible* when the sub-graph induced by the allocated
+variables can be colored with the available registers.  The check used here
+mirrors the structure of the allocators:
+
+* on chordal graphs feasibility is exact: the clique number of the induced
+  sub-graph (computed via a perfect elimination order) must not exceed ``R``;
+* on general graphs exact verification is NP-hard, so the check combines the
+  necessary maximal-clique condition with a sufficient greedy-coloring
+  attempt and reports which one decided.
+
+``check_allocation`` additionally validates the bookkeeping of a result
+(partition of the variables, correctly summed spill cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.alloc.problem import AllocationProblem
+from repro.alloc.result import AllocationResult
+from repro.errors import InvalidAllocationError
+from repro.graphs.chordal import is_chordal
+from repro.graphs.cliques import maximal_cliques
+from repro.graphs.coloring import chromatic_number_chordal, greedy_coloring, is_valid_coloring
+from repro.graphs.graph import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of a feasibility check."""
+
+    feasible: bool
+    exact: bool
+    reason: str
+
+
+def is_allocation_feasible(graph: Graph, allocated: Iterable[Vertex], num_registers: int) -> FeasibilityReport:
+    """Check whether ``allocated`` fits in ``num_registers`` registers."""
+    induced = graph.subgraph(allocated)
+    if len(induced) == 0:
+        return FeasibilityReport(True, True, "empty allocation")
+    if num_registers <= 0:
+        return FeasibilityReport(False, True, "no registers available")
+
+    if is_chordal(induced):
+        needed = chromatic_number_chordal(induced)
+        feasible = needed <= num_registers
+        return FeasibilityReport(
+            feasible,
+            True,
+            f"chordal induced sub-graph needs {needed} colors for {num_registers} registers",
+        )
+
+    # Necessary condition: no clique larger than R.
+    omega = max((len(c) for c in maximal_cliques(induced)), default=0)
+    if omega > num_registers:
+        return FeasibilityReport(False, True, f"allocated clique of size {omega} exceeds R={num_registers}")
+    # Sufficient check: a greedy coloring that fits proves feasibility.
+    coloring = greedy_coloring(induced)
+    if is_valid_coloring(induced, coloring) and max(coloring.values()) + 1 <= num_registers:
+        return FeasibilityReport(True, True, "greedy coloring fits in the register file")
+    return FeasibilityReport(
+        True,
+        False,
+        "clique bound satisfied but greedy coloring exceeded R; feasibility undecided (clique relaxation)",
+    )
+
+
+def check_allocation(problem: AllocationProblem, result: AllocationResult, strict: bool = True) -> FeasibilityReport:
+    """Validate a result against its problem.
+
+    Raises :class:`InvalidAllocationError` when the result's bookkeeping is
+    inconsistent or (with ``strict=True``) when the allocation is provably
+    infeasible.
+    """
+    vertices = set(problem.graph.vertices())
+    if set(result.allocated) | set(result.spilled) != vertices:
+        raise InvalidAllocationError("allocated ∪ spilled does not cover all variables")
+    if set(result.allocated) & set(result.spilled):
+        raise InvalidAllocationError("allocated and spilled sets overlap")
+    expected_cost = problem.spill_cost_of(list(result.spilled))
+    if abs(expected_cost - result.spill_cost) > 1e-6 * max(1.0, expected_cost):
+        raise InvalidAllocationError(
+            f"spill cost mismatch: result says {result.spill_cost}, recomputed {expected_cost}"
+        )
+    report = is_allocation_feasible(problem.graph, result.allocated, result.num_registers)
+    if strict and report.exact and not report.feasible:
+        raise InvalidAllocationError(f"infeasible allocation from {result.allocator}: {report.reason}")
+    return report

@@ -1,0 +1,85 @@
+"""Control-flow graph views over a function.
+
+The :class:`Function` stores only forward edges (through block terminators);
+this module materializes predecessor maps and classic traversal orders used
+by every other analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+
+
+class ControlFlowGraph:
+    """Cached successor/predecessor maps for one function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.successors: Dict[str, List[str]] = {}
+        self.predecessors: Dict[str, List[str]] = {label: [] for label in function.block_labels()}
+        for block in function:
+            succs = block.successors()
+            self.successors[block.label] = succs
+            for succ in succs:
+                self.predecessors[succ].append(block.label)
+
+    @property
+    def entry(self) -> str:
+        """Label of the entry block."""
+        assert self.function.entry_label is not None
+        return self.function.entry_label
+
+    def exit_blocks(self) -> List[str]:
+        """Labels of blocks with no successors (returns)."""
+        return [label for label, succs in self.successors.items() if not succs]
+
+    def reachable_blocks(self) -> Set[str]:
+        """Labels reachable from the entry block."""
+        seen: Set[str] = set()
+        stack = [self.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.successors[label])
+        return seen
+
+    def postorder(self) -> List[str]:
+        """Depth-first postorder over reachable blocks."""
+        seen: Set[str] = set()
+        order: List[str] = []
+
+        def visit(label: str) -> None:
+            stack = [(label, iter(self.successors[label]))]
+            seen.add(label)
+            while stack:
+                current, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child not in seen:
+                        seen.add(child)
+                        stack.append((child, iter(self.successors[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        return order
+
+    def reverse_postorder(self) -> List[str]:
+        """Reverse postorder (a topological-ish order good for dataflow)."""
+        return list(reversed(self.postorder()))
+
+    def edges(self) -> List[tuple]:
+        """All CFG edges as (source, target) label pairs."""
+        return [(src, dst) for src, succs in self.successors.items() for dst in succs]
+
+
+def reverse_postorder(function: Function) -> List[str]:
+    """Convenience wrapper returning the reverse postorder of ``function``."""
+    return ControlFlowGraph(function).reverse_postorder()

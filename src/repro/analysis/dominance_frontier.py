@@ -1,0 +1,34 @@
+"""Dominance frontiers (Cytron et al.), used for φ placement."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.dominators import DominatorTree, dominator_tree
+from repro.ir.function import Function
+
+
+def dominance_frontiers(
+    function: Function, domtree: DominatorTree | None = None
+) -> Dict[str, Set[str]]:
+    """Compute the dominance frontier of every reachable block.
+
+    A block ``y`` is in the frontier of ``x`` when ``x`` dominates a
+    predecessor of ``y`` but does not strictly dominate ``y`` — the classic
+    place where φ-functions for definitions in ``x`` must appear.
+    """
+    cfg = ControlFlowGraph(function)
+    if domtree is None:
+        domtree = dominator_tree(function)
+    frontiers: Dict[str, Set[str]] = {label: set() for label in domtree.idom}
+    for label in domtree.idom:
+        preds = [p for p in cfg.predecessors[label] if p in domtree.idom]
+        if len(preds) < 2:
+            continue
+        for pred in preds:
+            runner = pred
+            while runner != domtree.idom[label]:
+                frontiers[runner].add(label)
+                runner = domtree.idom[runner]
+    return frontiers

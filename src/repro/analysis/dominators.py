@@ -1,0 +1,122 @@
+"""Dominator analysis (Cooper–Harvey–Kennedy "engineered" algorithm).
+
+SSA construction places φ-functions on dominance frontiers, and the strict
+SSA dominance property (definitions dominate uses) is what makes live ranges
+subtrees of the dominance tree — hence the chordality of SSA interference
+graphs the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.ir.function import Function
+
+
+@dataclass
+class DominatorTree:
+    """Result of the dominator analysis.
+
+    Attributes
+    ----------
+    idom:
+        Immediate dominator of each block (the entry maps to itself).
+    children:
+        Dominance-tree children of each block.
+    dominators:
+        Full dominator sets, including the block itself.
+    order:
+        Reverse postorder used by the fix-point, handy for deterministic
+        iteration elsewhere.
+    """
+
+    idom: Dict[str, str]
+    children: Dict[str, List[str]] = field(default_factory=dict)
+    dominators: Dict[str, Set[str]] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    def dominates(self, a: str, b: str) -> bool:
+        """Return whether ``a`` dominates ``b`` (reflexively)."""
+        return a in self.dominators.get(b, set())
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        """Return whether ``a`` dominates ``b`` and ``a != b``."""
+        return a != b and self.dominates(a, b)
+
+    def depth(self, label: str) -> int:
+        """Depth of ``label`` in the dominance tree (entry has depth 0)."""
+        depth = 0
+        current = label
+        while self.idom[current] != current:
+            current = self.idom[current]
+            depth += 1
+        return depth
+
+    def dfs_preorder(self, root: Optional[str] = None) -> List[str]:
+        """Preorder walk of the dominance tree (used by SSA renaming)."""
+        if root is None:
+            root = next(label for label, parent in self.idom.items() if parent == label)
+        order: List[str] = []
+        stack = [root]
+        while stack:
+            label = stack.pop()
+            order.append(label)
+            stack.extend(reversed(self.children.get(label, [])))
+        return order
+
+
+def dominator_tree(function: Function) -> DominatorTree:
+    """Compute dominators of all reachable blocks of ``function``."""
+    cfg = ControlFlowGraph(function)
+    rpo = cfg.reverse_postorder()
+    index = {label: i for i, label in enumerate(rpo)}
+    entry = cfg.entry
+
+    idom: Dict[str, Optional[str]] = {label: None for label in rpo}
+    idom[entry] = entry
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == entry:
+                continue
+            preds = [p for p in cfg.predecessors[label] if p in index and idom[p] is not None]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom[label] != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    final_idom: Dict[str, str] = {label: parent for label, parent in idom.items() if parent is not None}
+
+    children: Dict[str, List[str]] = {label: [] for label in final_idom}
+    for label, parent in final_idom.items():
+        if label != parent:
+            children[parent].append(label)
+
+    dominators: Dict[str, Set[str]] = {}
+    for label in rpo:
+        if label not in final_idom:
+            continue
+        doms = {label}
+        current = label
+        while final_idom[current] != current:
+            current = final_idom[current]
+            doms.add(current)
+        dominators[label] = doms
+
+    return DominatorTree(idom=final_idom, children=children, dominators=dominators, order=rpo)

@@ -1,0 +1,160 @@
+"""Liveness analysis.
+
+Computes per-block live-in/live-out sets with the usual backward dataflow,
+handling φ-functions with SSA edge semantics: a φ's operand is live-out of
+the corresponding predecessor (not live-in of the φ's block), and the φ's
+result is live-in of its block.
+
+Also exposes per-program-point live sets and *MaxLive*, the maximal register
+pressure, which in the decoupled approach is the criterion deciding whether
+an allocation will color without spills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.ir.function import Function
+from repro.ir.instructions import Phi
+from repro.ir.values import VirtualRegister
+
+RegisterSet = Set[VirtualRegister]
+
+
+@dataclass
+class LivenessInfo:
+    """Result of liveness analysis for one function."""
+
+    live_in: Dict[str, RegisterSet]
+    live_out: Dict[str, RegisterSet]
+    #: ``uses[label]`` / ``defs[label]`` as used by the dataflow (φs excluded
+    #: from ``uses``; φ results included in ``defs``).
+    defs: Dict[str, RegisterSet] = field(default_factory=dict)
+    upward_exposed: Dict[str, RegisterSet] = field(default_factory=dict)
+
+    def pressure_at_block_boundaries(self) -> Dict[str, int]:
+        """Register pressure at each block entry (``len(live_in)``)."""
+        return {label: len(regs) for label, regs in self.live_in.items()}
+
+
+def _block_local_sets(function: Function) -> Tuple[Dict[str, RegisterSet], Dict[str, RegisterSet]]:
+    """Compute per-block upward-exposed uses and defs (φ-aware)."""
+    upward: Dict[str, RegisterSet] = {}
+    defs: Dict[str, RegisterSet] = {}
+    for block in function:
+        exposed: RegisterSet = set()
+        defined: RegisterSet = set()
+        # φ results are defined at the top of the block; φ operands are *not*
+        # uses in this block (they count on the predecessor edge).
+        for phi in block.phis:
+            defined.add(phi.target)
+        for instruction in block.instructions:
+            for reg in instruction.used_registers():
+                if reg not in defined:
+                    exposed.add(reg)
+            for reg in instruction.defined_registers():
+                defined.add(reg)
+        upward[block.label] = exposed
+        defs[block.label] = defined
+    return upward, defs
+
+
+def _phi_uses_per_predecessor(function: Function) -> Dict[str, RegisterSet]:
+    """Map predecessor label -> registers used by φs along that edge."""
+    uses: Dict[str, RegisterSet] = {label: set() for label in function.block_labels()}
+    for block in function:
+        for phi in block.phis:
+            for pred_label, value in phi.incoming.items():
+                if isinstance(value, VirtualRegister):
+                    uses.setdefault(pred_label, set()).add(value)
+    return uses
+
+
+def liveness(function: Function) -> LivenessInfo:
+    """Compute live-in/live-out sets for every block of ``function``."""
+    cfg = ControlFlowGraph(function)
+    upward, defs = _block_local_sets(function)
+    phi_uses = _phi_uses_per_predecessor(function)
+    phi_defs: Dict[str, RegisterSet] = {
+        block.label: {phi.target for phi in block.phis} for block in function
+    }
+
+    live_in: Dict[str, RegisterSet] = {label: set() for label in function.block_labels()}
+    live_out: Dict[str, RegisterSet] = {label: set() for label in function.block_labels()}
+
+    # Iterate to a fix point over postorder (fast convergence for backward
+    # problems).
+    order = cfg.postorder()
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            out: RegisterSet = set(phi_uses.get(label, set()))
+            for succ in cfg.successors[label]:
+                # live-in of the successor minus its φ definitions flows back;
+                # φ operands were already accounted via phi_uses.
+                out |= live_in[succ] - phi_defs[succ]
+            new_in = upward[label] | (out - defs[label]) | phi_defs[label]
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+
+    return LivenessInfo(live_in=live_in, live_out=live_out, defs=defs, upward_exposed=upward)
+
+
+def live_sets_per_instruction(
+    function: Function, info: LivenessInfo | None = None
+) -> Dict[str, List[RegisterSet]]:
+    """Return, per block, the set of variables live *after* each instruction.
+
+    Index ``i`` of the returned list corresponds to the program point just
+    after ``block.instructions[i]`` executes (index 0 is after the first
+    non-φ instruction).  The block's live-in set (with φ results) gives the
+    point before the first instruction.
+    """
+    if info is None:
+        info = liveness(function)
+    per_block: Dict[str, List[RegisterSet]] = {}
+    for block in function:
+        live = set(info.live_out[block.label])
+        points: List[RegisterSet] = [set() for _ in block.instructions]
+        for index in range(len(block.instructions) - 1, -1, -1):
+            instruction = block.instructions[index]
+            points[index] = set(live)
+            for reg in instruction.defined_registers():
+                live.discard(reg)
+            for reg in instruction.used_registers():
+                live.add(reg)
+        per_block[block.label] = points
+    return per_block
+
+
+def max_live(function: Function, info: LivenessInfo | None = None) -> int:
+    """Return MaxLive: the maximum number of simultaneously live variables.
+
+    Register pressure is sampled at every program point: block entries
+    (live-in, including φ results) and after every instruction.  Values that
+    are defined but never live (dead definitions) still need a register at
+    their definition point, so the pressure right after a definition counts
+    the defined register even if it is not in the live-out set.
+    """
+    if info is None:
+        info = liveness(function)
+    pressure = 0
+    for block in function:
+        pressure = max(pressure, len(info.live_in[block.label]))
+        live = set(info.live_out[block.label])
+        for instruction in reversed(block.instructions):
+            defined = instruction.defined_registers()
+            # Point just after the instruction: defined registers occupy a
+            # register here even when immediately dead.
+            pressure = max(pressure, len(live | set(defined)))
+            for reg in defined:
+                live.discard(reg)
+            for reg in instruction.used_registers():
+                live.add(reg)
+            pressure = max(pressure, len(live))
+    return pressure

@@ -1,0 +1,95 @@
+"""Natural loop detection and loop nesting depth.
+
+Loop depth drives the static block-frequency estimate, which in turn drives
+the spill costs — exactly the "basic block frequency and number of accesses"
+cost model used in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.dominators import DominatorTree, dominator_tree
+from repro.ir.function import Function
+
+
+@dataclass
+class Loop:
+    """A natural loop: a header plus its body blocks (header included)."""
+
+    header: str
+    body: Set[str]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.body
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+
+@dataclass
+class LoopInfo:
+    """All natural loops of a function plus per-block nesting depth."""
+
+    loops: List[Loop]
+    depth: Dict[str, int]
+
+    def loop_of(self, label: str) -> Loop | None:
+        """Return the innermost (smallest) loop containing ``label``."""
+        containing = [loop for loop in self.loops if label in loop]
+        if not containing:
+            return None
+        return min(containing, key=len)
+
+
+def back_edges(function: Function, domtree: DominatorTree | None = None) -> List[Tuple[str, str]]:
+    """Return the back edges (tail, header): edges whose target dominates the source."""
+    cfg = ControlFlowGraph(function)
+    if domtree is None:
+        domtree = dominator_tree(function)
+    edges = []
+    for src, dst in cfg.edges():
+        if src in domtree.dominators and dst in domtree.dominators.get(src, set()):
+            edges.append((src, dst))
+    return edges
+
+
+def natural_loops(function: Function, domtree: DominatorTree | None = None) -> List[Loop]:
+    """Find the natural loop of every back edge; loops sharing a header merge."""
+    if domtree is None:
+        domtree = dominator_tree(function)
+    cfg = ControlFlowGraph(function)
+    loops_by_header: Dict[str, Set[str]] = {}
+    for tail, header in back_edges(function, domtree):
+        body = {header, tail}
+        # Never walk the header's own predecessors: the loop body is whatever
+        # reaches the tail without passing through the header.  (A self-loop
+        # back edge has tail == header and contributes just the header.)
+        stack = [tail] if tail != header else []
+        while stack:
+            label = stack.pop()
+            for pred in cfg.predecessors[label]:
+                if pred not in body and pred in domtree.idom:
+                    body.add(pred)
+                    stack.append(pred)
+        loops_by_header.setdefault(header, set()).update(body)
+    return [Loop(header=h, body=b) for h, b in loops_by_header.items()]
+
+
+def loop_depths(function: Function, loops: List[Loop] | None = None) -> Dict[str, int]:
+    """Return, for every block, the number of natural loops containing it."""
+    if loops is None:
+        loops = natural_loops(function)
+    depth = {label: 0 for label in function.block_labels()}
+    for loop in loops:
+        for label in loop.body:
+            depth[label] += 1
+    return depth
+
+
+def loop_info(function: Function) -> LoopInfo:
+    """Compute loops and depths in one call."""
+    loops = natural_loops(function)
+    return LoopInfo(loops=loops, depth=loop_depths(function, loops))

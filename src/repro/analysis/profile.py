@@ -1,0 +1,133 @@
+"""Profile-guided block frequencies and dynamic spill metrics.
+
+The static cost model (:mod:`repro.analysis.frequency`) guesses that a block
+nested in ``d`` loops runs ``10**d`` times.  This module provides the
+measured alternative: run the function on concrete inputs with the IR
+interpreter, average the per-block execution counts, and feed those into the
+same spill-cost computation.  It also measures the *dynamic spill overhead*
+of an allocation — how many extra loads/stores actually execute once spill
+code is inserted — which is the quantity the static spill cost is meant to
+approximate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.spill_costs import spill_costs
+from repro.ir.function import Function
+from repro.ir.interpreter import ExecutionResult, Interpreter
+from repro.ir.values import VirtualRegister
+
+
+def default_argument_sets(
+    function: Function, runs: int = 3, seed: int = 0, low: int = 0, high: int = 64
+) -> List[List[int]]:
+    """Draw deterministic pseudo-random argument vectors for profiling."""
+    rng = random.Random(seed)
+    count = len(function.parameters)
+    return [[rng.randint(low, high) for _ in range(count)] for _ in range(runs)]
+
+
+def profile_block_frequencies(
+    function: Function,
+    argument_sets: Optional[Sequence[Sequence[int]]] = None,
+    max_steps: int = 200_000,
+) -> Dict[str, float]:
+    """Average per-block execution counts over the given runs.
+
+    Blocks that never execute get frequency 0 — unlike the static model,
+    which assigns every reachable block at least 1.
+    """
+    if argument_sets is None:
+        argument_sets = default_argument_sets(function)
+    interpreter = Interpreter(function, max_steps=max_steps)
+    totals: Dict[str, float] = {label: 0.0 for label in function.block_labels()}
+    runs = 0
+    for arguments in argument_sets:
+        result = interpreter.run(arguments)
+        runs += 1
+        for label, count in result.block_counts.items():
+            totals[label] = totals.get(label, 0.0) + count
+    if runs == 0:
+        return totals
+    return {label: total / runs for label, total in totals.items()}
+
+
+def profiled_spill_costs(
+    function: Function,
+    argument_sets: Optional[Sequence[Sequence[int]]] = None,
+    store_cost: float = 1.0,
+    load_cost: float = 1.0,
+    max_steps: int = 200_000,
+) -> Dict[VirtualRegister, float]:
+    """Spill costs using measured instead of estimated block frequencies."""
+    frequencies = profile_block_frequencies(function, argument_sets, max_steps=max_steps)
+    return spill_costs(function, frequencies=frequencies, store_cost=store_cost, load_cost=load_cost)
+
+
+@dataclass(frozen=True)
+class SpillOverhead:
+    """Measured cost of one allocation's spill code."""
+
+    #: executed loads/stores of the original function (baseline traffic).
+    baseline_memory_operations: int
+    #: executed loads/stores after spill-code insertion.
+    spilled_memory_operations: int
+    #: executed instructions before/after.
+    baseline_steps: int
+    spilled_steps: int
+
+    @property
+    def extra_memory_operations(self) -> int:
+        """Dynamic count of loads/stores attributable to spilling."""
+        return self.spilled_memory_operations - self.baseline_memory_operations
+
+    @property
+    def extra_steps(self) -> int:
+        """Dynamic count of extra executed instructions."""
+        return self.spilled_steps - self.baseline_steps
+
+
+def measure_spill_overhead(
+    function: Function,
+    spilled: Iterable[str],
+    argument_sets: Optional[Sequence[Sequence[int]]] = None,
+    max_steps: int = 400_000,
+) -> SpillOverhead:
+    """Measure the dynamic overhead of spilling ``spilled`` in ``function``.
+
+    The function is executed with and without spill code over the same
+    argument sets; the difference in executed memory operations is exactly
+    the quantity the spill-everywhere cost model estimates statically.
+    """
+    from repro.alloc.spill_code import insert_spill_code
+
+    if argument_sets is None:
+        argument_sets = default_argument_sets(function)
+    rewritten, _ = insert_spill_code(function, spilled)
+
+    baseline = _accumulate(function, argument_sets, max_steps)
+    with_spills = _accumulate(rewritten, argument_sets, max_steps)
+    return SpillOverhead(
+        baseline_memory_operations=baseline[0],
+        spilled_memory_operations=with_spills[0],
+        baseline_steps=baseline[1],
+        spilled_steps=with_spills[1],
+    )
+
+
+def _accumulate(
+    function: Function, argument_sets: Sequence[Sequence[int]], max_steps: int
+) -> tuple:
+    """Sum (memory operations, steps) over the argument sets."""
+    interpreter = Interpreter(function, max_steps=max_steps)
+    memory_operations = 0
+    steps = 0
+    for arguments in argument_sets:
+        result: ExecutionResult = interpreter.run(arguments)
+        memory_operations += result.memory_operations
+        steps += result.steps
+    return memory_operations, steps

@@ -1,0 +1,195 @@
+"""SSA destruction: replace φ-functions with copies on incoming edges.
+
+The non-chordal evaluation (SPEC JVM98-style) works on programs that are
+*not* in SSA form.  To obtain realistic non-chordal interference graphs the
+workload pipeline builds SSA first (to get clean live ranges) and then runs
+this pass, which coalesces the φ webs back into shared names — exactly what a
+JIT without SSA-based allocation sees.
+
+Critical edges (predecessor with several successors feeding a block with
+several predecessors) are split so the inserted copies execute only on the
+intended path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode, Phi, make_branch, make_copy
+from repro.ir.values import VirtualRegister
+
+__all__ = ["destruct_ssa", "split_critical_edges", "coalesce_copies"]
+
+
+def _clone(function: Function) -> Function:
+    """Deep copy preserving block order."""
+    clone = Function(function.name, list(function.parameters))
+    for block in function:
+        new_block = clone.add_block(block.label)
+        for phi in block.phis:
+            new_block.phis.append(Phi(phi.target, dict(phi.incoming)))
+        for instruction in block.instructions:
+            new_block.append(
+                Instruction(
+                    instruction.opcode,
+                    defs=list(instruction.defs),
+                    uses=list(instruction.uses),
+                    targets=list(instruction.targets),
+                )
+            )
+    clone.entry_label = function.entry_label
+    return clone
+
+
+def split_critical_edges(function: Function) -> Function:
+    """Split every critical edge by inserting a forwarding block."""
+    result = _clone(function)
+    cfg = ControlFlowGraph(result)
+    critical: List[Tuple[str, str]] = []
+    for src, dst in cfg.edges():
+        if len(cfg.successors[src]) > 1 and len(cfg.predecessors[dst]) > 1:
+            critical.append((src, dst))
+
+    for index, (src, dst) in enumerate(critical):
+        middle_label = f"{src}.split{index}.{dst}"
+        middle = result.add_block(middle_label)
+        middle.append(make_branch(dst))
+        terminator = result.block(src).terminator
+        assert terminator is not None
+        terminator.targets = [middle_label if t == dst else t for t in terminator.targets]
+        for phi in result.block(dst).phis:
+            phi.rename_incoming_block(src, middle_label)
+    return result
+
+
+def destruct_ssa(function: Function, coalesce_phi_webs: bool = True) -> Function:
+    """Return a φ-free copy of ``function``.
+
+    With ``coalesce_phi_webs=True`` (the default) every φ and its operands are
+    renamed to a single shared name (the φ web), which merges their live
+    ranges — the aggressive coalescing that makes non-SSA interference graphs
+    non-chordal in practice.  With ``False``, explicit copies are inserted on
+    each incoming edge instead (the conventional, conservative lowering).
+    """
+    result = split_critical_edges(function)
+
+    if coalesce_phi_webs:
+        _coalesce_phi_webs(result)
+        for block in result:
+            block.phis = []
+        return result
+
+    for block in result:
+        for phi in block.phis:
+            for pred_label, value in phi.incoming.items():
+                pred = result.block(pred_label)
+                copy_instruction = make_copy(phi.target, value)
+                insert_at = len(pred.instructions)
+                if pred.terminator is not None:
+                    insert_at -= 1
+                pred.instructions.insert(insert_at, copy_instruction)
+        block.phis = []
+    return result
+
+
+def coalesce_copies(function: Function) -> Function:
+    """Aggressively coalesce register-to-register copies (JIT-style).
+
+    Every ``x = copy y`` with both sides in registers merges ``x`` and ``y``
+    into one name (the union-find web keyed on the copy source's base name).
+    This models the move coalescing a JIT performs before allocation and is
+    the second mechanism — besides φ-web merging — that makes non-SSA
+    interference graphs non-chordal in practice.  The function is copied, the
+    input is left untouched.
+    """
+    result = _clone(function)
+    parent: Dict[VirtualRegister, VirtualRegister] = {}
+
+    def find(reg: VirtualRegister) -> VirtualRegister:
+        root = reg
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(reg, reg) != reg:
+            parent[reg], reg = root, parent[reg]
+        return root
+
+    def union(a: VirtualRegister, b: VirtualRegister) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    members: set = set()
+    for block in result:
+        for instruction in block.instructions:
+            if instruction.opcode is Opcode.COPY and instruction.defs:
+                source = instruction.uses[0]
+                if isinstance(source, VirtualRegister):
+                    union(instruction.defs[0], source)
+                    members.add(instruction.defs[0])
+                    members.add(source)
+
+    rename: Dict[VirtualRegister, VirtualRegister] = {}
+    for reg in members:
+        root = find(reg)
+        base = root.name.split(".")[0]
+        rename[reg] = VirtualRegister(f"{base}.cw")
+
+    for block in result:
+        for phi in block.phis:
+            phi.defs = [rename.get(reg, reg) for reg in phi.defs]
+            for label, value in list(phi.incoming.items()):
+                if isinstance(value, VirtualRegister) and value in rename:
+                    phi.incoming[label] = rename[value]
+            phi.uses = list(phi.incoming.values())
+        for instruction in block.instructions:
+            instruction.defs = [rename.get(reg, reg) for reg in instruction.defs]
+            instruction.uses = [
+                rename.get(operand, operand) if isinstance(operand, VirtualRegister) else operand
+                for operand in instruction.uses
+            ]
+    result.parameters = [rename.get(reg, reg) for reg in result.parameters]
+    return result
+
+
+def _coalesce_phi_webs(function: Function) -> None:
+    """Union φ targets with their register operands and rename the webs."""
+    parent: Dict[VirtualRegister, VirtualRegister] = {}
+
+    def find(reg: VirtualRegister) -> VirtualRegister:
+        root = reg
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(reg, reg) != reg:
+            parent[reg], reg = root, parent[reg]
+        return root
+
+    def union(a: VirtualRegister, b: VirtualRegister) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for phi in function.phi_nodes():
+        for value in phi.incoming.values():
+            if isinstance(value, VirtualRegister):
+                union(phi.target, value)
+
+    # Build a stable rename map: every member of a web maps to one name
+    # derived from the web's root.
+    rename: Dict[VirtualRegister, VirtualRegister] = {}
+    for phi in function.phi_nodes():
+        members = [phi.target] + [v for v in phi.incoming.values() if isinstance(v, VirtualRegister)]
+        for member in members:
+            root = find(member)
+            base = root.name.split(".")[0]
+            rename[member] = VirtualRegister(f"{base}.web")
+
+    for block in function:
+        for instruction in block.instructions:
+            instruction.defs = [rename.get(reg, reg) for reg in instruction.defs]
+            instruction.uses = [
+                rename.get(operand, operand) if isinstance(operand, VirtualRegister) else operand
+                for operand in instruction.uses
+            ]
+    function.parameters = [rename.get(reg, reg) for reg in function.parameters]

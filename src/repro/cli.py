@@ -1,0 +1,147 @@
+"""Command-line interface.
+
+Examples
+--------
+Allocate a textual IR file with the BFPL allocator and 8 registers::
+
+    repro-alloc allocate --input program.ir --allocator BFPL --registers 8
+
+Regenerate a figure of the paper on a reduced corpus::
+
+    repro-alloc figure figure10 --scale 0.5
+
+Inspect a generated corpus::
+
+    repro-alloc corpus --suite eembc --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.alloc import available_allocators, get_allocator
+from repro.alloc.problem import AllocationProblem
+from repro.experiments.figures import ALL_FIGURES
+from repro.graphs.io import load_graph
+from repro.ir.parser import parse_module
+from repro.targets import ALL_TARGETS, get_target
+from repro.workloads.corpus import build_corpus
+from repro.workloads.extraction import extract_chordal_problem, extract_general_problem
+from repro.workloads.suites import SUITES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """Assemble the argument parser with one sub-command per activity."""
+    parser = argparse.ArgumentParser(
+        prog="repro-alloc",
+        description="Layered register allocation (Diouf, Cohen, Rastello - CGO 2013) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    allocate = subparsers.add_parser("allocate", help="allocate a textual IR file or a graph JSON")
+    allocate.add_argument("--input", required=True, help="path to a .ir module or a graph .json")
+    allocate.add_argument("--allocator", default="BFPL", help=f"one of {available_allocators()}")
+    allocate.add_argument("--registers", type=int, default=8)
+    allocate.add_argument("--target", default="st231", help=f"one of {sorted(ALL_TARGETS)}")
+    allocate.add_argument(
+        "--pipeline",
+        choices=("ssa", "non-ssa"),
+        default="ssa",
+        help="extraction pipeline for IR inputs (ignored for graph JSON inputs)",
+    )
+
+    figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("name", choices=sorted(ALL_FIGURES), help="figure identifier")
+    figure.add_argument("--scale", type=float, default=1.0, help="corpus scale factor")
+    figure.add_argument("--seed", type=int, default=2013)
+    figure.add_argument("--max-instances", type=int, default=None)
+
+    corpus = subparsers.add_parser("corpus", help="generate and summarize a synthetic corpus")
+    corpus.add_argument("--suite", default="eembc", choices=sorted(SUITES))
+    corpus.add_argument("--seed", type=int, default=2013)
+    corpus.add_argument("--scale", type=float, default=1.0)
+
+    subparsers.add_parser("list", help="list allocators, suites and targets")
+    return parser
+
+
+def _command_allocate(args: argparse.Namespace) -> int:
+    """Run one allocator on one input file and print the outcome."""
+    target = get_target(args.target)
+    if args.input.endswith(".json"):
+        graph = load_graph(args.input)
+        problem = AllocationProblem(graph=graph, num_registers=args.registers, name=args.input)
+        problems = [problem]
+    else:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            module = parse_module(handle.read())
+        extract = extract_chordal_problem if args.pipeline == "ssa" else extract_general_problem
+        problems = [
+            extract(function, target, name=function.name).with_registers(args.registers)
+            for function in module
+        ]
+
+    allocator = get_allocator(args.allocator)
+    for problem in problems:
+        result = allocator.allocate(problem)
+        print(f"{problem.name}: |V|={len(problem.graph)} pressure={problem.max_pressure}")
+        print(f"  allocated={result.num_allocated} spilled={result.num_spilled} cost={result.spill_cost:.2f}")
+        if result.spilled:
+            print(f"  spilled variables: {', '.join(sorted(str(v) for v in result.spilled))}")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    """Regenerate a figure and print its rendered table."""
+    function = ALL_FIGURES[args.name]
+    kwargs = {"seed": args.seed, "scale": args.scale}
+    if args.max_instances is not None:
+        kwargs["max_instances"] = args.max_instances
+    result = function(**kwargs)
+    print(result.rendered)
+    return 0
+
+
+def _command_corpus(args: argparse.Namespace) -> int:
+    """Build a corpus and print a summary line per instance."""
+    corpus = build_corpus(args.suite, seed=args.seed, scale=args.scale)
+    print(f"suite={corpus.suite} target={corpus.target} seed={corpus.seed} instances={len(corpus)}")
+    for key, value in corpus.summary().items():
+        print(f"  {key}: {value}")
+    for problem in corpus:
+        chordality = "chordal" if problem.is_chordal else "general"
+        print(
+            f"  {problem.name}: |V|={len(problem.graph)} |E|={problem.graph.num_edges()} "
+            f"pressure={problem.max_pressure} ({chordality})"
+        )
+    return 0
+
+
+def _command_list() -> int:
+    """List the registered allocators, suites and targets."""
+    print("allocators:", ", ".join(available_allocators()))
+    print("suites:    ", ", ".join(sorted(SUITES)))
+    print("targets:   ", ", ".join(sorted(ALL_TARGETS)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "allocate":
+        return _command_allocate(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    if args.command == "corpus":
+        return _command_corpus(args)
+    if args.command == "list":
+        return _command_list()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller embedding the allocator in a larger compiler can catch a single base
+class.  Sub-classes are grouped by subsystem (IR, graph, allocation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed or inconsistent intermediate representation."""
+
+
+class ParseError(IRError):
+    """The textual IR could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class VerificationError(IRError):
+    """The IR verifier found a structural violation (e.g. use before def)."""
+
+
+class GraphError(ReproError):
+    """Invalid operation on a graph (unknown vertex, duplicate edge, ...)."""
+
+
+class NotChordalError(GraphError):
+    """An algorithm requiring a chordal graph was given a non-chordal one."""
+
+
+class AllocationError(ReproError):
+    """A register allocation request could not be satisfied."""
+
+
+class InvalidAllocationError(AllocationError):
+    """An allocation result violates the register constraint."""
+
+
+class SolverUnavailableError(AllocationError):
+    """The optional ILP solver backend (scipy) is not installed."""

@@ -1,0 +1,57 @@
+"""Experiment harness reproducing the paper's evaluation (Figures 8–15).
+
+The harness is organized in three layers:
+
+* :mod:`repro.experiments.runner` — run a set of allocators over a corpus for
+  a sweep of register counts, producing raw per-instance records;
+* :mod:`repro.experiments.stats` — normalization against the optimal
+  allocator, means and distribution summaries;
+* :mod:`repro.experiments.figures` — one entry point per paper figure,
+  returning structured data and rendering ASCII tables
+  (:mod:`repro.experiments.report`).
+"""
+
+from repro.experiments.runner import ExperimentConfig, InstanceRecord, run_experiment
+from repro.experiments.stats import (
+    DistributionSummary,
+    geometric_mean,
+    normalize_records,
+    summarize_distribution,
+)
+from repro.experiments.figures import (
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    inclusion_study,
+    ablation_study,
+    FigureResult,
+)
+from repro.experiments.report import render_table, render_figure
+
+__all__ = [
+    "ExperimentConfig",
+    "InstanceRecord",
+    "run_experiment",
+    "DistributionSummary",
+    "geometric_mean",
+    "normalize_records",
+    "summarize_distribution",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "inclusion_study",
+    "ablation_study",
+    "FigureResult",
+    "render_table",
+    "render_figure",
+]

@@ -1,0 +1,460 @@
+"""Per-figure reproduction entry points.
+
+Each ``figureN`` function rebuilds the corresponding corpus, runs the same
+allocators the paper compares, normalizes against the optimal allocator and
+returns a :class:`FigureResult` carrying both the structured series and a
+rendered ASCII table.  The benchmark harness (``benchmarks/``) calls these
+functions and prints the rendered text, so ``bench_output.txt`` contains the
+regenerated figures.
+
+The ``scale`` parameter shrinks the synthetic corpora (fraction of functions
+per program) so quick runs stay quick; ``scale=1.0`` is the full corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.alloc import get_allocator
+from repro.experiments.report import render_distribution_table, render_figure, render_table
+from repro.experiments.runner import ExperimentConfig, InstanceRecord, run_experiment
+from repro.experiments.stats import (
+    DistributionSummary,
+    distribution_by,
+    mean_ratio_by,
+    normalize_records,
+    per_program_means,
+)
+from repro.workloads.corpus import Corpus, build_corpus
+
+#: allocators compared in the chordal study (Figures 8-13).
+CHORDAL_ALLOCATORS = ("GC", "NL", "FPL", "BL", "BFPL", "Optimal")
+#: allocators compared in the non-chordal JVM study (Figures 14-15).
+GENERAL_ALLOCATORS = ("LS", "BLS", "GC", "LH", "Optimal")
+#: register counts of the chordal study.
+CHORDAL_REGISTER_COUNTS = (1, 2, 4, 8, 16, 32)
+#: register counts of the JVM study.
+GENERAL_REGISTER_COUNTS = (2, 4, 6, 8, 10, 12, 14, 16)
+
+
+@dataclass
+class FigureResult:
+    """Structured result of one reproduced figure."""
+
+    figure: str
+    title: str
+    #: mean normalized cost per allocator per register count (bar-chart figures)
+    #: or per program (Figure 15).
+    series: Dict[str, Dict] = field(default_factory=dict)
+    #: distribution summaries (box-plot figures 11-13), if applicable.
+    distributions: Dict[str, Dict[int, DistributionSummary]] = field(default_factory=dict)
+    #: raw per-instance records, for downstream analysis.
+    records: List[InstanceRecord] = field(default_factory=list)
+    #: number of instances whose optimum was 0 but the heuristic spilled.
+    unbounded_records: int = 0
+    rendered: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.rendered
+
+
+# ---------------------------------------------------------------------- #
+# shared machinery
+# ---------------------------------------------------------------------- #
+def _run_suite(
+    suite: str,
+    target: Optional[str],
+    allocators: Sequence[str],
+    register_counts: Sequence[int],
+    seed: int,
+    scale: float,
+    max_instances: Optional[int],
+    verify: bool,
+) -> List[InstanceRecord]:
+    """Build a corpus and run the sweep."""
+    corpus: Corpus = build_corpus(suite, target=target, seed=seed, scale=scale)
+    config = ExperimentConfig(
+        allocators=list(allocators),
+        register_counts=list(register_counts),
+        verify=verify,
+    )
+    return run_experiment(corpus, config, max_instances=max_instances)
+
+
+def _mean_cost_figure(
+    figure: str,
+    title: str,
+    suite: str,
+    target: Optional[str],
+    allocators: Sequence[str],
+    register_counts: Sequence[int],
+    seed: int,
+    scale: float,
+    max_instances: Optional[int],
+    verify: bool,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Common implementation of the mean-normalized-cost figures (8, 9, 10, 14)."""
+    if records is None:
+        records = _run_suite(suite, target, allocators, register_counts, seed, scale, max_instances, verify)
+    normalized, unbounded = normalize_records(records)
+    series = mean_ratio_by(normalized, allocators, register_counts)
+    table = render_table(series, register_counts, row_header="allocator", column_format=lambda c: f"R={c}")
+    return FigureResult(
+        figure=figure,
+        title=title,
+        series=series,
+        records=records,
+        unbounded_records=unbounded,
+        rendered=render_figure(title, table),
+    )
+
+
+def _distribution_figure(
+    figure: str,
+    title: str,
+    suite: str,
+    target: Optional[str],
+    allocators: Sequence[str],
+    register_counts: Sequence[int],
+    seed: int,
+    scale: float,
+    max_instances: Optional[int],
+    verify: bool,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Common implementation of the distribution figures (11, 12, 13)."""
+    if records is None:
+        records = _run_suite(suite, target, allocators, register_counts, seed, scale, max_instances, verify)
+    normalized, unbounded = normalize_records(records)
+    heuristics = [a for a in allocators if a.lower() != "optimal"]
+    distributions = distribution_by(normalized, heuristics, register_counts)
+    table = render_distribution_table(distributions, register_counts)
+    return FigureResult(
+        figure=figure,
+        title=title,
+        distributions=distributions,
+        records=records,
+        unbounded_records=unbounded,
+        rendered=render_figure(title, table),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# chordal study (Open64-style pipeline)
+# ---------------------------------------------------------------------- #
+def figure8(
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_counts: Sequence[int] = CHORDAL_REGISTER_COUNTS,
+    max_instances: Optional[int] = None,
+    verify: bool = True,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Figure 8: mean normalized allocation cost, SPEC CPU2000int on ST231."""
+    return _mean_cost_figure(
+        "figure8",
+        "Figure 8 - Allocation cost, SPEC CPU 2000int stand-in on ST231 (normalized to Optimal)",
+        "spec2000int",
+        "st231",
+        CHORDAL_ALLOCATORS,
+        register_counts,
+        seed,
+        scale,
+        max_instances,
+        verify,
+        records,
+    )
+
+
+def figure9(
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_counts: Sequence[int] = CHORDAL_REGISTER_COUNTS,
+    max_instances: Optional[int] = None,
+    verify: bool = True,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Figure 9: mean normalized allocation cost, EEMBC on ST231."""
+    return _mean_cost_figure(
+        "figure9",
+        "Figure 9 - Allocation cost, EEMBC stand-in on ST231 (normalized to Optimal)",
+        "eembc",
+        "st231",
+        CHORDAL_ALLOCATORS,
+        register_counts,
+        seed,
+        scale,
+        max_instances,
+        verify,
+        records,
+    )
+
+
+def figure10(
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_counts: Sequence[int] = CHORDAL_REGISTER_COUNTS,
+    max_instances: Optional[int] = None,
+    verify: bool = True,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Figure 10: mean normalized allocation cost, lao-kernels on ARMv7."""
+    return _mean_cost_figure(
+        "figure10",
+        "Figure 10 - Allocation cost, lao-kernels stand-in on ARMv7 (normalized to Optimal)",
+        "lao_kernels",
+        "armv7-a8",
+        CHORDAL_ALLOCATORS,
+        register_counts,
+        seed,
+        scale,
+        max_instances,
+        verify,
+        records,
+    )
+
+
+def figure11(
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_counts: Sequence[int] = CHORDAL_REGISTER_COUNTS,
+    max_instances: Optional[int] = None,
+    verify: bool = True,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Figure 11: distribution of normalized costs over SPEC CPU2000int programs."""
+    return _distribution_figure(
+        "figure11",
+        "Figure 11 - Distribution of normalized costs, SPEC CPU 2000int stand-in on ST231",
+        "spec2000int",
+        "st231",
+        CHORDAL_ALLOCATORS,
+        register_counts,
+        seed,
+        scale,
+        max_instances,
+        verify,
+        records,
+    )
+
+
+def figure12(
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_counts: Sequence[int] = CHORDAL_REGISTER_COUNTS,
+    max_instances: Optional[int] = None,
+    verify: bool = True,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Figure 12: distribution of normalized costs over EEMBC programs."""
+    return _distribution_figure(
+        "figure12",
+        "Figure 12 - Distribution of normalized costs, EEMBC stand-in on ST231",
+        "eembc",
+        "st231",
+        CHORDAL_ALLOCATORS,
+        register_counts,
+        seed,
+        scale,
+        max_instances,
+        verify,
+        records,
+    )
+
+
+def figure13(
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_counts: Sequence[int] = CHORDAL_REGISTER_COUNTS,
+    max_instances: Optional[int] = None,
+    verify: bool = True,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Figure 13: distribution of normalized costs over lao-kernels programs."""
+    return _distribution_figure(
+        "figure13",
+        "Figure 13 - Distribution of normalized costs, lao-kernels stand-in on ARMv7",
+        "lao_kernels",
+        "armv7-a8",
+        CHORDAL_ALLOCATORS,
+        register_counts,
+        seed,
+        scale,
+        max_instances,
+        verify,
+        records,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# non-chordal study (JikesRVM-style pipeline)
+# ---------------------------------------------------------------------- #
+def figure14(
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_counts: Sequence[int] = GENERAL_REGISTER_COUNTS,
+    max_instances: Optional[int] = None,
+    verify: bool = True,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Figure 14: mean normalized cost on SPEC JVM98 stand-in, R from 2 to 16."""
+    return _mean_cost_figure(
+        "figure14",
+        "Figure 14 - Layered heuristic vs baselines, SPEC JVM98 stand-in (normalized to Optimal)",
+        "specjvm98",
+        "jikesrvm-ia32",
+        GENERAL_ALLOCATORS,
+        register_counts,
+        seed,
+        scale,
+        max_instances,
+        verify,
+        records,
+    )
+
+
+def figure15(
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_count: int = 6,
+    max_instances: Optional[int] = None,
+    verify: bool = True,
+    records: Optional[List[InstanceRecord]] = None,
+) -> FigureResult:
+    """Figure 15: per-benchmark normalized cost at 6 registers (JVM study)."""
+    if records is None:
+        records = _run_suite(
+            "specjvm98",
+            "jikesrvm-ia32",
+            GENERAL_ALLOCATORS,
+            (register_count,),
+            seed,
+            scale,
+            max_instances,
+            verify,
+        )
+    normalized, unbounded = normalize_records(records)
+    table_data = per_program_means(normalized, list(GENERAL_ALLOCATORS), register_count)
+    title = f"Figure 15 - Per-benchmark normalized cost at R={register_count}, SPEC JVM98 stand-in"
+    table = render_table(table_data, list(GENERAL_ALLOCATORS), row_header="benchmark")
+    return FigureResult(
+        figure="figure15",
+        title=title,
+        series=table_data,
+        records=records,
+        unbounded_records=unbounded,
+        rendered=render_figure(title, table),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# companion studies
+# ---------------------------------------------------------------------- #
+def inclusion_study(
+    suite: str = "lao_kernels",
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_counts: Optional[Sequence[int]] = None,
+    max_instances: Optional[int] = None,
+) -> FigureResult:
+    """Section 2.3: how often optimal spill sets are monotone in R.
+
+    For every instance and every consecutive pair of register counts (by
+    default every ``R`` from 1 up to the instance's MaxLive), check whether
+    the optimal spill set at the larger count is included in the optimal
+    spill set at the smaller count.  The paper reports 99.83% inclusion on
+    SPEC JVM98.
+
+    Exact optima are not unique, so ties are broken deterministically by
+    perturbing each vertex weight with a tiny per-vertex epsilon (the same
+    across register counts); without this the measured rate reflects solver
+    tie-breaking noise rather than the structural property.
+    """
+    from repro.alloc.problem import AllocationProblem
+
+    corpus = build_corpus(suite, seed=seed, scale=scale)
+    optimal = get_allocator("Optimal")
+    total = 0
+    held = 0
+    per_instance: Dict[str, Dict[str, float]] = {}
+    problems = corpus.problems[:max_instances] if max_instances else corpus.problems
+    for problem in problems:
+        # Deterministic tie-breaking: add rank * epsilon to each weight.
+        perturbed_graph = problem.graph.copy()
+        epsilon = 1e-6 * max(1.0, min((w for w in perturbed_graph.weights().values() if w > 0), default=1.0))
+        for rank, vertex in enumerate(sorted(perturbed_graph.vertices(), key=str)):
+            perturbed_graph.set_weight(vertex, perturbed_graph.weight(vertex) + rank * epsilon)
+        perturbed = AllocationProblem(graph=perturbed_graph, num_registers=1, name=problem.name)
+
+        if register_counts is None:
+            counts = list(range(1, perturbed.max_pressure + 1))
+        else:
+            counts = sorted(register_counts)
+        spills_by_count = {}
+        for register_count in counts:
+            result = optimal.allocate(perturbed.with_registers(register_count))
+            spills_by_count[register_count] = set(result.spilled)
+        inclusion_flags = []
+        for smaller, larger in zip(counts, counts[1:]):
+            total += 1
+            ok = spills_by_count[larger] <= spills_by_count[smaller]
+            held += ok
+            inclusion_flags.append(ok)
+        per_instance[problem.name] = {
+            "pairs": len(inclusion_flags),
+            "held": sum(inclusion_flags),
+        }
+    rate = held / total if total else 1.0
+    series = {"inclusion": {"rate": rate, "pairs": total, "held": held}}
+    rendered = render_figure(
+        "Section 2.3 - Optimal spill-set inclusion study",
+        f"inclusion rate: {rate:.4f} ({held}/{total} consecutive register-count pairs)\n"
+        f"suite: {suite}, instances: {len(problems)}",
+    )
+    return FigureResult(
+        figure="inclusion_study",
+        title="Spill-set inclusion when varying the register count",
+        series={"summary": series["inclusion"], "per_instance": per_instance},
+        rendered=rendered,
+    )
+
+
+def ablation_study(
+    suite: str = "eembc",
+    seed: int = 2013,
+    scale: float = 1.0,
+    register_counts: Sequence[int] = (2, 4, 8, 16),
+    max_instances: Optional[int] = None,
+    verify: bool = True,
+) -> FigureResult:
+    """Ablation of the two improvements (bias, fixed point) over plain NL."""
+    allocators = ("NL", "BL", "FPL", "BFPL", "Optimal")
+    records = _run_suite(suite, None, allocators, register_counts, seed, scale, max_instances, verify)
+    normalized, unbounded = normalize_records(records)
+    series = mean_ratio_by(normalized, allocators, register_counts)
+    table = render_table(series, register_counts, row_header="allocator", column_format=lambda c: f"R={c}")
+    title = f"Ablation - contribution of biasing and fixed-point iteration ({suite} stand-in)"
+    return FigureResult(
+        figure="ablation",
+        title=title,
+        series=series,
+        records=records,
+        unbounded_records=unbounded,
+        rendered=render_figure(title, table),
+    )
+
+
+ALL_FIGURES = {
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "figure15": figure15,
+    "inclusion": inclusion_study,
+    "ablation": ablation_study,
+}

@@ -1,0 +1,75 @@
+"""ASCII rendering of experiment results.
+
+The benchmarks print these tables so the regenerated figures can be read off
+the console / ``bench_output.txt`` directly; the values are the same series
+the paper plots as bar charts (Figures 8-10, 14-15) and box plots (11-13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.experiments.stats import DistributionSummary
+
+
+def _format_cell(value: float, width: int = 8) -> str:
+    """Format a numeric cell (NaN prints as '-')."""
+    if value != value:  # NaN
+        return "-".rjust(width)
+    return f"{value:.3f}".rjust(width)
+
+
+def render_table(
+    rows: Mapping[str, Mapping],
+    columns: Sequence,
+    row_header: str = "allocator",
+    column_format=str,
+) -> str:
+    """Render a nested mapping ``rows[row][column] -> value`` as a table."""
+    column_labels = [column_format(c) for c in columns]
+    width = max([len(row_header)] + [len(str(r)) for r in rows])
+    header = str(row_header).ljust(width) + " | " + " ".join(label.rjust(8) for label in column_labels)
+    separator = "-" * len(header)
+    lines = [header, separator]
+    for row_name, row in rows.items():
+        cells = " ".join(_format_cell(row.get(column, float("nan"))) for column in columns)
+        lines.append(str(row_name).ljust(width) + " | " + cells)
+    return "\n".join(lines)
+
+
+def render_distribution_table(
+    table: Mapping[str, Mapping[int, DistributionSummary]],
+    register_counts: Sequence[int],
+) -> str:
+    """Render distribution summaries as ``median [p25, p75] (max)`` cells."""
+    width = max(len("allocator"), max((len(str(a)) for a in table), default=0))
+    header = (
+        "allocator".ljust(width)
+        + " | "
+        + " ".join(f"{count:>24}" for count in register_counts)
+    )
+    lines = [header, "-" * len(header)]
+    for allocator, by_count in table.items():
+        cells = []
+        for count in register_counts:
+            summary = by_count.get(count)
+            if summary is None or summary.count == 0:
+                cells.append("-".rjust(24))
+            else:
+                cells.append(
+                    f"{summary.median:.2f} [{summary.p25:.2f},{summary.p75:.2f}] <{summary.maximum:.2f}".rjust(24)
+                )
+        lines.append(str(allocator).ljust(width) + " | " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_figure(title: str, body: str) -> str:
+    """Wrap a rendered table with a titled banner."""
+    banner = "=" * max(len(title), 20)
+    return f"{banner}\n{title}\n{banner}\n{body}\n"
+
+
+def render_key_values(values: Dict[str, float]) -> str:
+    """Render a flat mapping of named scalars."""
+    width = max((len(k) for k in values), default=0)
+    return "\n".join(f"{key.ljust(width)} : {value}" for key, value in values.items())

@@ -1,0 +1,116 @@
+"""Run allocators over corpora of allocation problems."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.alloc import get_allocator
+from repro.alloc.problem import AllocationProblem
+from repro.alloc.result import AllocationResult
+from repro.alloc.verify import check_allocation
+from repro.workloads.corpus import Corpus
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of one experiment sweep."""
+
+    #: allocator registry names to compare.
+    allocators: Sequence[str]
+    #: register counts to sweep.
+    register_counts: Sequence[int]
+    #: validate every allocation result (slower but catches allocator bugs).
+    verify: bool = True
+    #: drop instances whose register pressure never exceeds the largest
+    #: register count (they need no spilling and only add noise).
+    skip_trivial: bool = False
+
+
+@dataclass
+class InstanceRecord:
+    """Raw result of one allocator on one instance at one register count."""
+
+    instance: str
+    program: str
+    allocator: str
+    num_registers: int
+    spill_cost: float
+    num_spilled: int
+    num_variables: int
+    max_pressure: int
+    runtime_seconds: float
+    stats: Dict = field(default_factory=dict)
+
+
+def run_instance(
+    problem: AllocationProblem,
+    allocator_names: Sequence[str],
+    register_counts: Sequence[int],
+    program: str = "",
+    verify: bool = True,
+) -> List[InstanceRecord]:
+    """Run every allocator at every register count on one problem."""
+    records: List[InstanceRecord] = []
+    for register_count in register_counts:
+        instance = problem.with_registers(register_count)
+        for allocator_name in allocator_names:
+            allocator = get_allocator(allocator_name)
+            start = time.perf_counter()
+            result: AllocationResult = allocator.allocate(instance)
+            elapsed = time.perf_counter() - start
+            if verify:
+                check_allocation(instance, result, strict=False)
+            records.append(
+                InstanceRecord(
+                    instance=problem.name,
+                    program=program,
+                    allocator=allocator_name,
+                    num_registers=register_count,
+                    spill_cost=result.spill_cost,
+                    num_spilled=result.num_spilled,
+                    num_variables=len(problem.graph),
+                    max_pressure=problem.max_pressure,
+                    runtime_seconds=elapsed,
+                    stats=dict(result.stats),
+                )
+            )
+    return records
+
+
+def run_experiment(
+    corpus: Corpus | Iterable[AllocationProblem],
+    config: ExperimentConfig,
+    max_instances: Optional[int] = None,
+) -> List[InstanceRecord]:
+    """Run the configured sweep over a corpus and return raw records.
+
+    ``max_instances`` truncates the corpus, which the quick benchmarks use to
+    bound their runtime; the full figures run the whole corpus.
+    """
+    if isinstance(corpus, Corpus):
+        problems = list(corpus.problems)
+        program_of = dict(corpus.program_of)
+    else:
+        problems = list(corpus)
+        program_of = {index: problem.name for index, problem in enumerate(problems)}
+
+    records: List[InstanceRecord] = []
+    count = 0
+    for index, problem in enumerate(problems):
+        if max_instances is not None and count >= max_instances:
+            break
+        if config.skip_trivial and problem.max_pressure <= min(config.register_counts):
+            continue
+        records.extend(
+            run_instance(
+                problem,
+                config.allocators,
+                config.register_counts,
+                program=program_of.get(index, problem.name),
+                verify=config.verify,
+            )
+        )
+        count += 1
+    return records

@@ -1,0 +1,190 @@
+"""Normalization and distribution statistics for experiment records.
+
+Every figure of the paper reports allocation costs *normalized to the optimal
+allocation* of the same instance.  Instances where the optimum is zero (no
+spilling required, or required only by the heuristic) need care:
+
+* optimum 0 and heuristic 0 → ratio 1 (both perfect);
+* optimum 0 and heuristic > 0 → the ratio is unbounded; such records are
+  counted separately (``unbounded``) and excluded from the means, mirroring
+  how per-method geometric means are usually reported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.experiments.runner import InstanceRecord
+
+
+@dataclass(frozen=True)
+class NormalizedRecord:
+    """One allocator/instance/register-count record normalized to optimal."""
+
+    instance: str
+    program: str
+    allocator: str
+    num_registers: int
+    spill_cost: float
+    optimal_cost: float
+    ratio: float
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary of a distribution of normalized costs (one box of Figs 11-13)."""
+
+    count: int
+    mean: float
+    geomean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 for an empty sequence)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of an already sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def normalize_records(
+    records: Iterable[InstanceRecord], optimal_name: str = "Optimal"
+) -> Tuple[List[NormalizedRecord], int]:
+    """Normalize every record against the optimal record of its instance.
+
+    Returns the normalized records and the number of *unbounded* records
+    (heuristic spilled although the optimum did not), which are excluded.
+    """
+    records = list(records)
+    optimal_cost: Dict[Tuple[str, int], float] = {}
+    for record in records:
+        if record.allocator.lower() == optimal_name.lower():
+            optimal_cost[(record.instance, record.num_registers)] = record.spill_cost
+
+    normalized: List[NormalizedRecord] = []
+    unbounded = 0
+    for record in records:
+        key = (record.instance, record.num_registers)
+        if key not in optimal_cost:
+            continue
+        optimum = optimal_cost[key]
+        if optimum > 0:
+            ratio = record.spill_cost / optimum
+        elif record.spill_cost == 0:
+            ratio = 1.0
+        else:
+            unbounded += 1
+            continue
+        normalized.append(
+            NormalizedRecord(
+                instance=record.instance,
+                program=record.program,
+                allocator=record.allocator,
+                num_registers=record.num_registers,
+                spill_cost=record.spill_cost,
+                optimal_cost=optimum,
+                ratio=ratio,
+            )
+        )
+    return normalized, unbounded
+
+
+def mean_ratio_by(
+    normalized: Iterable[NormalizedRecord],
+    allocators: Sequence[str],
+    register_counts: Sequence[int],
+) -> Dict[str, Dict[int, float]]:
+    """Mean normalized cost per allocator per register count (Figs 8-10, 14)."""
+    buckets: Dict[Tuple[str, int], List[float]] = {}
+    for record in normalized:
+        buckets.setdefault((record.allocator, record.num_registers), []).append(record.ratio)
+    table: Dict[str, Dict[int, float]] = {}
+    for allocator in allocators:
+        table[allocator] = {}
+        for register_count in register_counts:
+            values = buckets.get((allocator, register_count), [])
+            table[allocator][register_count] = sum(values) / len(values) if values else float("nan")
+    return table
+
+
+def summarize_distribution(values: Sequence[float]) -> DistributionSummary:
+    """Summarize a distribution of normalized costs."""
+    ordered = sorted(values)
+    if not ordered:
+        return DistributionSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return DistributionSummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        geomean=geometric_mean(ordered),
+        minimum=ordered[0],
+        p25=percentile(ordered, 0.25),
+        median=percentile(ordered, 0.50),
+        p75=percentile(ordered, 0.75),
+        p95=percentile(ordered, 0.95),
+        maximum=ordered[-1],
+    )
+
+
+def distribution_by(
+    normalized: Iterable[NormalizedRecord],
+    allocators: Sequence[str],
+    register_counts: Sequence[int],
+) -> Dict[str, Dict[int, DistributionSummary]]:
+    """Distribution summaries per allocator per register count (Figs 11-13)."""
+    buckets: Dict[Tuple[str, int], List[float]] = {}
+    for record in normalized:
+        buckets.setdefault((record.allocator, record.num_registers), []).append(record.ratio)
+    table: Dict[str, Dict[int, DistributionSummary]] = {}
+    for allocator in allocators:
+        table[allocator] = {}
+        for register_count in register_counts:
+            table[allocator][register_count] = summarize_distribution(
+                buckets.get((allocator, register_count), [])
+            )
+    return table
+
+
+def per_program_means(
+    normalized: Iterable[NormalizedRecord],
+    allocators: Sequence[str],
+    register_count: int,
+) -> Dict[str, Dict[str, float]]:
+    """Mean normalized cost per benchmark program at one register count (Fig 15)."""
+    buckets: Dict[Tuple[str, str], List[float]] = {}
+    programs: List[str] = []
+    for record in normalized:
+        if record.num_registers != register_count:
+            continue
+        if record.program not in programs:
+            programs.append(record.program)
+        buckets.setdefault((record.program, record.allocator), []).append(record.ratio)
+    table: Dict[str, Dict[str, float]] = {}
+    for program in programs:
+        table[program] = {}
+        for allocator in allocators:
+            values = buckets.get((program, allocator), [])
+            table[program][allocator] = sum(values) / len(values) if values else float("nan")
+    return table

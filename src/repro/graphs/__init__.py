@@ -1,0 +1,73 @@
+"""Weighted undirected graphs and chordal-graph algorithms.
+
+This subpackage is the graph substrate the allocators operate on.  It
+provides:
+
+* :class:`~repro.graphs.graph.Graph` — a small, dependency-free weighted
+  undirected graph with adjacency sets;
+* chordality machinery — maximum cardinality search, lexicographic BFS,
+  perfect elimination orders and a chordality test
+  (:mod:`repro.graphs.chordal`);
+* maximal clique enumeration for chordal and general graphs
+  (:mod:`repro.graphs.cliques`);
+* Frank's linear-time maximum weighted stable set algorithm for chordal
+  graphs, plus a greedy approximation and a brute-force reference
+  (:mod:`repro.graphs.stable_set`);
+* greedy colorings (:mod:`repro.graphs.coloring`);
+* random graph generators used by the synthetic workloads
+  (:mod:`repro.graphs.generators`);
+* JSON (de)serialization of weighted graphs (:mod:`repro.graphs.io`).
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.chordal import (
+    is_chordal,
+    is_perfect_elimination_order,
+    maximum_cardinality_search,
+    lex_bfs,
+    perfect_elimination_order,
+)
+from repro.graphs.cliques import (
+    maximal_cliques,
+    maximal_cliques_chordal,
+    maximal_cliques_general,
+    maximum_clique_size,
+)
+from repro.graphs.stable_set import (
+    maximum_weighted_stable_set,
+    greedy_weighted_stable_set,
+    brute_force_max_weight_stable_set,
+    is_stable_set,
+)
+from repro.graphs.coloring import (
+    greedy_coloring,
+    chordal_coloring,
+    chromatic_number_chordal,
+    is_valid_coloring,
+)
+from repro.graphs.io import graph_to_dict, graph_from_dict, dump_graph, load_graph
+
+__all__ = [
+    "Graph",
+    "is_chordal",
+    "is_perfect_elimination_order",
+    "maximum_cardinality_search",
+    "lex_bfs",
+    "perfect_elimination_order",
+    "maximal_cliques",
+    "maximal_cliques_chordal",
+    "maximal_cliques_general",
+    "maximum_clique_size",
+    "maximum_weighted_stable_set",
+    "greedy_weighted_stable_set",
+    "brute_force_max_weight_stable_set",
+    "is_stable_set",
+    "greedy_coloring",
+    "chordal_coloring",
+    "chromatic_number_chordal",
+    "is_valid_coloring",
+    "graph_to_dict",
+    "graph_from_dict",
+    "dump_graph",
+    "load_graph",
+]

@@ -1,0 +1,187 @@
+"""Random graph generators.
+
+The synthetic workloads (see :mod:`repro.workloads`) derive interference
+graphs from generated *programs*, which is the faithful path.  The generators
+in this module produce weighted graphs directly and are used by:
+
+* the property-based tests (random chordal / general graphs of known
+  structure);
+* micro-benchmarks that need graphs of a controlled size and density without
+  paying the program-generation cost.
+
+All generators take a :class:`random.Random` instance (or a seed) so every
+experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.graphs.graph import Graph, Vertex
+
+RandomLike = Union[random.Random, int, None]
+
+
+def _rng(seed_or_rng: RandomLike) -> random.Random:
+    """Normalize a seed / Random / None into a Random instance."""
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def _vertex_names(n: int, prefix: str = "v") -> List[str]:
+    """Generate ``n`` stable vertex names: v0, v1, ..."""
+    return [f"{prefix}{i}" for i in range(n)]
+
+
+def random_weights(
+    names: Sequence[Vertex],
+    rng: RandomLike = None,
+    low: float = 1.0,
+    high: float = 100.0,
+    loop_bias: float = 0.3,
+) -> Dict[Vertex, float]:
+    """Draw spill-cost weights with a loop-nest-like skew.
+
+    A fraction ``loop_bias`` of the variables get their weight multiplied by
+    10 or 100, mimicking accesses inside nested loops, which is the shape of
+    real frequency-based spill costs.
+    """
+    r = _rng(rng)
+    weights: Dict[Vertex, float] = {}
+    for v in names:
+        w = r.uniform(low, high)
+        if r.random() < loop_bias:
+            w *= 10.0 ** r.randint(1, 2)
+        weights[v] = round(w, 3)
+    return weights
+
+
+def random_interval_graph(
+    n: int,
+    rng: RandomLike = None,
+    max_length: int = 20,
+    span: Optional[int] = None,
+    weights: Optional[Dict[Vertex, float]] = None,
+) -> Tuple[Graph, Dict[Vertex, Tuple[int, int]]]:
+    """Generate a random interval graph (always chordal).
+
+    Interval graphs model liveness within a single basic block: each variable
+    is an interval ``[start, end)`` on the instruction axis and two variables
+    interfere iff their intervals overlap.  Returns the graph and the interval
+    map so callers (e.g. the linear-scan tests) can reuse the intervals.
+    """
+    r = _rng(rng)
+    span = span if span is not None else max(4, n * 3)
+    names = _vertex_names(n)
+    intervals: Dict[Vertex, Tuple[int, int]] = {}
+    for v in names:
+        start = r.randint(0, span - 1)
+        end = min(span, start + 1 + r.randint(0, max_length - 1))
+        intervals[v] = (start, end)
+    graph = Graph()
+    if weights is None:
+        weights = random_weights(names, r)
+    for v in names:
+        graph.add_vertex(v, weights[v])
+    for i, u in enumerate(names):
+        su, eu = intervals[u]
+        for v in names[i + 1 :]:
+            sv, ev = intervals[v]
+            if su < ev and sv < eu:
+                graph.add_edge(u, v)
+    return graph, intervals
+
+
+def random_chordal_graph(
+    n: int,
+    rng: RandomLike = None,
+    extra_edge_prob: float = 0.3,
+    weights: Optional[Dict[Vertex, float]] = None,
+) -> Graph:
+    """Generate a random chordal graph by incremental simplicial insertion.
+
+    Each new vertex is connected to a random clique of the existing graph,
+    which preserves chordality by construction (the new vertex is simplicial
+    at insertion time).  ``extra_edge_prob`` controls the expected size of the
+    clique the new vertex attaches to and hence the density.
+    """
+    r = _rng(rng)
+    names = _vertex_names(n)
+    if weights is None:
+        weights = random_weights(names, r)
+    graph = Graph()
+    cliques: List[List[Vertex]] = []
+    for v in names:
+        graph.add_vertex(v, weights[v])
+        if cliques and r.random() < 0.9:
+            base = list(r.choice(cliques))
+            keep = [u for u in base if r.random() < max(extra_edge_prob, 1.0 / max(len(base), 1))]
+            if not keep and base:
+                keep = [r.choice(base)]
+            for u in keep:
+                graph.add_edge(v, u)
+            cliques.append(keep + [v])
+        else:
+            cliques.append([v])
+    return graph
+
+
+def random_general_graph(
+    n: int,
+    rng: RandomLike = None,
+    edge_prob: float = 0.15,
+    weights: Optional[Dict[Vertex, float]] = None,
+) -> Graph:
+    """Generate an Erdős–Rényi ``G(n, p)`` graph with spill-cost weights.
+
+    Such graphs are typically non-chordal for moderate ``p`` and stand in for
+    the interference graphs of non-SSA programs.
+    """
+    r = _rng(rng)
+    names = _vertex_names(n)
+    if weights is None:
+        weights = random_weights(names, r)
+    graph = Graph()
+    for v in names:
+        graph.add_vertex(v, weights[v])
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            if r.random() < edge_prob:
+                graph.add_edge(u, v)
+    return graph
+
+
+def cycle_graph(n: int, weights: Optional[Dict[Vertex, float]] = None) -> Graph:
+    """Build the cycle ``C_n`` — the canonical non-chordal graph for n ≥ 4."""
+    names = _vertex_names(n)
+    graph = Graph()
+    for v in names:
+        graph.add_vertex(v, (weights or {}).get(v, 1.0))
+    for i in range(n):
+        graph.add_edge(names[i], names[(i + 1) % n])
+    return graph
+
+
+def complete_graph(n: int, weights: Optional[Dict[Vertex, float]] = None) -> Graph:
+    """Build the complete graph ``K_n`` (maximal register pressure everywhere)."""
+    names = _vertex_names(n)
+    graph = Graph()
+    for v in names:
+        graph.add_vertex(v, (weights or {}).get(v, 1.0))
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            graph.add_edge(u, v)
+    return graph
+
+
+def path_graph(n: int, weights: Optional[Dict[Vertex, float]] = None) -> Graph:
+    """Build the path ``P_n`` (a tree, hence chordal and 2-colorable)."""
+    names = _vertex_names(n)
+    graph = Graph()
+    for v in names:
+        graph.add_vertex(v, (weights or {}).get(v, 1.0))
+    for i in range(n - 1):
+        graph.add_edge(names[i], names[i + 1])
+    return graph

@@ -1,0 +1,60 @@
+"""Serialization of weighted interference graphs.
+
+The paper's prototype operated on interference graphs *extracted* from Open64
+and JikesRVM and stored on disk.  This module defines the equivalent exchange
+format for this reproduction: a small JSON document with vertices, weights and
+edges, so corpora of extracted graphs can be cached and shared between the
+experiment harness and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph, name: str | None = None) -> Dict[str, Any]:
+    """Convert ``graph`` to a JSON-serializable dictionary."""
+    return {
+        "format": "repro-interference-graph",
+        "version": FORMAT_VERSION,
+        "name": name,
+        "vertices": [{"id": str(v), "weight": graph.weight(v)} for v in graph.vertices()],
+        "edges": [[str(u), str(v)] for u, v in graph.edges()],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Reconstruct a :class:`Graph` from :func:`graph_to_dict` output."""
+    if data.get("format") != "repro-interference-graph":
+        raise GraphError("not a repro interference graph document")
+    if data.get("version") != FORMAT_VERSION:
+        raise GraphError(f"unsupported format version {data.get('version')!r}")
+    graph = Graph()
+    for entry in data.get("vertices", []):
+        graph.add_vertex(entry["id"], float(entry.get("weight", 1.0)))
+    for u, v in data.get("edges", []):
+        if u not in graph or v not in graph:
+            raise GraphError(f"edge ({u!r}, {v!r}) references unknown vertex")
+        graph.add_edge(u, v)
+    return graph
+
+
+def dump_graph(graph: Graph, path: Union[str, Path], name: str | None = None) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph, name=name), handle, indent=2, sort_keys=False)
+
+
+def load_graph(path: Union[str, Path]) -> Graph:
+    """Load a graph previously written with :func:`dump_graph`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return graph_from_dict(json.load(handle))

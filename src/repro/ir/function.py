@@ -1,0 +1,130 @@
+"""Functions: a CFG of basic blocks plus parameters."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.errors import IRError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.values import VirtualRegister
+
+
+class Function:
+    """A function: named, with parameters and an entry block.
+
+    Blocks are kept in insertion order; the first inserted block is the entry
+    unless :attr:`entry_label` is set explicitly.  Predecessor/successor
+    relations are derived from terminators on demand (see
+    :mod:`repro.analysis.cfg` for cached views).
+    """
+
+    def __init__(self, name: str, parameters: Optional[List[VirtualRegister]] = None) -> None:
+        self.name = name
+        self.parameters: List[VirtualRegister] = list(parameters or [])
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.entry_label: Optional[str] = None
+        self._fresh_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # block management
+    # ------------------------------------------------------------------ #
+    def add_block(self, label: str) -> BasicBlock:
+        """Create and register a new basic block with the given label."""
+        if label in self.blocks:
+            raise IRError(f"duplicate block label {label!r} in function {self.name!r}")
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        if self.entry_label is None:
+            self.entry_label = label
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        """Return the block with ``label``."""
+        try:
+            return self.blocks[label]
+        except KeyError:
+            raise IRError(f"unknown block {label!r} in function {self.name!r}") from None
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block."""
+        if self.entry_label is None:
+            raise IRError(f"function {self.name!r} has no blocks")
+        return self.blocks[self.entry_label]
+
+    def block_labels(self) -> List[str]:
+        """Labels in insertion order."""
+        return list(self.blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    # ------------------------------------------------------------------ #
+    # CFG edges (derived)
+    # ------------------------------------------------------------------ #
+    def successors(self, label: str) -> List[str]:
+        """Successor labels of ``label``."""
+        return self.block(label).successors()
+
+    def predecessors(self, label: str) -> List[str]:
+        """Predecessor labels of ``label`` (derived scan; O(blocks))."""
+        self.block(label)
+        return [b.label for b in self if label in b.successors()]
+
+    # ------------------------------------------------------------------ #
+    # values
+    # ------------------------------------------------------------------ #
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate all instructions of the function, block by block."""
+        for block in self:
+            yield from block.all_instructions()
+
+    def virtual_registers(self) -> List[VirtualRegister]:
+        """Return every register defined or used, in first-occurrence order."""
+        seen: Set[VirtualRegister] = set()
+        ordered: List[VirtualRegister] = []
+
+        def note(reg: VirtualRegister) -> None:
+            if reg not in seen:
+                seen.add(reg)
+                ordered.append(reg)
+
+        for param in self.parameters:
+            note(param)
+        for instruction in self.instructions():
+            for reg in instruction.defined_registers():
+                note(reg)
+            for reg in instruction.used_registers():
+                note(reg)
+        return ordered
+
+    def defined_registers(self) -> Set[VirtualRegister]:
+        """Return the set of registers with at least one definition (or parameter)."""
+        defined: Set[VirtualRegister] = set(self.parameters)
+        for instruction in self.instructions():
+            defined.update(instruction.defined_registers())
+        return defined
+
+    def fresh_register(self, hint: str = "t") -> VirtualRegister:
+        """Create a register name not used anywhere in the function."""
+        existing = {reg.name for reg in self.virtual_registers()}
+        while True:
+            name = f"{hint}{self._fresh_counter}"
+            self._fresh_counter += 1
+            if name not in existing:
+                return VirtualRegister(name)
+
+    def phi_nodes(self) -> List[Phi]:
+        """Return all φ-functions of the function."""
+        return [phi for block in self for phi in block.phis]
+
+    def num_instructions(self) -> int:
+        """Total instruction count (φs included)."""
+        return sum(len(block) for block in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Function({self.name!r}, {len(self)} blocks, {self.num_instructions()} instructions)"

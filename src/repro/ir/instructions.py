@@ -1,0 +1,218 @@
+"""Instructions of the mini IR.
+
+An :class:`Instruction` is a generic three-address operation with a list of
+*defined* registers and a list of *used* operands.  φ-functions get their own
+class because liveness and SSA construction treat their uses specially (a use
+in a φ happens at the end of the corresponding predecessor block).
+
+Only the properties relevant to register allocation are modelled: which
+registers are defined and used, whether the instruction terminates a block,
+and which blocks a terminator may branch to.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.values import Constant, Value, VirtualRegister
+
+
+class Opcode(str, Enum):
+    """Operation kinds understood by the IR.
+
+    The arithmetic opcodes are interchangeable for allocation purposes; they
+    exist so generated programs and the textual syntax read naturally.
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMP = "cmp"
+    NEG = "neg"
+    NOT = "not"
+    COPY = "copy"
+    LOAD = "load"
+    STORE = "store"
+    CALL = "call"
+    PHI = "phi"
+    BR = "br"
+    CBR = "cbr"
+    RET = "ret"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+TERMINATOR_OPCODES = frozenset({Opcode.BR, Opcode.CBR, Opcode.RET})
+BINARY_OPCODES = frozenset(
+    {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.AND, Opcode.OR,
+     Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.CMP}
+)
+UNARY_OPCODES = frozenset({Opcode.NEG, Opcode.NOT, Opcode.COPY})
+
+
+class Instruction:
+    """A generic IR instruction.
+
+    Parameters
+    ----------
+    opcode:
+        The operation kind.
+    defs:
+        Registers defined (written) by the instruction — at most one in the
+        current IR, but kept as a list for generality (e.g. calls with
+        multiple results).
+    uses:
+        Operands read by the instruction: registers or constants.
+    targets:
+        For terminators, the labels of possible successor blocks.
+    """
+
+    __slots__ = ("opcode", "defs", "uses", "targets")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        defs: Sequence[VirtualRegister] = (),
+        uses: Sequence[Value] = (),
+        targets: Sequence[str] = (),
+    ) -> None:
+        self.opcode = opcode
+        self.defs: List[VirtualRegister] = list(defs)
+        self.uses: List[Value] = list(uses)
+        self.targets: List[str] = list(targets)
+        if self.opcode in TERMINATOR_OPCODES and self.defs:
+            raise IRError(f"terminator {opcode} cannot define a register")
+        if self.opcode not in TERMINATOR_OPCODES and self.targets:
+            raise IRError(f"non-terminator {opcode} cannot have branch targets")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_terminator(self) -> bool:
+        """Whether the instruction ends a basic block."""
+        return self.opcode in TERMINATOR_OPCODES
+
+    def used_registers(self) -> List[VirtualRegister]:
+        """Return the virtual registers read by this instruction."""
+        return [u for u in self.uses if isinstance(u, VirtualRegister)]
+
+    def defined_registers(self) -> List[VirtualRegister]:
+        """Return the virtual registers written by this instruction."""
+        return list(self.defs)
+
+    def replace_use(self, old: VirtualRegister, new: Value) -> None:
+        """Substitute every use of ``old`` by ``new`` (used by SSA renaming)."""
+        self.uses = [new if u == old else u for u in self.uses]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.ir.printer import format_instruction
+
+        return f"<{format_instruction(self)}>"
+
+
+class Phi(Instruction):
+    """A φ-function ``d = phi [v1, pred1], [v2, pred2], ...``.
+
+    ``incoming`` maps predecessor block labels to the value flowing in from
+    that edge.  The ``uses`` list mirrors the incoming values so generic code
+    that walks ``instruction.uses`` keeps working, but liveness treats them as
+    uses on the predecessor edge (standard SSA semantics).
+    """
+
+    __slots__ = ("incoming",)
+
+    def __init__(self, target: VirtualRegister, incoming: Optional[Dict[str, Value]] = None) -> None:
+        incoming = dict(incoming or {})
+        super().__init__(Opcode.PHI, defs=[target], uses=list(incoming.values()))
+        self.incoming: Dict[str, Value] = incoming
+
+    @property
+    def target(self) -> VirtualRegister:
+        """The register defined by the φ."""
+        return self.defs[0]
+
+    def add_incoming(self, pred_label: str, value: Value) -> None:
+        """Add or replace the value flowing in from ``pred_label``."""
+        self.incoming[pred_label] = value
+        self.uses = list(self.incoming.values())
+
+    def incoming_from(self, pred_label: str) -> Value:
+        """Return the incoming value for predecessor ``pred_label``."""
+        try:
+            return self.incoming[pred_label]
+        except KeyError:
+            raise IRError(f"phi {self.target} has no incoming value from {pred_label!r}") from None
+
+    def replace_use(self, old: VirtualRegister, new: Value) -> None:
+        """Substitute ``old`` in every incoming edge."""
+        for label, value in self.incoming.items():
+            if value == old:
+                self.incoming[label] = new
+        self.uses = list(self.incoming.values())
+
+    def rename_incoming_block(self, old_label: str, new_label: str) -> None:
+        """Rewire an incoming edge after CFG surgery."""
+        if old_label in self.incoming:
+            self.incoming[new_label] = self.incoming.pop(old_label)
+
+
+# ---------------------------------------------------------------------- #
+# Convenience constructors
+# ---------------------------------------------------------------------- #
+def make_binary(opcode: Opcode, dest: VirtualRegister, lhs: Value, rhs: Value) -> Instruction:
+    """Build ``dest = opcode lhs, rhs``."""
+    if opcode not in BINARY_OPCODES:
+        raise IRError(f"{opcode} is not a binary opcode")
+    return Instruction(opcode, defs=[dest], uses=[lhs, rhs])
+
+
+def make_unary(opcode: Opcode, dest: VirtualRegister, operand: Value) -> Instruction:
+    """Build ``dest = opcode operand``."""
+    if opcode not in UNARY_OPCODES:
+        raise IRError(f"{opcode} is not a unary opcode")
+    return Instruction(opcode, defs=[dest], uses=[operand])
+
+
+def make_copy(dest: VirtualRegister, source: Value) -> Instruction:
+    """Build a register-to-register (or immediate) copy."""
+    return Instruction(Opcode.COPY, defs=[dest], uses=[source])
+
+
+def make_load(dest: VirtualRegister, address: Value) -> Instruction:
+    """Build ``dest = load address``."""
+    return Instruction(Opcode.LOAD, defs=[dest], uses=[address])
+
+
+def make_store(address: Value, value: Value) -> Instruction:
+    """Build ``store address, value`` (defines nothing)."""
+    return Instruction(Opcode.STORE, uses=[address, value])
+
+
+def make_call(dest: Optional[VirtualRegister], args: Iterable[Value]) -> Instruction:
+    """Build ``dest = call args...`` (dest may be omitted for void calls)."""
+    defs = [dest] if dest is not None else []
+    return Instruction(Opcode.CALL, defs=defs, uses=list(args))
+
+
+def make_branch(target: str) -> Instruction:
+    """Build an unconditional branch to ``target``."""
+    return Instruction(Opcode.BR, targets=[target])
+
+
+def make_cond_branch(condition: Value, if_true: str, if_false: str) -> Instruction:
+    """Build a two-way conditional branch."""
+    return Instruction(Opcode.CBR, uses=[condition], targets=[if_true, if_false])
+
+
+def make_return(value: Optional[Value] = None) -> Instruction:
+    """Build a return, optionally carrying a value."""
+    uses = [value] if value is not None else []
+    return Instruction(Opcode.RET, uses=uses)

@@ -1,0 +1,234 @@
+"""A concrete interpreter for the mini IR.
+
+The paper computes spill costs from "basic block frequency and number of
+accesses"; real compilers get those frequencies either from static estimates
+(see :mod:`repro.analysis.frequency`) or from *profiles*.  This interpreter
+provides the profiling substrate: it executes a function on concrete inputs,
+counting how often each block runs and how many memory operations execute, so
+the workload pipeline can use measured frequencies and the experiments can
+report *dynamic* spill overhead (executed loads/stores) instead of only the
+static cost model.
+
+The interpreter is deliberately simple:
+
+* all values are Python integers (division by zero yields zero, shifts are
+  masked to 64 bits);
+* ``cmp a, b`` evaluates to ``1`` when ``a > b`` and ``0`` otherwise, which is
+  the convention the program generator relies on for loop exits;
+* ``call`` is modelled as a pure pseudo-random function of its arguments so
+  execution stays deterministic;
+* memory is a dictionary from addresses to integers, shared by ``load`` and
+  ``store``;
+* φ-functions are evaluated with parallel-copy semantics using the
+  dynamically recorded predecessor block;
+* a step budget bounds runaway loops (generated programs may mutate their own
+  loop counters), reporting whether execution finished normally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode, Phi
+from repro.ir.values import Constant, Value, VirtualRegister
+
+_MASK = (1 << 64) - 1
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of interpreting one function call."""
+
+    #: value of the executed ``ret`` (None for a void return or when the
+    #: step budget was exhausted).
+    return_value: Optional[int]
+    #: executed-instruction count (φs excluded).
+    steps: int
+    #: whether a ``ret`` was reached before the step budget ran out.
+    terminated: bool
+    #: how many times each basic block started executing.
+    block_counts: Dict[str, int] = field(default_factory=dict)
+    #: executed ``load`` / ``store`` instructions.
+    loads: int = 0
+    stores: int = 0
+    #: final memory state (address -> value).
+    memory: Dict[int, int] = field(default_factory=dict)
+
+    def frequency(self, label: str) -> int:
+        """Execution count of ``label`` (0 if never executed)."""
+        return self.block_counts.get(label, 0)
+
+    @property
+    def memory_operations(self) -> int:
+        """Total executed loads plus stores."""
+        return self.loads + self.stores
+
+
+class Interpreter:
+    """Interpreter for one function.
+
+    Parameters
+    ----------
+    function:
+        The function to execute (SSA or not).
+    max_steps:
+        Budget of executed instructions; when exhausted, execution stops and
+        the result is flagged as not terminated.
+    """
+
+    def __init__(self, function: Function, max_steps: int = 200_000) -> None:
+        self.function = function
+        self.max_steps = max_steps
+
+    # ------------------------------------------------------------------ #
+    def run(self, arguments: Sequence[int] = (), memory: Optional[Dict[int, int]] = None) -> ExecutionResult:
+        """Execute the function with the given argument values."""
+        parameters = self.function.parameters
+        if len(arguments) < len(parameters):
+            arguments = list(arguments) + [0] * (len(parameters) - len(arguments))
+
+        environment: Dict[VirtualRegister, int] = {}
+        for register, value in zip(parameters, arguments):
+            environment[register] = int(value) & _MASK
+
+        result = ExecutionResult(return_value=None, steps=0, terminated=False)
+        result.memory = dict(memory or {})
+        block_counts: Dict[str, int] = {}
+
+        current = self.function.entry
+        previous_label: Optional[str] = None
+
+        while result.steps <= self.max_steps:
+            block_counts[current.label] = block_counts.get(current.label, 0) + 1
+
+            # φ-functions: parallel evaluation against the incoming edge.
+            if current.phis:
+                if previous_label is None and any(current.phis):
+                    # φs in the entry block can only be products of broken IR.
+                    raise IRError(f"phi in entry block {current.label!r} cannot be evaluated")
+                incoming_values = {
+                    phi.target: self._value(phi.incoming_from(previous_label), environment)
+                    for phi in current.phis
+                }
+                environment.update(incoming_values)
+
+            next_label: Optional[str] = None
+            for instruction in current.instructions:
+                result.steps += 1
+                if result.steps > self.max_steps:
+                    result.block_counts = block_counts
+                    return result
+                outcome = self._execute(instruction, environment, result)
+                if instruction.opcode is Opcode.RET:
+                    result.return_value = outcome
+                    result.terminated = True
+                    result.block_counts = block_counts
+                    return result
+                if instruction.is_terminator:
+                    next_label = outcome
+                    break
+
+            if next_label is None:
+                # Fell off the end of a block without a terminator: broken IR.
+                raise IRError(f"block {current.label!r} ended without a terminator during execution")
+            previous_label = current.label
+            current = self.function.block(next_label)
+
+        result.block_counts = block_counts
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _value(self, operand: Value, environment: Dict[VirtualRegister, int]) -> int:
+        """Evaluate an operand in the current environment."""
+        if isinstance(operand, Constant):
+            return int(operand.value) & _MASK
+        if isinstance(operand, VirtualRegister):
+            return environment.get(operand, 0)
+        raise IRError(f"cannot evaluate operand {operand!r}")
+
+    def _execute(
+        self,
+        instruction: Instruction,
+        environment: Dict[VirtualRegister, int],
+        result: ExecutionResult,
+    ) -> Optional[int]:
+        """Execute one non-φ instruction; return branch target or ret value."""
+        opcode = instruction.opcode
+        values = [self._value(operand, environment) for operand in instruction.uses]
+
+        if opcode is Opcode.BR:
+            return instruction.targets[0]
+        if opcode is Opcode.CBR:
+            return instruction.targets[0] if values[0] != 0 else instruction.targets[1]
+        if opcode is Opcode.RET:
+            return values[0] if values else None
+
+        if opcode is Opcode.STORE:
+            address, value = values
+            result.memory[address] = value
+            result.stores += 1
+            return None
+
+        computed: int
+        if opcode is Opcode.LOAD:
+            computed = result.memory.get(values[0], 0)
+            result.loads += 1
+        elif opcode is Opcode.COPY:
+            computed = values[0]
+        elif opcode is Opcode.ADD:
+            computed = values[0] + values[1]
+        elif opcode is Opcode.SUB:
+            computed = values[0] - values[1]
+        elif opcode is Opcode.MUL:
+            computed = values[0] * values[1]
+        elif opcode is Opcode.DIV:
+            computed = values[0] // values[1] if values[1] != 0 else 0
+        elif opcode is Opcode.AND:
+            computed = values[0] & values[1]
+        elif opcode is Opcode.OR:
+            computed = values[0] | values[1]
+        elif opcode is Opcode.XOR:
+            computed = values[0] ^ values[1]
+        elif opcode is Opcode.SHL:
+            computed = values[0] << (values[1] % 64)
+        elif opcode is Opcode.SHR:
+            computed = values[0] >> (values[1] % 64)
+        elif opcode is Opcode.CMP:
+            computed = 1 if values[0] > values[1] else 0
+        elif opcode is Opcode.NEG:
+            computed = -values[0]
+        elif opcode is Opcode.NOT:
+            computed = ~values[0]
+        elif opcode is Opcode.CALL:
+            # Deterministic pseudo-random function of the arguments.
+            accumulator = 0x9E3779B97F4A7C15
+            for value in values:
+                accumulator = (accumulator ^ (value & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
+            computed = accumulator >> 17
+        elif opcode is Opcode.PHI:  # pragma: no cover - φs handled by run()
+            raise IRError("phi reached the scalar execution path")
+        else:  # pragma: no cover - defensive
+            raise IRError(f"unsupported opcode {opcode!r} in interpreter")
+
+        computed &= _MASK
+        for register in instruction.defs:
+            environment[register] = computed
+        return None
+
+
+def interpret(function: Function, arguments: Sequence[int] = (), max_steps: int = 200_000) -> ExecutionResult:
+    """Convenience wrapper: run ``function`` on ``arguments``."""
+    return Interpreter(function, max_steps=max_steps).run(arguments)
+
+
+def run_with_argument_sets(
+    function: Function,
+    argument_sets: Sequence[Sequence[int]],
+    max_steps: int = 200_000,
+) -> List[ExecutionResult]:
+    """Run ``function`` once per argument set and collect the results."""
+    interpreter = Interpreter(function, max_steps=max_steps)
+    return [interpreter.run(arguments) for arguments in argument_sets]

@@ -1,0 +1,52 @@
+"""Modules: named collections of functions.
+
+A module corresponds to one benchmark program (e.g. one synthetic stand-in
+for a SPEC application); the extraction pipeline turns each of its functions
+into one interference-graph instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import IRError
+from repro.ir.function import Function
+
+
+class Module:
+    """An ordered collection of functions, keyed by name."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+
+    def add_function(self, function: Function) -> Function:
+        """Register ``function``; duplicate names are rejected."""
+        if function.name in self.functions:
+            raise IRError(f"duplicate function {function.name!r} in module {self.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        """Return the function called ``name``."""
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"unknown function {name!r} in module {self.name!r}") from None
+
+    def get(self, name: str) -> Optional[Function]:
+        """Return the function called ``name`` or ``None``."""
+        return self.functions.get(name)
+
+    def function_names(self) -> List[str]:
+        """Function names in insertion order."""
+        return list(self.functions)
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Module({self.name!r}, {len(self)} functions)"

@@ -1,0 +1,64 @@
+"""Textual printing of the IR.
+
+The syntax round-trips with :mod:`repro.ir.parser`::
+
+    func @f(%a, %b) {
+    entry:
+      %x = add %a, %b
+      cbr %x, then, else
+    then:
+      %y = phi [%x, entry]
+      ret %y
+    ...
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode, Phi
+from repro.ir.module import Module
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Format a single instruction in the textual syntax."""
+    if isinstance(instruction, Phi):
+        incoming = ", ".join(
+            f"[{value}, {label}]" for label, value in sorted(instruction.incoming.items())
+        )
+        return f"{instruction.target} = phi {incoming}"
+
+    opcode = instruction.opcode
+    if opcode is Opcode.BR:
+        return f"br {instruction.targets[0]}"
+    if opcode is Opcode.CBR:
+        return f"cbr {instruction.uses[0]}, {instruction.targets[0]}, {instruction.targets[1]}"
+    if opcode is Opcode.RET:
+        return "ret" if not instruction.uses else f"ret {instruction.uses[0]}"
+    if opcode is Opcode.STORE:
+        return f"store {instruction.uses[0]}, {instruction.uses[1]}"
+
+    operands = ", ".join(str(u) for u in instruction.uses)
+    if instruction.defs:
+        dest = instruction.defs[0]
+        return f"{dest} = {opcode.value} {operands}" if operands else f"{dest} = {opcode.value}"
+    return f"{opcode.value} {operands}" if operands else opcode.value
+
+
+def print_function(function: Function) -> str:
+    """Render a whole function as text."""
+    params = ", ".join(str(p) for p in function.parameters)
+    lines: List[str] = [f"func @{function.name}({params}) {{"]
+    for block in function:
+        lines.append(f"{block.label}:")
+        for instruction in block.all_instructions():
+            lines.append(f"  {format_instruction(instruction)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module as text (functions separated by blank lines)."""
+    return "\n\n".join(print_function(f) for f in module)

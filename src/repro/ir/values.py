@@ -1,0 +1,52 @@
+"""IR values: virtual registers and constants.
+
+Register allocation only cares about *virtual registers* (program temporaries
+that want a machine register).  Constants appear as operands but never
+interfere and are never spilled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+class Value:
+    """Base class for anything that can appear as an instruction operand."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VirtualRegister(Value):
+    """A program temporary identified by name.
+
+    Names are globally unique within a function (the verifier checks this
+    under SSA).  Equality and hashing are by name so a register can key
+    dictionaries (liveness sets, interference graph vertices, spill costs).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Constant(Value):
+    """An immediate operand; never allocated, never spilled."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+def vreg(name: str) -> VirtualRegister:
+    """Shorthand constructor used pervasively by tests and the builder."""
+    return VirtualRegister(name)
+
+
+def const(value: Union[int, float]) -> Constant:
+    """Shorthand constructor for constants."""
+    return Constant(value)

@@ -1,0 +1,30 @@
+"""Target machine descriptions.
+
+The paper evaluates on the ST231 (a 4-issue VLIW with 64 general-purpose
+registers) and the ARM Cortex-A8 (ARMv7, 16 general-purpose registers), plus
+the abstract register file of the JikesRVM baseline compiler for the JVM
+study.  Only the properties that influence the spilling problem are modelled:
+the number of allocatable registers and the relative cost of memory accesses
+(which scales the spill costs).
+"""
+
+from repro.targets.machine import TargetMachine
+from repro.targets.st231 import ST231
+from repro.targets.armv7 import ARMV7_CORTEX_A8
+from repro.targets.jvm import JIKES_RVM_IA32
+
+ALL_TARGETS = {
+    target.name: target
+    for target in (ST231, ARMV7_CORTEX_A8, JIKES_RVM_IA32)
+}
+
+
+def get_target(name: str) -> TargetMachine:
+    """Look up a target by name (case-insensitive)."""
+    for key, target in ALL_TARGETS.items():
+        if key.lower() == name.lower():
+            return target
+    raise KeyError(f"unknown target {name!r}; available: {sorted(ALL_TARGETS)}")
+
+
+__all__ = ["TargetMachine", "ST231", "ARMV7_CORTEX_A8", "JIKES_RVM_IA32", "ALL_TARGETS", "get_target"]

@@ -1,0 +1,12 @@
+"""The ARM Cortex-A8 (ARMv7) target used for the lao-kernels experiments."""
+
+from repro.targets.machine import TargetMachine
+
+ARMV7_CORTEX_A8 = TargetMachine(
+    name="armv7-a8",
+    num_registers=16,
+    load_cost=3.0,
+    store_cost=1.0,
+    issue_width=2,
+    reserved_registers=["sp", "lr", "pc"],
+)

@@ -1,0 +1,18 @@
+"""The JikesRVM baseline-compiler register file (IA-32) for the JVM study.
+
+The SPEC JVM98 experiments of the paper run inside the JikesRVM just-in-time
+compiler on IA-32, where very few general-purpose registers are allocatable;
+the paper sweeps the register count from 2 to 16 to study the behaviour on a
+register-starved target.
+"""
+
+from repro.targets.machine import TargetMachine
+
+JIKES_RVM_IA32 = TargetMachine(
+    name="jikesrvm-ia32",
+    num_registers=6,
+    load_cost=2.0,
+    store_cost=2.0,
+    issue_width=1,
+    reserved_registers=["esp", "ebp"],
+)

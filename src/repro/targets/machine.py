@@ -1,0 +1,50 @@
+"""The target machine abstraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class TargetMachine:
+    """Architectural parameters relevant to spilling.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by the CLI and the experiment configurations.
+    num_registers:
+        Number of allocatable general-purpose registers (after reserving
+        ABI-mandated ones).
+    load_cost / store_cost:
+        Relative latency of a reload / spill-store, used to scale the
+        frequency-based spill costs.
+    issue_width:
+        Instructions per cycle — kept for documentation of the VLIW target,
+        not used by the allocators.
+    reserved_registers:
+        Registers unavailable to the allocator (stack pointer, link
+        register, ...), listed for completeness.
+    """
+
+    name: str
+    num_registers: int
+    load_cost: float = 1.0
+    store_cost: float = 1.0
+    issue_width: int = 1
+    reserved_registers: List[str] = field(default_factory=list)
+
+    def register_names(self) -> Dict[int, str]:
+        """Map color indices to symbolic register names ``r0..rN``."""
+        return {index: f"r{index}" for index in range(self.num_registers)}
+
+    def scaled_costs(self, costs: Dict, load_fraction: float = 0.5) -> Dict:
+        """Scale raw access-count costs by this target's memory latencies.
+
+        ``load_fraction`` approximates the share of accesses that are reads;
+        spill costs computed directly from the IR should instead pass the
+        target's latencies to :func:`repro.analysis.spill_costs.spill_costs`.
+        """
+        factor = load_fraction * self.load_cost + (1.0 - load_fraction) * self.store_cost
+        return {key: value * factor for key, value in costs.items()}

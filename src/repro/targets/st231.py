@@ -1,0 +1,20 @@
+"""The STMicroelectronics ST231 VLIW target.
+
+A 4-issue VLIW of the ST200/Lx family with 64 general-purpose registers, the
+embedded target used by the Open64-based experiments of the paper (SPEC CPU
+2000int, EEMBC, lao-kernels).  A handful of registers are reserved by the ABI
+(zero register, stack pointer, link register, ...), leaving the allocator a
+large register file — which is exactly why the paper sweeps the register
+count from 1 to 32 instead of only using the physical 64.
+"""
+
+from repro.targets.machine import TargetMachine
+
+ST231 = TargetMachine(
+    name="st231",
+    num_registers=64,
+    load_cost=3.0,
+    store_cost=1.0,
+    issue_width=4,
+    reserved_registers=["r0", "r12", "r63"],
+)

@@ -1,0 +1,39 @@
+"""Synthetic workloads standing in for the paper's benchmark suites.
+
+The paper extracts interference graphs from SPEC CPU 2000int, EEMBC and the
+STMicroelectronics lao-kernels (compiled by Open64 for ST231 / ARMv7) and
+from SPEC JVM98 (JIT-compiled by JikesRVM).  None of those sources is
+redistributable here, so this package generates *synthetic programs* whose
+interference graphs have the same relevant characteristics — loopy CFGs,
+frequency-skewed spill costs, a wide range of register pressure — and feeds
+them through the same compiler pipeline (SSA construction, liveness,
+interference) the paper's prototype used.
+
+Modules
+-------
+* :mod:`repro.workloads.programs` — the structured random program generator;
+* :mod:`repro.workloads.suites` — per-suite generation profiles
+  (``spec2000int``, ``eembc``, ``lao_kernels``, ``specjvm98``);
+* :mod:`repro.workloads.extraction` — program → allocation-problem pipeline
+  (chordal/SSA and general/non-SSA variants);
+* :mod:`repro.workloads.corpus` — deterministic corpus construction used by
+  the experiment harness and the benchmarks.
+"""
+
+from repro.workloads.programs import GeneratorProfile, generate_function, generate_module
+from repro.workloads.suites import SUITES, SuiteSpec, get_suite
+from repro.workloads.extraction import extract_chordal_problem, extract_general_problem
+from repro.workloads.corpus import Corpus, build_corpus
+
+__all__ = [
+    "GeneratorProfile",
+    "generate_function",
+    "generate_module",
+    "SUITES",
+    "SuiteSpec",
+    "get_suite",
+    "extract_chordal_problem",
+    "extract_general_problem",
+    "Corpus",
+    "build_corpus",
+]

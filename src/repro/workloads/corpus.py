@@ -1,0 +1,97 @@
+"""Corpus construction: deterministic sets of allocation problems per suite.
+
+A *corpus* is the list of per-function allocation problems extracted from one
+synthetic suite for one target — the unit the experiment harness sweeps over.
+Construction is deterministic given ``(suite, target, seed)``, so every
+figure and benchmark is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.alloc.problem import AllocationProblem
+from repro.targets import get_target
+from repro.targets.machine import TargetMachine
+from repro.workloads.extraction import extract_chordal_problem, extract_general_problem
+from repro.workloads.programs import generate_function
+from repro.workloads.suites import SuiteSpec, get_suite
+
+import random
+
+
+@dataclass
+class Corpus:
+    """A named collection of allocation problems plus provenance metadata."""
+
+    suite: str
+    target: str
+    seed: int
+    problems: List[AllocationProblem] = field(default_factory=list)
+    #: maps each problem index to the benchmark program it came from.
+    program_of: Dict[int, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.problems)
+
+    def __iter__(self) -> Iterator[AllocationProblem]:
+        return iter(self.problems)
+
+    def by_program(self) -> Dict[str, List[AllocationProblem]]:
+        """Group the problems by originating benchmark program."""
+        grouped: Dict[str, List[AllocationProblem]] = {}
+        for index, problem in enumerate(self.problems):
+            grouped.setdefault(self.program_of[index], []).append(problem)
+        return grouped
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics used in reports and sanity tests."""
+        if not self.problems:
+            return {"instances": 0}
+        sizes = [len(p.graph) for p in self.problems]
+        pressures = [p.max_pressure for p in self.problems]
+        return {
+            "instances": len(self.problems),
+            "mean_variables": sum(sizes) / len(sizes),
+            "max_variables": max(sizes),
+            "mean_pressure": sum(pressures) / len(pressures),
+            "max_pressure": max(pressures),
+        }
+
+
+def build_corpus(
+    suite: SuiteSpec | str,
+    target: Optional[TargetMachine | str] = None,
+    seed: int = 2013,
+    scale: float = 1.0,
+) -> Corpus:
+    """Generate the corpus of ``suite`` for ``target``.
+
+    ``scale`` multiplies the number of functions per program (used by the
+    quick benchmarks to run on a slice of the corpus and by stress tests to
+    enlarge it); a minimum of one function per program is kept.
+    """
+    if isinstance(suite, str):
+        suite = get_suite(suite)
+    if target is None:
+        target = suite.default_target
+    if isinstance(target, str):
+        target = get_target(target)
+
+    rng = random.Random(seed)
+    corpus = Corpus(suite=suite.name, target=target.name, seed=seed)
+    index = 0
+    for program_name, (num_functions, profile) in suite.programs.items():
+        count = max(1, round(num_functions * scale))
+        for function_index in range(count):
+            function = generate_function(f"{program_name}_fn{function_index}", profile, rng)
+            name = f"{suite.name}/{program_name}/fn{function_index}"
+            if suite.chordal:
+                problem = extract_chordal_problem(function, target, name=name)
+            else:
+                problem = extract_general_problem(function, target, name=name)
+            corpus.problems.append(problem)
+            corpus.program_of[index] = program_name
+            index += 1
+    return corpus

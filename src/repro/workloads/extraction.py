@@ -1,0 +1,81 @@
+"""From generated programs to allocation problems.
+
+This is the equivalent of the paper's graph-extraction step: run the compiler
+pipeline on a function and package the weighted interference graph (plus live
+intervals for the linear scans) as an :class:`AllocationProblem`.
+
+Two pipelines exist:
+
+* :func:`extract_chordal_problem` — SSA pipeline (φ insertion + renaming),
+  producing chordal graphs; used for the ST231/ARMv7 studies;
+* :func:`extract_general_problem` — non-SSA pipeline (SSA construction to get
+  clean live ranges, then SSA destruction with φ-web coalescing), producing
+  general graphs; used for the SPEC JVM98 study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.alloc.problem import AllocationProblem
+from repro.analysis.interference import build_interference_graph
+from repro.analysis.live_ranges import live_intervals
+from repro.analysis.liveness import liveness
+from repro.analysis.spill_costs import spill_costs
+from repro.analysis.ssa_construction import construct_ssa
+from repro.analysis.ssa_destruction import coalesce_copies, destruct_ssa
+from repro.ir.function import Function
+from repro.targets import get_target
+from repro.targets.machine import TargetMachine
+
+
+def _problem_from_function(
+    function: Function, target: TargetMachine, name: str
+) -> AllocationProblem:
+    """Shared tail of both pipelines: liveness, costs, graph, intervals."""
+    info = liveness(function)
+    costs = spill_costs(function, store_cost=target.store_cost, load_cost=target.load_cost)
+    graph = build_interference_graph(function, info=info, weights=costs)
+    intervals = live_intervals(function, info=info)
+    return AllocationProblem(
+        graph=graph,
+        num_registers=target.num_registers,
+        intervals=intervals,
+        name=name,
+    )
+
+
+def extract_chordal_problem(
+    function: Function,
+    target: TargetMachine | str = "st231",
+    name: Optional[str] = None,
+) -> AllocationProblem:
+    """Run the SSA pipeline on ``function`` and return its allocation problem."""
+    if isinstance(target, str):
+        target = get_target(target)
+    ssa = construct_ssa(function)
+    return _problem_from_function(ssa, target, name or function.name)
+
+
+def extract_general_problem(
+    function: Function,
+    target: TargetMachine | str = "jikesrvm-ia32",
+    name: Optional[str] = None,
+    coalesce_phi_webs: bool = True,
+    coalesce_moves: bool = True,
+) -> AllocationProblem:
+    """Run the non-SSA pipeline on ``function`` and return its allocation problem.
+
+    The function goes through SSA and straight back out with φ-web coalescing
+    (the default), then register-to-register copies are aggressively
+    coalesced (``coalesce_moves``), merging related live ranges into shared
+    names — the shape of interference graphs a non-SSA JIT such as JikesRVM
+    sees, and generally non-chordal.
+    """
+    if isinstance(target, str):
+        target = get_target(target)
+    ssa = construct_ssa(function)
+    non_ssa = destruct_ssa(ssa, coalesce_phi_webs=coalesce_phi_webs)
+    if coalesce_moves:
+        non_ssa = coalesce_copies(non_ssa)
+    return _problem_from_function(non_ssa, target, name or function.name)

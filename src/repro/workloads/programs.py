@@ -1,0 +1,249 @@
+"""Structured random program generation.
+
+The generator builds non-SSA functions out of nested structured regions
+(straight-line code, if/else diamonds, while-style loops), which is what the
+hot methods of the paper's benchmark suites look like after inlining.  Two
+knobs shape the interference graphs that come out of the pipeline:
+
+* ``accumulators`` — variables defined near the entry, updated inside loops
+  and all consumed at the end; each accumulator adds one long live range, so
+  this directly controls MaxLive (the register pressure);
+* ``loop_depth`` / ``loop_probability`` — deeper nests concentrate spill
+  cost on the variables accessed there, producing the skewed cost
+  distributions that make spilling decisions interesting.
+
+All randomness flows through one :class:`random.Random` instance so corpora
+are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.module import Module
+
+RandomLike = Union[random.Random, int, None]
+
+
+def _rng(seed_or_rng: RandomLike) -> random.Random:
+    """Normalize seeds to a Random instance."""
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+@dataclass
+class GeneratorProfile:
+    """Shape parameters of a generated function."""
+
+    #: total number of non-control statements to emit (roughly).
+    statements: int = 60
+    #: number of function parameters.
+    parameters: int = 3
+    #: number of long-lived accumulator variables (drives MaxLive).
+    accumulators: int = 8
+    #: maximum loop nesting depth.
+    loop_depth: int = 2
+    #: probability of opening a loop when control flow is allowed.
+    loop_probability: float = 0.25
+    #: probability of opening an if/else diamond.
+    branch_probability: float = 0.25
+    #: probability that a new definition reuses an existing variable name
+    #: (creates multiple definitions, i.e. genuinely non-SSA input).
+    reuse_probability: float = 0.4
+    #: statements emitted per straight-line run before reconsidering control flow.
+    straight_run: int = 4
+    #: arithmetic opcodes drawn from when emitting statements.
+    opcodes: Sequence[Opcode] = field(
+        default_factory=lambda: (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.XOR, Opcode.AND)
+    )
+
+
+class _ProgramGenerator:
+    """Stateful helper emitting one function from a profile."""
+
+    def __init__(self, name: str, profile: GeneratorProfile, rng: random.Random) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.builder = FunctionBuilder(name, params=[f"p{i}" for i in range(profile.parameters)])
+        self.block_counter = 0
+        self.temp_counter = 0
+        self.statements_left = profile.statements
+
+    # ------------------------------------------------------------------ #
+    def new_label(self, hint: str) -> str:
+        """Create a unique block label."""
+        label = f"{hint}{self.block_counter}"
+        self.block_counter += 1
+        return label
+
+    def fresh_name(self) -> str:
+        """Create a fresh variable name."""
+        name = f"t{self.temp_counter}"
+        self.temp_counter += 1
+        return name
+
+    def pick_operand(self, available: Sequence[str]):
+        """Pick a random operand: an available variable or a small constant."""
+        if available and self.rng.random() < 0.85:
+            return self.rng.choice(list(available))
+        return self.rng.randint(0, 255)
+
+    def pick_destination(self, available: List[str]) -> str:
+        """Pick a destination name, sometimes reusing an existing variable."""
+        if available and self.rng.random() < self.profile.reuse_probability:
+            return self.rng.choice(available)
+        return self.fresh_name()
+
+    # ------------------------------------------------------------------ #
+    def emit_statement(self, available: List[str]) -> None:
+        """Emit one arithmetic statement using the available variables."""
+        opcode = self.rng.choice(list(self.profile.opcodes))
+        dest = self.pick_destination(available)
+        lhs = self.pick_operand(available)
+        rhs = self.pick_operand(available)
+        self.builder.binary(opcode, dest, lhs, rhs)
+        if dest not in available:
+            available.append(dest)
+        self.statements_left -= 1
+
+    def emit_straight_run(self, available: List[str]) -> None:
+        """Emit a short run of straight-line statements."""
+        count = self.rng.randint(1, max(1, self.profile.straight_run))
+        for _ in range(count):
+            if self.statements_left <= 0:
+                return
+            self.emit_statement(available)
+
+    def emit_region(self, available: List[str], depth: int) -> List[str]:
+        """Emit a structured region; return the variables defined on all paths.
+
+        The builder's current block on exit is where emission continues.
+        """
+        while self.statements_left > 0:
+            roll = self.rng.random()
+            can_loop = depth < self.profile.loop_depth and self.statements_left > 6
+            can_branch = self.statements_left > 4 and depth < self.profile.loop_depth + 4
+            if can_loop and roll < self.profile.loop_probability:
+                available = self.emit_loop(available, depth)
+            elif can_branch and roll < self.profile.loop_probability + self.profile.branch_probability:
+                available = self.emit_branch(available, depth)
+            else:
+                self.emit_straight_run(available)
+            # Regions nested deeper stop early so the top level keeps control.
+            if depth > 0 and self.rng.random() < 0.35:
+                break
+        return available
+
+    def emit_branch(self, available: List[str], depth: int) -> List[str]:
+        """Emit an if/else diamond and return the post-join available set."""
+        condition = self.fresh_name()
+        self.builder.cmp(condition, self.pick_operand(available), self.pick_operand(available))
+        then_label = self.new_label("then")
+        else_label = self.new_label("else")
+        join_label = self.new_label("join")
+        self.builder.cbr(condition, then_label, else_label)
+
+        self.builder.new_block(then_label)
+        self.builder.new_block(else_label)
+        self.builder.new_block(join_label)
+
+        self.builder.set_block(then_label)
+        then_available = self.emit_region(list(available), depth + 1)
+        self.builder.br(join_label)
+
+        self.builder.set_block(else_label)
+        else_available = self.emit_region(list(available), depth + 1)
+        self.builder.br(join_label)
+
+        self.builder.set_block(join_label)
+        # Only variables defined on *both* paths (or before) are safely usable.
+        merged = [name for name in then_available if name in set(else_available)]
+        for name in available:
+            if name not in merged:
+                merged.append(name)
+        return merged
+
+    def emit_loop(self, available: List[str], depth: int) -> List[str]:
+        """Emit a while-style loop and return the post-exit available set."""
+        counter = self.fresh_name()
+        self.builder.copy(counter, self.rng.randint(4, 64))
+        header_label = self.new_label("loop")
+        body_label = self.new_label("body")
+        exit_label = self.new_label("exit")
+        self.builder.br(header_label)
+
+        self.builder.new_block(header_label)
+        self.builder.new_block(body_label)
+        self.builder.new_block(exit_label)
+
+        self.builder.set_block(header_label)
+        condition = self.fresh_name()
+        self.builder.cmp(condition, counter, 0)
+        self.builder.cbr(condition, body_label, exit_label)
+        header_available = list(available) + [counter, condition]
+
+        self.builder.set_block(body_label)
+        body_available = self.emit_region(list(header_available), depth + 1)
+        # Touch a few long-lived variables so their cost concentrates in loops.
+        for name in self.rng.sample(available, k=min(len(available), 2)):
+            self.builder.add(name, name, self.pick_operand(body_available))
+            self.statements_left -= 1
+        self.builder.sub(counter, counter, 1)
+        self.builder.br(header_label)
+
+        self.builder.set_block(exit_label)
+        # The body may execute zero times: only pre-loop and header variables
+        # are guaranteed to be defined afterwards.
+        return header_available
+
+
+def generate_function(
+    name: str, profile: Optional[GeneratorProfile] = None, rng: RandomLike = None
+) -> Function:
+    """Generate one structured random function."""
+    profile = profile or GeneratorProfile()
+    generator = _ProgramGenerator(name, profile, _rng(rng))
+    builder = generator.builder
+
+    entry_label = generator.new_label("entry")
+    builder.new_block(entry_label)
+    builder.set_block(entry_label)
+
+    available: List[str] = [f"p{i}" for i in range(profile.parameters)]
+    # Long-lived accumulators: defined up front, consumed at the very end.
+    accumulator_names: List[str] = []
+    for index in range(profile.accumulators):
+        name_acc = f"acc{index}"
+        builder.copy(name_acc, generator.pick_operand(available))
+        accumulator_names.append(name_acc)
+        available.append(name_acc)
+
+    available = generator.emit_region(available, depth=0)
+
+    # Consume every accumulator so their live ranges extend to the end.
+    result = "ret_value"
+    builder.copy(result, 0)
+    for name_acc in accumulator_names:
+        builder.add(result, result, name_acc)
+    builder.ret(result)
+    return builder.finish(verify=True)
+
+
+def generate_module(
+    name: str,
+    num_functions: int,
+    profile: Optional[GeneratorProfile] = None,
+    rng: RandomLike = None,
+) -> Module:
+    """Generate a module of ``num_functions`` random functions."""
+    generator_rng = _rng(rng)
+    module = Module(name)
+    for index in range(num_functions):
+        module.add_function(generate_function(f"{name}_fn{index}", profile, generator_rng))
+    return module

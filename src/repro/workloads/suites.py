@@ -1,0 +1,147 @@
+"""Benchmark-suite profiles.
+
+Each suite stand-in mirrors the *shape* of the corresponding suite in the
+paper, not its source code:
+
+* ``spec2000int`` — general-purpose integer applications: many medium-size
+  functions, moderate loop nesting, a wide spread of register pressure;
+* ``eembc`` — embedded kernels: smaller functions, deeper loops, moderate
+  pressure;
+* ``lao_kernels`` — STMicroelectronics' internal kernel suite: very small,
+  very hot functions with high pressure (which is why the paper observes the
+  largest heuristic variability there);
+* ``specjvm98`` — the nine JVM benchmarks of the non-chordal study
+  (``check``, ``compress``, ``jess``, ``raytrace``, ``db``, ``javac``,
+  ``mpegaudio``, ``mtrt``, ``jack``), fed through the non-SSA pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.workloads.programs import GeneratorProfile
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """Description of a synthetic benchmark suite.
+
+    ``programs`` maps program names to ``(num_functions, profile)`` pairs;
+    every function becomes one allocation-problem instance, as in the paper
+    (interference graphs are per-method).
+    """
+
+    name: str
+    chordal: bool
+    default_target: str
+    programs: Dict[str, Tuple[int, GeneratorProfile]] = field(default_factory=dict)
+    description: str = ""
+
+    def program_names(self) -> List[str]:
+        """Names of the suite's programs."""
+        return list(self.programs)
+
+
+def _profile(statements: int, accumulators: int, loop_depth: int, **kwargs) -> GeneratorProfile:
+    """Shorthand used by the suite tables below."""
+    return GeneratorProfile(
+        statements=statements, accumulators=accumulators, loop_depth=loop_depth, **kwargs
+    )
+
+
+SPEC2000INT = SuiteSpec(
+    name="spec2000int",
+    chordal=True,
+    default_target="st231",
+    description="SPEC CPU 2000int stand-in: medium applications, mixed pressure",
+    programs={
+        "gzip": (4, _profile(70, 10, 2)),
+        "vpr": (4, _profile(90, 14, 2)),
+        "gcc": (6, _profile(120, 18, 2, branch_probability=0.35)),
+        "mcf": (3, _profile(60, 8, 3)),
+        "crafty": (4, _profile(100, 20, 2)),
+        "parser": (4, _profile(80, 12, 2, branch_probability=0.3)),
+        "eon": (4, _profile(90, 16, 2)),
+        "perlbmk": (5, _profile(110, 14, 2, branch_probability=0.35)),
+        "gap": (4, _profile(90, 12, 2)),
+        "vortex": (4, _profile(100, 16, 2)),
+        "bzip2": (3, _profile(70, 10, 3)),
+        "twolf": (4, _profile(110, 22, 2)),
+    },
+)
+
+EEMBC = SuiteSpec(
+    name="eembc",
+    chordal=True,
+    default_target="st231",
+    description="EEMBC stand-in: embedded kernels, deeper loops",
+    programs={
+        "aifftr": (2, _profile(50, 12, 3)),
+        "aiifft": (2, _profile(50, 12, 3)),
+        "basefp": (2, _profile(40, 8, 2)),
+        "bitmnp": (2, _profile(45, 10, 2)),
+        "cacheb": (2, _profile(35, 6, 2)),
+        "canrdr": (2, _profile(40, 8, 2)),
+        "idctrn": (2, _profile(55, 14, 3)),
+        "iirflt": (2, _profile(45, 10, 3)),
+        "matrix": (2, _profile(60, 16, 3)),
+        "pntrch": (2, _profile(40, 8, 2)),
+        "puwmod": (2, _profile(40, 8, 2)),
+        "rspeed": (2, _profile(35, 6, 2)),
+        "tblook": (2, _profile(40, 8, 2)),
+        "ttsprk": (2, _profile(45, 10, 2)),
+    },
+)
+
+LAO_KERNELS = SuiteSpec(
+    name="lao_kernels",
+    chordal=True,
+    default_target="armv7-a8",
+    description="lao-kernels stand-in: tiny, hot, high-pressure kernels",
+    programs={
+        "autcor": (1, _profile(30, 12, 3)),
+        "dotprod": (1, _profile(25, 8, 2)),
+        "fir": (1, _profile(30, 14, 3)),
+        "iir": (1, _profile(30, 12, 3)),
+        "latanal": (1, _profile(25, 10, 2)),
+        "max": (1, _profile(20, 6, 2)),
+        "sad": (1, _profile(30, 16, 3)),
+        "vecsum": (1, _profile(20, 8, 2)),
+        "viterbi": (1, _profile(35, 18, 3)),
+        "fft": (1, _profile(40, 20, 3)),
+    },
+)
+
+SPECJVM98 = SuiteSpec(
+    name="specjvm98",
+    chordal=False,
+    default_target="jikesrvm-ia32",
+    description="SPEC JVM98 stand-in: JIT-compiled methods, non-SSA pipeline",
+    programs={
+        # JIT methods have few artificial long-lived accumulators but reuse
+        # temporaries heavily across branches, which is what produces the
+        # non-chordal interference graphs of the paper's JVM study.
+        "check": (3, _profile(50, 4, 2, reuse_probability=0.85, branch_probability=0.45)),
+        "compress": (3, _profile(60, 6, 3, reuse_probability=0.8, branch_probability=0.4)),
+        "jess": (4, _profile(70, 5, 2, reuse_probability=0.9, branch_probability=0.5)),
+        "raytrace": (3, _profile(70, 8, 2, reuse_probability=0.8, branch_probability=0.45)),
+        "db": (3, _profile(50, 5, 2, reuse_probability=0.85, branch_probability=0.45)),
+        "javac": (5, _profile(90, 6, 2, reuse_probability=0.9, branch_probability=0.5)),
+        "mpegaudio": (3, _profile(80, 10, 3, reuse_probability=0.75, branch_probability=0.4)),
+        "mtrt": (3, _profile(70, 8, 2, reuse_probability=0.8, branch_probability=0.45)),
+        "jack": (4, _profile(70, 5, 2, reuse_probability=0.9, branch_probability=0.5)),
+    },
+)
+
+SUITES: Dict[str, SuiteSpec] = {
+    suite.name: suite for suite in (SPEC2000INT, EEMBC, LAO_KERNELS, SPECJVM98)
+}
+
+
+def get_suite(name: str) -> SuiteSpec:
+    """Look up a suite spec by name (case-insensitive, '-' and '_' interchangeable)."""
+    normalized = name.lower().replace("-", "_")
+    if normalized in SUITES:
+        return SUITES[normalized]
+    raise KeyError(f"unknown suite {name!r}; available: {sorted(SUITES)}")

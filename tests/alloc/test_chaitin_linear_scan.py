@@ -1,0 +1,189 @@
+"""Tests for the baseline allocators: Chaitin-Briggs GC, linear scan LS/BLS."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.chaitin import ChaitinBriggsAllocator
+from repro.alloc.linear_scan import BeladyLinearScanAllocator, LinearScanAllocator
+from repro.alloc.optimal import OptimalAllocator
+from repro.alloc.problem import AllocationProblem
+from repro.alloc.verify import check_allocation
+from repro.analysis.live_ranges import LiveInterval, live_intervals
+from repro.analysis.ssa_construction import construct_ssa
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, random_chordal_graph
+from repro.graphs.graph import Graph
+from repro.ir.values import VirtualRegister
+from repro.workloads.extraction import extract_chordal_problem
+
+
+def make_problem(graph, registers, intervals=None):
+    return AllocationProblem(graph=graph, num_registers=registers, intervals=intervals)
+
+
+# ---------------------------------------------------------------------- #
+# Chaitin-Briggs
+# ---------------------------------------------------------------------- #
+def test_gc_allocates_everything_when_colorable(figure4_graph):
+    problem = make_problem(figure4_graph, 4)
+    result = ChaitinBriggsAllocator().allocate(problem)
+    assert result.spilled == frozenset()
+    assert result.stats["colors_used"] <= 4
+
+
+def test_gc_zero_registers(figure4_graph):
+    result = ChaitinBriggsAllocator().allocate(make_problem(figure4_graph, 0))
+    assert result.allocated == frozenset()
+
+
+def test_gc_on_complete_graph_keeps_r_vertices():
+    graph = complete_graph(6, weights={f"v{i}": float(i + 1) for i in range(6)})
+    problem = make_problem(graph, 3)
+    result = ChaitinBriggsAllocator().allocate(problem)
+    assert result.num_allocated == 3
+    assert check_allocation(problem, result).feasible
+
+
+def test_gc_prefers_spilling_cheap_high_degree_nodes():
+    """The classic cost/degree heuristic: the hub of a star is the spill choice."""
+    graph = Graph()
+    graph.add_vertex("hub", 1.0)
+    for index in range(5):
+        graph.add_vertex(f"leaf{index}", 10.0)
+        graph.add_edge("hub", f"leaf{index}")
+        # Make the leaves pairwise interfere so the pressure really exceeds 1.
+    for i in range(5):
+        for j in range(i + 1, 5):
+            graph.add_edge(f"leaf{i}", f"leaf{j}")
+    problem = make_problem(graph, 5)
+    result = ChaitinBriggsAllocator().allocate(problem)
+    assert "hub" in result.spilled or result.spilled == frozenset()
+
+
+def test_gc_optimistic_coloring_beats_pessimism():
+    """Briggs' optimism: a 4-cycle colors with 2 registers despite degrees of 2."""
+    graph = cycle_graph(4)
+    problem = make_problem(graph, 2)
+    result = ChaitinBriggsAllocator().allocate(problem)
+    assert result.spilled == frozenset()
+
+
+def test_gc_is_feasible_and_bounded_by_optimal(figure4_graph):
+    for registers in (1, 2, 3):
+        problem = make_problem(figure4_graph, registers)
+        gc = ChaitinBriggsAllocator().allocate(problem)
+        optimal = OptimalAllocator().allocate(problem)
+        assert check_allocation(problem, gc).feasible
+        assert gc.spill_cost >= optimal.spill_cost - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000), n=st.integers(1, 35), registers=st.integers(0, 6))
+def test_gc_property_feasible(seed, n, registers):
+    graph = random_chordal_graph(n, rng=seed)
+    problem = make_problem(graph, registers)
+    result = ChaitinBriggsAllocator().allocate(problem)
+    assert check_allocation(problem, result).feasible
+
+
+# ---------------------------------------------------------------------- #
+# linear scan family
+# ---------------------------------------------------------------------- #
+def _interval(name, start, end):
+    return LiveInterval(VirtualRegister(name), start, end)
+
+
+def test_ls_no_spill_when_pressure_fits():
+    graph = Graph()
+    for name in "abc":
+        graph.add_vertex(name, 1.0)
+    intervals = [_interval("a", 0, 2), _interval("b", 3, 5), _interval("c", 6, 8)]
+    problem = make_problem(graph, 1, intervals)
+    result = LinearScanAllocator().allocate(problem)
+    assert result.spilled == frozenset()
+
+
+def test_ls_spills_cheapest_on_overflow():
+    graph = Graph()
+    graph.add_vertex("cheap", 1.0)
+    graph.add_vertex("mid", 5.0)
+    graph.add_vertex("dear", 50.0)
+    for u, v in [("cheap", "mid"), ("cheap", "dear"), ("mid", "dear")]:
+        graph.add_edge(u, v)
+    intervals = [_interval("cheap", 0, 10), _interval("mid", 1, 9), _interval("dear", 2, 8)]
+    problem = make_problem(graph, 2, intervals)
+    result = LinearScanAllocator().allocate(problem)
+    assert result.spilled == frozenset({"cheap"})
+
+
+def test_bls_prefers_furthest_end_among_similar_costs():
+    graph = Graph()
+    graph.add_vertex("short", 10.0)
+    graph.add_vertex("long", 10.0)
+    graph.add_vertex("new", 10.0)
+    for u, v in [("short", "long"), ("short", "new"), ("long", "new")]:
+        graph.add_edge(u, v)
+    # All costs are equal; Belady's rule must evict the interval ending last.
+    intervals = [_interval("long", 0, 100), _interval("short", 1, 5), _interval("new", 2, 6)]
+    problem = make_problem(graph, 2, intervals)
+    result = BeladyLinearScanAllocator(threshold=0.1).allocate(problem)
+    assert result.spilled == frozenset({"long"})
+    # The plain LS (cost-driven) cannot distinguish them and may pick either;
+    # but with distinct costs BLS falls back to cost order too.
+
+
+def test_bls_ignores_furthest_rule_when_costs_differ_a_lot():
+    graph = Graph()
+    graph.add_vertex("cheap", 1.0)
+    graph.add_vertex("dear", 100.0)
+    graph.add_vertex("other", 90.0)
+    for u, v in [("cheap", "dear"), ("cheap", "other"), ("dear", "other")]:
+        graph.add_edge(u, v)
+    intervals = [_interval("dear", 0, 100), _interval("cheap", 1, 5), _interval("other", 2, 50)]
+    problem = make_problem(graph, 2, intervals)
+    result = BeladyLinearScanAllocator(threshold=0.25).allocate(problem)
+    assert result.spilled == frozenset({"cheap"})
+
+
+def test_linear_scan_from_real_function_keeps_pressure_bounded(loop_function):
+    ssa = construct_ssa(loop_function)
+    problem = extract_chordal_problem(loop_function, "st231")
+    problem = problem.with_registers(3)
+    result = LinearScanAllocator().allocate(problem)
+    # The kept intervals overlap at most R at a time by construction.
+    kept = [i for i in problem.intervals if i.register.name in result.allocated]
+    from repro.analysis.live_ranges import interval_pressure
+
+    assert interval_pressure(kept) <= 3
+    assert ssa.phi_nodes() is not None  # silence unused fixture-derived value
+
+
+def test_linear_scan_without_intervals_synthesizes_them(figure4_graph):
+    problem = make_problem(figure4_graph, 2)
+    result = LinearScanAllocator().allocate(problem)
+    assert result.allocated | result.spilled == set(figure4_graph.vertices())
+
+
+def test_ls_and_bls_costs_at_least_optimal(loop_function):
+    problem = extract_chordal_problem(loop_function, "st231").with_registers(2)
+    optimal = OptimalAllocator().allocate(problem)
+    for allocator in (LinearScanAllocator(), BeladyLinearScanAllocator()):
+        result = allocator.allocate(problem)
+        assert result.spill_cost >= optimal.spill_cost - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), registers=st.integers(1, 6))
+def test_linear_scan_property_kept_intervals_fit(seed, registers):
+    from repro.analysis.live_ranges import interval_pressure
+    from repro.workloads.programs import GeneratorProfile, generate_function
+
+    profile = GeneratorProfile(statements=15, accumulators=4, loop_depth=1)
+    fn = generate_function("ls_prop", profile, rng=seed)
+    ssa = construct_ssa(fn)
+    intervals = live_intervals(ssa)
+    from repro.analysis.interference import build_interference_graph
+
+    graph = build_interference_graph(ssa)
+    problem = AllocationProblem(graph=graph, num_registers=registers, intervals=intervals)
+    result = LinearScanAllocator().allocate(problem)
+    kept = [i for i in intervals if i.register.name in result.allocated]
+    assert interval_pressure(kept) <= registers

@@ -1,0 +1,116 @@
+"""Tests reproducing the paper's worked examples (Figures 2, 5, 6, 7)."""
+
+import pytest
+
+from repro.alloc.biased import BiasedLayeredAllocator
+from repro.alloc.fixed_point import BiasedFixedPointLayeredAllocator, FixedPointLayeredAllocator
+from repro.alloc.layered import LayeredOptimalAllocator
+from repro.alloc.optimal import OptimalAllocator
+from repro.alloc.problem import AllocationProblem
+from repro.graphs.chordal import is_chordal, is_perfect_elimination_order
+from repro.graphs.cliques import maximal_cliques
+from repro.graphs.stable_set import maximum_weighted_stable_set
+
+
+def problem(graph, registers):
+    return AllocationProblem(graph=graph, num_registers=registers)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2 — counter-example to spill-set inclusion
+# ---------------------------------------------------------------------- #
+def test_figure2_optimal_spill_sets_are_not_monotone(figure2_graph):
+    optimal = OptimalAllocator()
+    spilled_r1 = set(optimal.allocate(problem(figure2_graph, 1)).spilled)
+    spilled_r2 = set(optimal.allocate(problem(figure2_graph, 2)).spilled)
+    # Paper Figure 2: with one register the optimum spills {b, d}; with two
+    # registers it spills {c}, which is NOT a subset of {b, d}.
+    assert spilled_r1 == {"b", "d"}
+    assert spilled_r2 == {"c"}
+    assert not spilled_r2 <= spilled_r1
+
+
+def test_figure2_graph_is_chordal(figure2_graph):
+    assert is_chordal(figure2_graph)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5 — Frank's algorithm on the Figure 4 graph
+# ---------------------------------------------------------------------- #
+def test_figure5_frank_on_paper_peo_returns_weight_8(figure4_graph):
+    peo = list("afdebgc")
+    assert is_perfect_elimination_order(figure4_graph, peo)
+    result = maximum_weighted_stable_set(figure4_graph, peo=peo)
+    # The paper's trace marks {a, f, b} red and keeps {b, f} (weight 8).
+    assert set(result) == {"b", "f"}
+    assert figure4_graph.total_weight(result) == 8
+
+
+def test_figure5_frank_weight_is_8_for_any_peo(figure4_graph):
+    result = maximum_weighted_stable_set(figure4_graph)
+    assert figure4_graph.total_weight(result) == 8
+
+
+# ---------------------------------------------------------------------- #
+# Figure 6 — benefit of biasing the weights
+# ---------------------------------------------------------------------- #
+def test_figure6_two_maximum_stable_sets_exist(figure4_graph):
+    """The graph has the two maximum weighted stable sets {b,f} and {c,f}."""
+    from repro.graphs.stable_set import is_stable_set
+
+    for candidate in ({"b", "f"}, {"c", "f"}):
+        assert is_stable_set(figure4_graph, candidate)
+        assert figure4_graph.total_weight(candidate) == 8
+
+
+def test_figure6_biasing_improves_the_two_register_allocation(figure4_graph):
+    """Choosing {c,f} (biased) leads to a strictly cheaper final allocation.
+
+    Following the paper's narrative: picking {b,f} first leads to a total
+    spill cost of w(a)+w(c)+w(e), while picking {c,f} first leads to
+    w(a)+w(e)+w(g) which is cheaper because c has a higher degree and its
+    allocation removes more interference.
+    """
+    two_regs = problem(figure4_graph, 2)
+    biased = BiasedLayeredAllocator().allocate(two_regs)
+    optimal = OptimalAllocator().allocate(two_regs)
+    # BL picks {c,f} first and ends with the optimal cost.
+    first_layer_choice = {"c", "f"}
+    assert first_layer_choice <= set(biased.allocated)
+    assert biased.spill_cost == pytest.approx(optimal.spill_cost)
+
+    # Forcing the unbiased tie-break towards {b, f} must never beat it.
+    plain = LayeredOptimalAllocator().allocate(two_regs)
+    assert biased.spill_cost <= plain.spill_cost + 1e-9
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7 — benefit of iterating to a fixed point
+# ---------------------------------------------------------------------- #
+def test_figure7_maximal_cliques_match_paper(figure7_graph):
+    expected = {frozenset("adf"), frozenset("bce"), frozenset("cde"), frozenset("def")}
+    assert {frozenset(c) for c in maximal_cliques(figure7_graph)} == expected
+
+
+def test_figure7_vertex_f_cannot_join_when_its_clique_is_saturated(figure7_graph):
+    """After allocating a and d (two registers), f's clique {a,d,f} is full."""
+    fpl = FixedPointLayeredAllocator()
+    result = fpl.allocate(problem(figure7_graph, 2))
+    if {"a", "d"} <= set(result.allocated):
+        assert "f" not in result.allocated
+
+
+def test_figure7_fixed_point_not_worse_than_plain_layered(figure7_graph):
+    for registers in (1, 2, 3):
+        instance = problem(figure7_graph, registers)
+        nl = LayeredOptimalAllocator().allocate(instance)
+        fpl = FixedPointLayeredAllocator().allocate(instance)
+        assert fpl.spill_cost <= nl.spill_cost + 1e-9
+        assert set(nl.allocated) <= set(fpl.allocated)
+
+
+def test_figure7_bfpl_reaches_the_optimum(figure7_graph):
+    instance = problem(figure7_graph, 2)
+    bfpl = BiasedFixedPointLayeredAllocator().allocate(instance)
+    optimal = OptimalAllocator().allocate(instance)
+    assert bfpl.spill_cost == pytest.approx(optimal.spill_cost)

@@ -1,0 +1,53 @@
+"""Tests for the allocator registry extension points and shared helpers."""
+
+import pytest
+
+from repro.alloc.base import Allocator, available_allocators, get_allocator, register_allocator
+from repro.alloc.problem import AllocationProblem
+from repro.graphs.generators import path_graph
+
+
+class _SpillEverythingAllocator(Allocator):
+    """Toy allocator used to exercise the registration machinery."""
+
+    name = "spill-everything"
+
+    def allocate(self, problem):
+        return self._result(problem, [], stats={"note": "gave up"})
+
+
+def test_custom_allocator_can_be_registered_and_resolved():
+    register_allocator("spill-everything", _SpillEverythingAllocator)
+    assert "spill-everything" in available_allocators()
+    allocator = get_allocator("SPILL-EVERYTHING")
+    assert isinstance(allocator, _SpillEverythingAllocator)
+
+
+def test_custom_allocator_result_helper_computes_cost():
+    register_allocator("spill-everything", _SpillEverythingAllocator)
+    graph = path_graph(4, weights={f"v{i}": float(i + 1) for i in range(4)})
+    problem = AllocationProblem(graph=graph, num_registers=2)
+    result = get_allocator("spill-everything").allocate(problem)
+    assert result.allocated == frozenset()
+    assert result.spill_cost == pytest.approx(graph.total_weight())
+    assert result.stats["note"] == "gave up"
+    assert result.allocator == "spill-everything"
+
+
+def test_registry_factory_can_be_a_lambda():
+    register_allocator("spill-everything-lambda", lambda: _SpillEverythingAllocator())
+    assert isinstance(get_allocator("spill-everything-lambda"), _SpillEverythingAllocator)
+
+
+def test_all_paper_figure_entry_points_are_registered():
+    from repro.experiments.figures import ALL_FIGURES
+
+    assert {
+        "figure8", "figure9", "figure10", "figure11", "figure12", "figure13",
+        "figure14", "figure15", "inclusion", "ablation",
+    } == set(ALL_FIGURES)
+
+
+def test_abstract_allocator_cannot_be_instantiated():
+    with pytest.raises(TypeError):
+        Allocator()  # type: ignore[abstract]

@@ -1,0 +1,144 @@
+"""Tests for CFG views, dominators and dominance frontiers."""
+
+from repro.analysis.cfg import ControlFlowGraph, reverse_postorder
+from repro.analysis.dominance_frontier import dominance_frontiers
+from repro.analysis.dominators import dominator_tree
+from repro.ir.parser import parse_function
+
+NESTED = """
+func @nested(%n) {
+entry:
+  %c0 = cmp %n, 0
+  cbr %c0, outer, end
+outer:
+  %c1 = cmp %n, 1
+  cbr %c1, inner, after_inner
+inner:
+  %x = add %n, 1
+  cbr %x, inner, after_inner
+after_inner:
+  %c2 = cmp %n, 2
+  cbr %c2, outer, end
+end:
+  ret %n
+}
+"""
+
+
+def test_cfg_successors_predecessors(diamond_function):
+    cfg = ControlFlowGraph(diamond_function)
+    assert cfg.successors["entry"] == ["then", "else"]
+    assert cfg.successors["join"] == []
+    assert set(cfg.predecessors["join"]) == {"then", "else"}
+    assert cfg.predecessors["entry"] == []
+    assert cfg.entry == "entry"
+    assert cfg.exit_blocks() == ["join"]
+
+
+def test_cfg_reachable_blocks_excludes_orphans():
+    fn = parse_function(
+        """
+func @orphan() {
+entry:
+  ret
+dead:
+  ret
+}
+"""
+    )
+    cfg = ControlFlowGraph(fn)
+    assert cfg.reachable_blocks() == {"entry"}
+
+
+def test_reverse_postorder_starts_at_entry(diamond_function):
+    order = reverse_postorder(diamond_function)
+    assert order[0] == "entry"
+    assert order[-1] == "join"
+    assert set(order) == {"entry", "then", "else", "join"}
+
+
+def test_postorder_visits_children_before_parents(loop_function):
+    cfg = ControlFlowGraph(loop_function)
+    post = cfg.postorder()
+    assert post[-1] == "entry"
+    assert set(post) == set(loop_function.block_labels())
+
+
+def test_cfg_edges(diamond_function):
+    cfg = ControlFlowGraph(diamond_function)
+    assert ("entry", "then") in cfg.edges()
+    assert ("then", "join") in cfg.edges()
+
+
+# ---------------------------------------------------------------------- #
+# dominators
+# ---------------------------------------------------------------------- #
+def test_dominators_of_diamond(diamond_function):
+    tree = dominator_tree(diamond_function)
+    assert tree.idom["entry"] == "entry"
+    assert tree.idom["then"] == "entry"
+    assert tree.idom["else"] == "entry"
+    assert tree.idom["join"] == "entry"
+    assert tree.dominates("entry", "join")
+    assert not tree.dominates("then", "join")
+    assert tree.strictly_dominates("entry", "then")
+    assert not tree.strictly_dominates("entry", "entry")
+
+
+def test_dominators_of_loop(loop_function):
+    tree = dominator_tree(loop_function)
+    assert tree.idom["header"] == "entry"
+    assert tree.idom["body"] == "header"
+    assert tree.idom["exit"] == "header"
+    assert tree.dominates("header", "body")
+    assert tree.dominates("header", "exit")
+
+
+def test_dominator_tree_children_and_preorder(diamond_function):
+    tree = dominator_tree(diamond_function)
+    assert set(tree.children["entry"]) == {"then", "else", "join"}
+    preorder = tree.dfs_preorder()
+    assert preorder[0] == "entry"
+    assert set(preorder) == set(diamond_function.block_labels())
+
+
+def test_dominator_depth(loop_function):
+    tree = dominator_tree(loop_function)
+    assert tree.depth("entry") == 0
+    assert tree.depth("header") == 1
+    assert tree.depth("body") == 2
+
+
+def test_nested_loop_dominators():
+    fn = parse_function(NESTED)
+    tree = dominator_tree(fn)
+    assert tree.idom["outer"] == "entry"
+    assert tree.idom["inner"] == "outer"
+    assert tree.idom["after_inner"] == "outer"
+    assert tree.idom["end"] == "entry"
+
+
+# ---------------------------------------------------------------------- #
+# dominance frontiers
+# ---------------------------------------------------------------------- #
+def test_dominance_frontier_of_diamond(diamond_function):
+    frontiers = dominance_frontiers(diamond_function)
+    assert frontiers["then"] == {"join"}
+    assert frontiers["else"] == {"join"}
+    assert frontiers["entry"] == set()
+    assert frontiers["join"] == set()
+
+
+def test_dominance_frontier_of_loop(loop_function):
+    frontiers = dominance_frontiers(loop_function)
+    # The loop body's frontier contains the header (the back edge target).
+    assert "header" in frontiers["body"]
+    assert "header" in frontiers["header"]
+
+
+def test_dominance_frontier_nested():
+    fn = parse_function(NESTED)
+    frontiers = dominance_frontiers(fn)
+    assert "outer" in frontiers["after_inner"]
+    assert "end" in frontiers["after_inner"] or "end" in frontiers["outer"]
+    assert "after_inner" in frontiers["inner"]

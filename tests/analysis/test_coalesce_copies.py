@@ -1,0 +1,82 @@
+"""Tests for aggressive copy coalescing (non-SSA JIT pipeline)."""
+
+from repro.analysis.ssa_construction import construct_ssa
+from repro.analysis.ssa_destruction import coalesce_copies, destruct_ssa
+from repro.ir.instructions import Opcode
+from repro.ir.interpreter import interpret
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.ir.validate import verify_function
+
+
+COPY_CHAIN = """
+func @chain(%p) {
+entry:
+  %a = copy %p
+  %b = copy %a
+  %c = add %b, 1
+  %d = copy %c
+  ret %d
+}
+"""
+
+
+def test_copy_chain_collapses_to_webs():
+    fn = parse_function(COPY_CHAIN)
+    coalesced = coalesce_copies(fn)
+    verify_function(coalesced)
+    names = {reg.name for reg in coalesced.virtual_registers()}
+    webs = {name for name in names if name.endswith(".cw")}
+    assert webs, "copy-related registers must be merged into .cw webs"
+    # p, a, b merge into one web; c, d into another.
+    assert len(webs) <= 2
+
+
+def test_coalesce_copies_preserves_semantics():
+    fn = parse_function(COPY_CHAIN)
+    coalesced = coalesce_copies(fn)
+    for value in (0, 5, 41):
+        assert interpret(coalesced, [value]).return_value == interpret(fn, [value]).return_value
+
+
+def test_coalesce_copies_does_not_mutate_input():
+    fn = parse_function(COPY_CHAIN)
+    before = print_function(fn)
+    coalesce_copies(fn)
+    assert print_function(fn) == before
+
+
+def test_coalesce_copies_ignores_constant_copies():
+    fn = parse_function(
+        """
+func @const_copy(%p) {
+entry:
+  %a = copy 7
+  %b = add %a, %p
+  ret %b
+}
+"""
+    )
+    coalesced = coalesce_copies(fn)
+    verify_function(coalesced)
+    assert interpret(coalesced, [3]).return_value == 10
+
+
+def test_full_non_ssa_pipeline_preserves_semantics(loop_function):
+    ssa = construct_ssa(loop_function)
+    lowered = destruct_ssa(ssa, coalesce_phi_webs=True)
+    coalesced = coalesce_copies(lowered)
+    verify_function(coalesced)
+    for n in (0, 3, 6):
+        assert interpret(coalesced, [n]).return_value == interpret(loop_function, [n]).return_value
+
+
+def test_coalescing_reduces_copy_related_names(loop_function):
+    ssa = construct_ssa(loop_function)
+    lowered = destruct_ssa(ssa, coalesce_phi_webs=False)
+    coalesced = coalesce_copies(lowered)
+    copies_before = sum(1 for i in lowered.instructions() if i.opcode is Opcode.COPY)
+    assert copies_before > 0
+    names_before = {reg.name for reg in lowered.virtual_registers()}
+    names_after = {reg.name for reg in coalesced.virtual_registers()}
+    assert len(names_after) <= len(names_before)

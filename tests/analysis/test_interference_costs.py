@@ -1,0 +1,182 @@
+"""Tests for interference graph construction and spill costs."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.frequency import block_frequencies
+from repro.analysis.interference import build_interference_graph, register_pressure_by_block
+from repro.analysis.liveness import liveness, max_live
+from repro.analysis.spill_costs import spill_costs
+from repro.analysis.ssa_construction import construct_ssa
+from repro.graphs.chordal import is_chordal
+from repro.graphs.cliques import maximum_clique_size
+from repro.ir.parser import parse_function
+from repro.ir.values import VirtualRegister
+from repro.workloads.programs import GeneratorProfile, generate_function
+
+
+def test_interference_straight_line():
+    fn = parse_function(
+        """
+func @straight(%a, %b) {
+entry:
+  %x = add %a, %b
+  %y = add %x, %b
+  %z = add %y, %a
+  ret %z
+}
+"""
+    )
+    graph = build_interference_graph(fn)
+    # a is live until the third instruction: it interferes with x and y.
+    assert graph.has_edge("a", "x")
+    assert graph.has_edge("a", "y")
+    # z is defined when only z remains live.
+    assert not graph.has_edge("z", "a")
+    # Parameters interfere with each other (both live at entry).
+    assert graph.has_edge("a", "b")
+
+
+def test_interference_includes_all_registers_as_vertices(diamond_function):
+    graph = build_interference_graph(diamond_function)
+    names = {reg.name for reg in diamond_function.virtual_registers()}
+    assert set(graph.vertices()) == names
+
+
+def test_interference_parameters_never_both_used_still_interfere():
+    fn = parse_function(
+        """
+func @params(%a, %b) {
+entry:
+  ret %a
+}
+"""
+    )
+    graph = build_interference_graph(fn)
+    assert graph.has_edge("a", "b")
+
+
+def test_interference_phi_results_interfere_with_live_in(loop_function):
+    ssa = construct_ssa(loop_function)
+    graph = build_interference_graph(ssa)
+    header_phis = ssa.block("header").phis
+    targets = [phi.target.name for phi in header_phis]
+    # φ results of the same block are simultaneously live: pairwise edges.
+    for i, a in enumerate(targets):
+        for b in targets[i + 1 :]:
+            assert graph.has_edge(a, b)
+
+
+def test_interference_weights_follow_spill_costs(loop_function):
+    ssa = construct_ssa(loop_function)
+    costs = spill_costs(ssa)
+    graph = build_interference_graph(ssa, weights=costs)
+    for reg, cost in costs.items():
+        assert graph.weight(reg.name) == cost
+
+
+def test_interference_restricted_to_include_set(diamond_function):
+    include = [VirtualRegister("a"), VirtualRegister("b"), VirtualRegister("c")]
+    graph = build_interference_graph(diamond_function, include=include)
+    assert set(graph.vertices()) == {"a", "b", "c"}
+
+
+def test_register_pressure_by_block(loop_function):
+    pressure = register_pressure_by_block(loop_function)
+    assert pressure["body"] >= 4
+    assert pressure["entry"] >= 1
+
+
+def test_ssa_interference_is_chordal_on_fixtures(diamond_function, loop_function):
+    for fn in (diamond_function, loop_function):
+        ssa = construct_ssa(fn)
+        graph = build_interference_graph(ssa)
+        assert is_chordal(graph)
+
+
+def test_clique_number_equals_max_live_on_fixtures(diamond_function, loop_function):
+    for fn in (diamond_function, loop_function):
+        ssa = construct_ssa(fn)
+        graph = build_interference_graph(ssa)
+        assert maximum_clique_size(graph) == max_live(ssa)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_ssa_interference_is_chordal_property(seed):
+    """The paper's foundational property: SSA interference graphs are chordal."""
+    profile = GeneratorProfile(statements=20, accumulators=5, loop_depth=2)
+    fn = generate_function("prop", profile, rng=seed)
+    ssa = construct_ssa(fn)
+    graph = build_interference_graph(ssa)
+    assert is_chordal(graph)
+    # Cross-check with networkx to guard against a bug in our own test oracle.
+    G = nx.Graph()
+    G.add_nodes_from(graph.vertices())
+    G.add_edges_from(graph.edges())
+    assert nx.is_chordal(G)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_clique_number_equals_max_live_property(seed):
+    """Maximal cliques correspond to simultaneously live variables (Hack)."""
+    profile = GeneratorProfile(statements=20, accumulators=5, loop_depth=2)
+    fn = generate_function("prop", profile, rng=seed)
+    ssa = construct_ssa(fn)
+    info = liveness(ssa)
+    graph = build_interference_graph(ssa, info=info)
+    assert maximum_clique_size(graph) == max_live(ssa, info)
+
+
+# ---------------------------------------------------------------------- #
+# spill costs
+# ---------------------------------------------------------------------- #
+def test_spill_costs_count_accesses():
+    fn = parse_function(
+        """
+func @costs(%a) {
+entry:
+  %x = add %a, %a
+  %y = add %x, 1
+  ret %y
+}
+"""
+    )
+    costs = {reg.name: value for reg, value in spill_costs(fn).items()}
+    # a: parameter store (1) + two uses (2) = 3, with unit load/store costs.
+    assert costs["a"] == 3
+    # x: one definition + one use.
+    assert costs["x"] == 2
+    # y: one definition + one use (ret).
+    assert costs["y"] == 2
+
+
+def test_spill_costs_weight_loop_accesses_higher(loop_function):
+    costs = {reg.name: value for reg, value in spill_costs(loop_function).items()}
+    # 'sum' is accessed inside the loop (frequency 10); 'result' only outside.
+    assert costs["sum"] > costs["result"]
+
+
+def test_spill_costs_respect_load_store_latencies(loop_function):
+    cheap = spill_costs(loop_function, store_cost=1.0, load_cost=1.0)
+    pricey = spill_costs(loop_function, store_cost=2.0, load_cost=5.0)
+    for reg in cheap:
+        assert pricey[reg] >= cheap[reg]
+
+
+def test_spill_costs_phi_operands_charged_on_predecessor_edge(loop_function):
+    ssa = construct_ssa(loop_function)
+    frequencies = block_frequencies(ssa)
+    costs = spill_costs(ssa, frequencies=frequencies)
+    # Every φ of the header charges its body-side operand at loop frequency.
+    header_phis = ssa.block("header").phis
+    for phi in header_phis:
+        body_value = phi.incoming.get("body")
+        if isinstance(body_value, VirtualRegister):
+            assert costs[body_value] >= frequencies["body"]
+
+
+def test_spill_costs_cover_every_register(diamond_function):
+    costs = spill_costs(diamond_function)
+    assert set(costs) == set(diamond_function.virtual_registers())

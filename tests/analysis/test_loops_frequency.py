@@ -1,0 +1,87 @@
+"""Tests for natural loop detection and block frequency estimation."""
+
+from repro.analysis.frequency import block_frequencies
+from repro.analysis.loops import back_edges, loop_depths, loop_info, natural_loops
+from repro.ir.parser import parse_function
+
+NESTED = """
+func @nested(%n) {
+entry:
+  %c0 = cmp %n, 0
+  br outer
+outer:
+  %c1 = cmp %n, 1
+  cbr %c1, inner, end
+inner:
+  %x = add %n, 1
+  cbr %x, inner, outer_latch
+outer_latch:
+  %c2 = cmp %n, 2
+  cbr %c2, outer, end
+end:
+  ret %n
+}
+"""
+
+
+def test_no_loops_in_diamond(diamond_function):
+    assert natural_loops(diamond_function) == []
+    assert all(depth == 0 for depth in loop_depths(diamond_function).values())
+
+
+def test_single_loop_detection(loop_function):
+    loops = natural_loops(loop_function)
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.header == "header"
+    assert loop.body == {"header", "body"}
+    assert "entry" not in loop
+    assert len(loop) == 2
+
+
+def test_back_edges(loop_function):
+    edges = back_edges(loop_function)
+    assert edges == [("body", "header")]
+
+
+def test_nested_loops_and_depths():
+    fn = parse_function(NESTED)
+    loops = natural_loops(fn)
+    headers = {loop.header for loop in loops}
+    assert headers == {"outer", "inner"}
+    depths = loop_depths(fn)
+    assert depths["entry"] == 0
+    assert depths["outer"] == 1
+    assert depths["inner"] == 2
+    assert depths["outer_latch"] == 1
+    assert depths["end"] == 0
+
+
+def test_loop_info_innermost_lookup():
+    fn = parse_function(NESTED)
+    info = loop_info(fn)
+    inner = info.loop_of("inner")
+    assert inner is not None and inner.header == "inner"
+    outer = info.loop_of("outer_latch")
+    assert outer is not None and outer.header == "outer"
+    assert info.loop_of("entry") is None
+
+
+def test_block_frequencies_follow_loop_depth():
+    fn = parse_function(NESTED)
+    freq = block_frequencies(fn, loop_weight=10.0)
+    assert freq["entry"] == 1.0
+    assert freq["outer"] == 10.0
+    assert freq["inner"] == 100.0
+    assert freq["end"] == 1.0
+
+
+def test_block_frequencies_custom_base(loop_function):
+    freq = block_frequencies(loop_function, loop_weight=4.0)
+    assert freq["body"] == 4.0
+    assert freq["entry"] == 1.0
+
+
+def test_block_frequencies_with_precomputed_depths(loop_function):
+    freq = block_frequencies(loop_function, depths={"entry": 0, "header": 1, "body": 1, "exit": 0})
+    assert freq["header"] == 10.0

@@ -1,0 +1,86 @@
+"""Edge-case tests for the figure machinery and experiment records."""
+
+import math
+
+from repro.experiments.figures import FigureResult, figure15
+from repro.experiments.runner import ExperimentConfig, InstanceRecord, run_experiment
+from repro.experiments.stats import normalize_records
+
+
+def test_figure_result_str_is_rendered_text():
+    result = FigureResult(figure="x", title="t", rendered="hello table")
+    assert str(result) == "hello table"
+
+
+def test_figure_result_defaults_are_empty():
+    result = FigureResult(figure="x", title="t")
+    assert result.series == {}
+    assert result.distributions == {}
+    assert result.records == []
+    assert result.unbounded_records == 0
+
+
+def test_runner_records_carry_allocator_stats(figure4_graph):
+    from repro.alloc.problem import AllocationProblem
+
+    problems = [AllocationProblem(graph=figure4_graph, num_registers=2, name="fig4")]
+    config = ExperimentConfig(allocators=["FPL"], register_counts=[2])
+    records = run_experiment(problems, config)
+    assert len(records) == 1
+    assert "fixed_point_rounds" in records[0].stats
+    assert records[0].program == "fig4"
+
+
+def test_figure15_with_precomputed_records_does_not_rerun_allocators():
+    records = [
+        InstanceRecord(
+            instance="jvm/db/fn0",
+            program="db",
+            allocator=name,
+            num_registers=6,
+            spill_cost=cost,
+            num_spilled=1,
+            num_variables=10,
+            max_pressure=8,
+            runtime_seconds=0.0,
+        )
+        for name, cost in (("Optimal", 10.0), ("LS", 25.0), ("BLS", 24.0), ("GC", 13.0), ("LH", 11.0))
+    ]
+    result = figure15(records=records, register_count=6)
+    assert set(result.series) == {"db"}
+    assert result.series["db"]["LH"] == 1.1
+    assert result.series["db"]["LS"] == 2.5
+
+
+def test_normalize_records_multiple_register_counts_keyed_independently():
+    def record(allocator, registers, cost):
+        return InstanceRecord(
+            instance="i",
+            program="p",
+            allocator=allocator,
+            num_registers=registers,
+            spill_cost=cost,
+            num_spilled=0,
+            num_variables=5,
+            max_pressure=5,
+            runtime_seconds=0.0,
+        )
+
+    records = [
+        record("Optimal", 2, 10.0),
+        record("Optimal", 4, 5.0),
+        record("NL", 2, 20.0),
+        record("NL", 4, 5.0),
+    ]
+    normalized, _ = normalize_records(records)
+    ratios = {(r.allocator, r.num_registers): r.ratio for r in normalized}
+    assert ratios[("NL", 2)] == 2.0
+    assert ratios[("NL", 4)] == 1.0
+
+
+def test_mean_ratio_handles_missing_allocator_gracefully():
+    from repro.experiments.stats import mean_ratio_by
+
+    table = mean_ratio_by([], ["GhostAllocator"], [2, 4])
+    assert math.isnan(table["GhostAllocator"][2])
+    assert math.isnan(table["GhostAllocator"][4])

@@ -1,0 +1,166 @@
+"""Tests for normalization, distribution statistics and report rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import (
+    render_distribution_table,
+    render_figure,
+    render_key_values,
+    render_table,
+)
+from repro.experiments.runner import InstanceRecord
+from repro.experiments.stats import (
+    distribution_by,
+    geometric_mean,
+    mean_ratio_by,
+    normalize_records,
+    per_program_means,
+    percentile,
+    summarize_distribution,
+)
+
+
+def record(instance, allocator, registers, cost, program="prog"):
+    return InstanceRecord(
+        instance=instance,
+        program=program,
+        allocator=allocator,
+        num_registers=registers,
+        spill_cost=cost,
+        num_spilled=0,
+        num_variables=10,
+        max_pressure=5,
+        runtime_seconds=0.0,
+    )
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([2, 0, 8]) == pytest.approx(4.0)  # zeros ignored
+
+
+def test_percentile_interpolation():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 4.0
+    assert percentile(values, 0.5) == pytest.approx(2.5)
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.9) == 7.0
+
+
+def test_normalize_records_basic():
+    records = [
+        record("f1", "Optimal", 2, 10.0),
+        record("f1", "NL", 2, 12.0),
+        record("f1", "GC", 2, 20.0),
+    ]
+    normalized, unbounded = normalize_records(records)
+    ratios = {r.allocator: r.ratio for r in normalized}
+    assert ratios["NL"] == pytest.approx(1.2)
+    assert ratios["GC"] == pytest.approx(2.0)
+    assert ratios["Optimal"] == pytest.approx(1.0)
+    assert unbounded == 0
+
+
+def test_normalize_records_zero_optimum():
+    records = [
+        record("f1", "Optimal", 8, 0.0),
+        record("f1", "NL", 8, 0.0),
+        record("f1", "GC", 8, 3.0),
+    ]
+    normalized, unbounded = normalize_records(records)
+    allocators = {r.allocator for r in normalized}
+    assert "GC" not in allocators  # unbounded record excluded
+    assert unbounded == 1
+    nl = next(r for r in normalized if r.allocator == "NL")
+    assert nl.ratio == 1.0
+
+
+def test_normalize_records_missing_optimal_is_skipped():
+    records = [record("f1", "NL", 2, 5.0)]
+    normalized, unbounded = normalize_records(records)
+    assert normalized == []
+    assert unbounded == 0
+
+
+def test_mean_ratio_by():
+    records = [
+        record("f1", "Optimal", 2, 10.0),
+        record("f1", "NL", 2, 15.0),
+        record("f2", "Optimal", 2, 10.0),
+        record("f2", "NL", 2, 25.0),
+    ]
+    normalized, _ = normalize_records(records)
+    table = mean_ratio_by(normalized, ["NL", "Optimal"], [2])
+    assert table["NL"][2] == pytest.approx(2.0)
+    assert table["Optimal"][2] == pytest.approx(1.0)
+
+
+def test_mean_ratio_by_missing_bucket_is_nan():
+    table = mean_ratio_by([], ["NL"], [2])
+    assert math.isnan(table["NL"][2])
+
+
+def test_summarize_distribution():
+    summary = summarize_distribution([1.0, 1.0, 2.0, 4.0])
+    assert summary.count == 4
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.median == pytest.approx(1.5)
+    assert summary.p25 <= summary.median <= summary.p75 <= summary.p95 <= summary.maximum
+
+
+def test_summarize_empty_distribution():
+    summary = summarize_distribution([])
+    assert summary.count == 0
+    assert summary.mean == 0.0
+
+
+def test_distribution_by_and_render():
+    records = [
+        record("f1", "Optimal", 2, 10.0),
+        record("f1", "NL", 2, 12.0),
+        record("f2", "Optimal", 2, 10.0),
+        record("f2", "NL", 2, 30.0),
+    ]
+    normalized, _ = normalize_records(records)
+    table = distribution_by(normalized, ["NL"], [2])
+    assert table["NL"][2].count == 2
+    text = render_distribution_table(table, [2])
+    assert "NL" in text
+    assert "[" in text
+
+
+def test_per_program_means():
+    records = [
+        record("f1", "Optimal", 6, 10.0, program="javac"),
+        record("f1", "LH", 6, 11.0, program="javac"),
+        record("f2", "Optimal", 6, 10.0, program="db"),
+        record("f2", "LH", 6, 15.0, program="db"),
+    ]
+    normalized, _ = normalize_records(records)
+    table = per_program_means(normalized, ["LH"], 6)
+    assert table["javac"]["LH"] == pytest.approx(1.1)
+    assert table["db"]["LH"] == pytest.approx(1.5)
+
+
+def test_render_table_formats_nan_as_dash():
+    text = render_table({"NL": {2: float("nan"), 4: 1.25}}, [2, 4])
+    assert "-" in text
+    assert "1.250" in text
+    assert "allocator" in text
+
+
+def test_render_figure_banner():
+    text = render_figure("My Title", "body")
+    assert "My Title" in text
+    assert text.count("=") >= 40
+
+
+def test_render_key_values():
+    text = render_key_values({"rate": 0.99, "pairs": 100})
+    assert "rate" in text and "0.99" in text

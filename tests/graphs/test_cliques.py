@@ -1,0 +1,130 @@
+"""Tests for maximal clique enumeration."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.cliques import (
+    cliques_containing,
+    maximal_cliques,
+    maximal_cliques_chordal,
+    maximal_cliques_general,
+    maximum_clique_size,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_chordal_graph,
+    random_general_graph,
+)
+from repro.graphs.graph import Graph
+
+
+def _to_networkx(graph: Graph) -> nx.Graph:
+    G = nx.Graph()
+    G.add_nodes_from(graph.vertices())
+    G.add_edges_from(graph.edges())
+    return G
+
+
+def _clique_set(cliques):
+    return {frozenset(c) for c in cliques}
+
+
+def test_empty_graph_has_no_cliques():
+    assert maximal_cliques(Graph()) == []
+    assert maximum_clique_size(Graph()) == 0
+
+
+def test_single_vertex_clique():
+    g = Graph()
+    g.add_vertex("a")
+    assert _clique_set(maximal_cliques(g)) == {frozenset({"a"})}
+
+
+def test_complete_graph_single_maximal_clique():
+    g = complete_graph(5)
+    cliques = maximal_cliques(g)
+    assert len(cliques) == 1
+    assert len(cliques[0]) == 5
+    assert maximum_clique_size(g) == 5
+
+
+def test_path_maximal_cliques_are_edges():
+    g = path_graph(4)
+    expected = {frozenset({"v0", "v1"}), frozenset({"v1", "v2"}), frozenset({"v2", "v3"})}
+    assert _clique_set(maximal_cliques(g)) == expected
+
+
+def test_cycle4_maximal_cliques_via_bron_kerbosch():
+    g = cycle_graph(4)
+    cliques = _clique_set(maximal_cliques(g))
+    assert cliques == {
+        frozenset({"v0", "v1"}),
+        frozenset({"v1", "v2"}),
+        frozenset({"v2", "v3"}),
+        frozenset({"v3", "v0"}),
+    }
+
+
+def test_paper_figure7_maximal_cliques(figure7_graph):
+    # The paper lists {a,d,f}, {b,c,e}, {c,d,e}, {d,e,f}.
+    expected = {
+        frozenset("adf"),
+        frozenset("bce"),
+        frozenset("cde"),
+        frozenset("def"),
+    }
+    assert _clique_set(maximal_cliques(figure7_graph)) == expected
+
+
+def test_chordal_enumeration_matches_networkx():
+    for seed in range(6):
+        g = random_chordal_graph(20, rng=seed)
+        mine = _clique_set(maximal_cliques_chordal(g))
+        theirs = {frozenset(c) for c in nx.find_cliques(_to_networkx(g))}
+        assert mine == theirs
+
+
+def test_general_enumeration_matches_networkx():
+    for seed in range(6):
+        g = random_general_graph(14, rng=seed, edge_prob=0.3)
+        mine = _clique_set(maximal_cliques_general(g))
+        theirs = {frozenset(c) for c in nx.find_cliques(_to_networkx(g))}
+        assert mine == theirs
+
+
+def test_dispatching_enumeration_on_non_chordal_graph():
+    g = cycle_graph(5)
+    assert len(maximal_cliques(g)) == 5
+
+
+def test_chordal_graph_has_at_most_n_maximal_cliques():
+    for seed in range(5):
+        g = random_chordal_graph(30, rng=seed)
+        assert len(maximal_cliques_chordal(g)) <= len(g)
+
+
+def test_cliques_containing():
+    g = path_graph(3)
+    cliques = maximal_cliques(g)
+    containing_v1 = cliques_containing(cliques, "v1")
+    assert len(containing_v1) == 2
+    assert all("v1" in c for c in containing_v1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 16), p=st.floats(0.1, 0.5))
+def test_maximal_cliques_property_against_networkx(seed, n, p):
+    g = random_general_graph(n, rng=seed, edge_prob=p)
+    mine = _clique_set(maximal_cliques(g))
+    theirs = {frozenset(c) for c in nx.find_cliques(_to_networkx(g))}
+    assert mine == theirs
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 25))
+def test_every_maximal_clique_is_a_clique(seed, n):
+    g = random_chordal_graph(n, rng=seed)
+    for clique in maximal_cliques(g):
+        assert g.is_clique(clique)

@@ -1,0 +1,103 @@
+"""Tests for greedy and chordal colorings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.coloring import (
+    chordal_coloring,
+    chromatic_number_chordal,
+    color_classes,
+    greedy_coloring,
+    is_valid_coloring,
+)
+from repro.graphs.cliques import maximum_clique_size
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_chordal_graph,
+    random_general_graph,
+)
+from repro.graphs.graph import Graph
+
+
+def test_greedy_coloring_is_proper():
+    g = random_general_graph(30, rng=7, edge_prob=0.2)
+    coloring = greedy_coloring(g)
+    assert is_valid_coloring(g, coloring)
+
+
+def test_greedy_coloring_with_custom_order():
+    g = path_graph(4)
+    coloring = greedy_coloring(g, order=["v0", "v1", "v2", "v3"])
+    assert is_valid_coloring(g, coloring, num_colors=2)
+
+
+def test_greedy_coloring_rejects_partial_order():
+    g = path_graph(3)
+    import pytest
+    from repro.errors import GraphError
+
+    with pytest.raises(GraphError):
+        greedy_coloring(g, order=["v0"])
+
+
+def test_chordal_coloring_of_empty_graph():
+    assert chordal_coloring(Graph()) == {}
+    assert chromatic_number_chordal(Graph()) == 0
+
+
+def test_chordal_coloring_uses_clique_number_colors():
+    for seed in range(6):
+        g = random_chordal_graph(25, rng=seed)
+        coloring = chordal_coloring(g)
+        assert is_valid_coloring(g, coloring)
+        used = max(coloring.values()) + 1
+        assert used == maximum_clique_size(g)
+
+
+def test_complete_graph_needs_n_colors():
+    g = complete_graph(5)
+    assert chromatic_number_chordal(g) == 5
+
+
+def test_path_needs_two_colors():
+    assert chromatic_number_chordal(path_graph(6)) == 2
+
+
+def test_triangle_needs_three_colors():
+    assert chromatic_number_chordal(cycle_graph(3)) == 3
+
+
+def test_is_valid_coloring_detects_conflicts():
+    g = path_graph(3)
+    assert not is_valid_coloring(g, {"v0": 0, "v1": 0, "v2": 1})
+    assert not is_valid_coloring(g, {"v0": 0, "v1": 1})  # missing vertex
+    assert is_valid_coloring(g, {"v0": 0, "v1": 1, "v2": 0})
+
+
+def test_is_valid_coloring_respects_register_limit():
+    g = path_graph(2)
+    coloring = {"v0": 0, "v1": 3}
+    assert is_valid_coloring(g, coloring)
+    assert not is_valid_coloring(g, coloring, num_colors=2)
+
+
+def test_color_classes_partition_vertices():
+    g = random_chordal_graph(20, rng=5)
+    coloring = chordal_coloring(g)
+    classes = color_classes(coloring)
+    flattened = [v for cls in classes for v in cls]
+    assert sorted(flattened, key=str) == sorted(g.vertices(), key=str)
+
+
+def test_color_classes_empty():
+    assert color_classes({}) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), n=st.integers(1, 30))
+def test_chordal_coloring_is_optimal_property(seed, n):
+    g = random_chordal_graph(n, rng=seed)
+    coloring = chordal_coloring(g)
+    assert is_valid_coloring(g, coloring)
+    assert max(coloring.values()) + 1 == maximum_clique_size(g)

@@ -1,0 +1,90 @@
+"""Additional edge-case tests across the graph substrate."""
+
+import pytest
+
+from repro.analysis.live_ranges import interval_pressure
+from repro.errors import GraphError
+from repro.graphs.chordal import lex_bfs, maximum_cardinality_search
+from repro.graphs.cliques import maximal_cliques_general
+from repro.graphs.coloring import greedy_coloring
+from repro.graphs.generators import random_interval_graph
+from repro.graphs.graph import Graph
+from repro.graphs.stable_set import greedy_weighted_stable_set, maximum_weighted_stable_set
+
+
+def test_interval_pressure_empty():
+    assert interval_pressure([]) == 0
+
+
+def test_mcs_and_lexbfs_on_empty_graph():
+    assert maximum_cardinality_search(Graph()) == []
+    assert lex_bfs(Graph()) == []
+
+
+def test_mcs_unknown_start_vertex():
+    g = Graph()
+    g.add_vertex("a")
+    with pytest.raises(GraphError):
+        maximum_cardinality_search(g, start="zzz")
+    with pytest.raises(GraphError):
+        lex_bfs(g, start="zzz")
+
+
+def test_mcs_on_disconnected_graph_covers_all_components():
+    g = Graph()
+    g.add_edge("a", "b")
+    g.add_edge("c", "d")
+    g.add_vertex("lonely")
+    order = maximum_cardinality_search(g)
+    assert set(order) == {"a", "b", "c", "d", "lonely"}
+
+
+def test_bron_kerbosch_on_empty_and_singleton():
+    assert maximal_cliques_general(Graph()) == []
+    g = Graph()
+    g.add_vertex("x", 2)
+    assert maximal_cliques_general(g) == [frozenset({"x"})]
+
+
+def test_greedy_coloring_of_empty_graph():
+    assert greedy_coloring(Graph()) == {}
+
+
+def test_mwss_all_zero_weights_returns_empty():
+    g = Graph()
+    g.add_vertex("a", 0)
+    g.add_vertex("b", 0)
+    g.add_edge("a", "b")
+    assert maximum_weighted_stable_set(g) == []
+
+
+def test_greedy_stable_set_on_empty_graph():
+    assert greedy_weighted_stable_set(Graph()) == []
+
+
+def test_interval_graph_with_custom_weights():
+    weights = {f"v{i}": float(i + 1) for i in range(10)}
+    graph, intervals = random_interval_graph(10, rng=1, weights=weights)
+    assert graph.weight("v3") == 4.0
+    assert len(intervals) == 10
+
+
+def test_edges_of_graph_without_edges():
+    g = Graph()
+    g.add_vertex("a")
+    g.add_vertex("b")
+    assert g.edges() == []
+    assert g.num_edges() == 0
+
+
+def test_remove_edge_with_unknown_endpoint_raises():
+    g = Graph()
+    g.add_vertex("a")
+    with pytest.raises(GraphError):
+        g.remove_edge("a", "ghost")
+
+
+def test_subgraph_of_empty_selection(figure4_graph):
+    sub = figure4_graph.subgraph([])
+    assert len(sub) == 0
+    assert sub.edges() == []

@@ -1,0 +1,94 @@
+"""Tests for the random graph generators."""
+
+import random
+
+from repro.graphs.chordal import is_chordal
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_chordal_graph,
+    random_general_graph,
+    random_interval_graph,
+    random_weights,
+)
+
+
+def test_random_weights_are_positive_and_deterministic():
+    names = [f"v{i}" for i in range(50)]
+    w1 = random_weights(names, rng=7)
+    w2 = random_weights(names, rng=7)
+    assert w1 == w2
+    assert all(value > 0 for value in w1.values())
+
+
+def test_random_weights_loop_bias_creates_skew():
+    names = [f"v{i}" for i in range(200)]
+    weights = random_weights(names, rng=1, low=1, high=2, loop_bias=0.5)
+    assert max(weights.values()) > 10 * min(weights.values())
+
+
+def test_random_interval_graph_matches_intervals():
+    g, intervals = random_interval_graph(20, rng=3)
+    assert set(g.vertices()) == set(intervals)
+    for u in g.vertices():
+        for v in g.vertices():
+            if u == v:
+                continue
+            su, eu = intervals[u]
+            sv, ev = intervals[v]
+            overlap = su < ev and sv < eu
+            assert g.has_edge(u, v) == overlap
+
+
+def test_random_interval_graph_is_chordal():
+    for seed in range(5):
+        g, _ = random_interval_graph(30, rng=seed)
+        assert is_chordal(g)
+
+
+def test_random_chordal_graph_is_chordal_and_deterministic():
+    g1 = random_chordal_graph(25, rng=11)
+    g2 = random_chordal_graph(25, rng=11)
+    assert is_chordal(g1)
+    assert {frozenset(e) for e in g1.edges()} == {frozenset(e) for e in g2.edges()}
+    assert g1.weights() == g2.weights()
+
+
+def test_random_chordal_graph_accepts_random_instance():
+    rng = random.Random(5)
+    g = random_chordal_graph(10, rng=rng)
+    assert len(g) == 10
+
+
+def test_random_general_graph_edge_probability_extremes():
+    empty = random_general_graph(10, rng=1, edge_prob=0.0)
+    assert empty.num_edges() == 0
+    full = random_general_graph(10, rng=1, edge_prob=1.0)
+    assert full.num_edges() == 10 * 9 // 2
+
+
+def test_cycle_graph_structure():
+    g = cycle_graph(5)
+    assert len(g) == 5
+    assert g.num_edges() == 5
+    assert all(g.degree(v) == 2 for v in g.vertices())
+
+
+def test_complete_graph_structure():
+    g = complete_graph(6)
+    assert g.num_edges() == 15
+    assert all(g.degree(v) == 5 for v in g.vertices())
+
+
+def test_path_graph_structure():
+    g = path_graph(4)
+    assert g.num_edges() == 3
+    assert g.degree("v0") == 1
+    assert g.degree("v1") == 2
+
+
+def test_generators_honor_custom_weights():
+    weights = {f"v{i}": float(i + 1) for i in range(4)}
+    for graph in (cycle_graph(4, weights), complete_graph(4, weights), path_graph(4, weights)):
+        assert graph.weight("v2") == 3.0

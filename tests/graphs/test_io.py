@@ -1,0 +1,69 @@
+"""Tests for graph serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import random_chordal_graph
+from repro.graphs.io import dump_graph, graph_from_dict, graph_to_dict, load_graph
+
+
+def graphs_equal(a, b):
+    return (
+        set(map(str, a.vertices())) == set(map(str, b.vertices()))
+        and {frozenset(map(str, e)) for e in a.edges()} == {frozenset(map(str, e)) for e in b.edges()}
+        and {str(v): a.weight(v) for v in a.vertices()} == {str(v): b.weight(v) for v in b.vertices()}
+    )
+
+
+def test_roundtrip_through_dict(figure4_graph):
+    data = graph_to_dict(figure4_graph, name="figure4")
+    restored = graph_from_dict(data)
+    assert graphs_equal(figure4_graph, restored)
+    assert data["name"] == "figure4"
+
+
+def test_roundtrip_through_file(tmp_path):
+    g = random_chordal_graph(20, rng=9)
+    path = tmp_path / "sub" / "graph.json"
+    dump_graph(g, path, name="random20")
+    restored = load_graph(path)
+    assert graphs_equal(g, restored)
+    # The file itself is valid JSON with the expected envelope.
+    payload = json.loads(path.read_text())
+    assert payload["format"] == "repro-interference-graph"
+    assert payload["version"] == 1
+
+
+def test_from_dict_rejects_wrong_format():
+    with pytest.raises(GraphError):
+        graph_from_dict({"format": "something-else", "version": 1})
+
+
+def test_from_dict_rejects_wrong_version(figure4_graph):
+    data = graph_to_dict(figure4_graph)
+    data["version"] = 99
+    with pytest.raises(GraphError):
+        graph_from_dict(data)
+
+
+def test_from_dict_rejects_dangling_edge():
+    data = {
+        "format": "repro-interference-graph",
+        "version": 1,
+        "vertices": [{"id": "a", "weight": 1.0}],
+        "edges": [["a", "ghost"]],
+    }
+    with pytest.raises(GraphError):
+        graph_from_dict(data)
+
+
+def test_vertex_weights_default_to_one():
+    data = {
+        "format": "repro-interference-graph",
+        "version": 1,
+        "vertices": [{"id": "a"}],
+        "edges": [],
+    }
+    assert graph_from_dict(data).weight("a") == 1.0

@@ -1,0 +1,171 @@
+"""Tests for maximum weighted stable sets (Frank's algorithm and friends)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError, NotChordalError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_chordal_graph,
+    random_general_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.stable_set import (
+    brute_force_max_weight_stable_set,
+    greedy_weighted_stable_set,
+    is_stable_set,
+    maximum_weighted_stable_set,
+    stable_set_weight,
+)
+
+
+def weight_of(graph, vertices):
+    return sum(graph.weight(v) for v in vertices)
+
+
+# ---------------------------------------------------------------------- #
+# is_stable_set
+# ---------------------------------------------------------------------- #
+def test_is_stable_set_empty_and_singleton():
+    g = complete_graph(3)
+    assert is_stable_set(g, [])
+    assert is_stable_set(g, ["v0"])
+    assert not is_stable_set(g, ["v0", "v1"])
+
+
+def test_is_stable_set_on_path():
+    g = path_graph(4)
+    assert is_stable_set(g, ["v0", "v2"])
+    assert is_stable_set(g, ["v0", "v3"])
+    assert not is_stable_set(g, ["v1", "v2"])
+
+
+# ---------------------------------------------------------------------- #
+# Frank's algorithm
+# ---------------------------------------------------------------------- #
+def test_mwss_empty_graph():
+    assert maximum_weighted_stable_set(Graph()) == []
+
+
+def test_mwss_single_vertex():
+    g = Graph()
+    g.add_vertex("a", 3)
+    assert maximum_weighted_stable_set(g) == ["a"]
+
+
+def test_mwss_on_complete_graph_picks_heaviest():
+    g = complete_graph(4, weights={"v0": 1, "v1": 9, "v2": 3, "v3": 2})
+    result = maximum_weighted_stable_set(g)
+    assert result == ["v1"]
+
+
+def test_mwss_on_path_alternates():
+    g = path_graph(5, weights={f"v{i}": 1 for i in range(5)})
+    result = maximum_weighted_stable_set(g)
+    assert is_stable_set(g, result)
+    assert weight_of(g, result) == 3  # v0, v2, v4
+
+
+def test_mwss_paper_figure5_trace(figure4_graph):
+    """On the paper's Figure 4/5 graph the maximum weighted stable set weighs 8."""
+    result = maximum_weighted_stable_set(figure4_graph)
+    assert is_stable_set(figure4_graph, result)
+    assert weight_of(figure4_graph, result) == 8
+    # The two maximum sets are {b, f} and {c, f} (paper, Section 4.1).
+    assert set(result) in ({"b", "f"}, {"c", "f"})
+
+
+def test_mwss_respects_weight_override(figure4_graph):
+    # Force vertex d to dominate by giving it a huge search weight.
+    weights = figure4_graph.weights()
+    weights["d"] = 100
+    result = maximum_weighted_stable_set(figure4_graph, weights=weights)
+    assert "d" in result
+    assert is_stable_set(figure4_graph, result)
+
+
+def test_mwss_missing_weight_raises(figure4_graph):
+    with pytest.raises(GraphError):
+        maximum_weighted_stable_set(figure4_graph, weights={"a": 1.0})
+
+
+def test_mwss_rejects_non_chordal_without_peo():
+    with pytest.raises(NotChordalError):
+        maximum_weighted_stable_set(cycle_graph(4))
+
+
+def test_mwss_zero_weight_vertices_are_not_selected():
+    g = path_graph(3, weights={"v0": 0, "v1": 5, "v2": 0})
+    result = maximum_weighted_stable_set(g)
+    assert result == ["v1"]
+
+
+def test_mwss_matches_brute_force_on_fixed_graphs(figure4_graph, figure7_graph, figure2_graph):
+    for graph in (figure4_graph, figure7_graph, figure2_graph):
+        exact = brute_force_max_weight_stable_set(graph)
+        frank = maximum_weighted_stable_set(graph)
+        assert weight_of(graph, frank) == pytest.approx(weight_of(graph, exact))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000), n=st.integers(1, 14))
+def test_mwss_matches_brute_force_on_random_chordal_graphs(seed, n):
+    g = random_chordal_graph(n, rng=seed)
+    frank = maximum_weighted_stable_set(g)
+    exact = brute_force_max_weight_stable_set(g)
+    assert is_stable_set(g, frank)
+    assert weight_of(g, frank) == pytest.approx(weight_of(g, exact))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), n=st.integers(1, 40))
+def test_mwss_returns_a_stable_set(seed, n):
+    g = random_chordal_graph(n, rng=seed)
+    result = maximum_weighted_stable_set(g)
+    assert is_stable_set(g, result)
+    assert len(set(result)) == len(result)
+
+
+# ---------------------------------------------------------------------- #
+# greedy stable set (used by the layered heuristic)
+# ---------------------------------------------------------------------- #
+def test_greedy_stable_set_is_stable_on_general_graphs():
+    for seed in range(8):
+        g = random_general_graph(25, rng=seed, edge_prob=0.25)
+        result = greedy_weighted_stable_set(g)
+        assert is_stable_set(g, result)
+
+
+def test_greedy_stable_set_is_maximal():
+    g = random_general_graph(20, rng=3, edge_prob=0.2)
+    result = set(greedy_weighted_stable_set(g))
+    for vertex in g.vertices():
+        if vertex in result:
+            continue
+        # Every excluded vertex must conflict with the chosen set.
+        assert g.neighbors(vertex) & result
+
+
+def test_greedy_stable_set_respects_candidates():
+    g = path_graph(5)
+    result = greedy_weighted_stable_set(g, candidates=["v0", "v1"])
+    assert set(result) <= {"v0", "v1"}
+    assert is_stable_set(g, result)
+
+
+def test_greedy_picks_heaviest_vertex_first():
+    g = path_graph(3, weights={"v0": 1, "v1": 10, "v2": 1})
+    result = greedy_weighted_stable_set(g)
+    assert result[0] == "v1"
+
+
+def test_brute_force_refuses_large_graphs():
+    g = random_general_graph(30, rng=0)
+    with pytest.raises(GraphError):
+        brute_force_max_weight_stable_set(g)
+
+
+def test_stable_set_weight_helper(figure4_graph):
+    assert stable_set_weight(figure4_graph, ["b", "f"]) == 8

@@ -1,0 +1,134 @@
+"""Tests for the function builder, functions and modules."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import VirtualRegister
+
+
+def test_builder_simple_function():
+    fb = FunctionBuilder("f", params=["a", "b"])
+    entry = fb.new_block("entry")
+    fb.set_block(entry)
+    fb.add("x", "a", "b")
+    fb.ret("x")
+    fn = fb.finish()
+    assert fn.name == "f"
+    assert fn.parameters == [VirtualRegister("a"), VirtualRegister("b")]
+    assert fn.num_instructions() == 2
+    assert fn.entry.label == "entry"
+
+
+def test_builder_requires_current_block():
+    fb = FunctionBuilder("f")
+    fb.new_block("entry")
+    with pytest.raises(IRError):
+        fb.add("x", 1, 2)
+
+
+def test_builder_rejects_second_terminator():
+    fb = FunctionBuilder("f")
+    fb.set_block(fb.new_block("entry"))
+    fb.ret()
+    with pytest.raises(IRError):
+        fb.ret()
+
+
+def test_builder_coerces_strings_and_numbers():
+    fb = FunctionBuilder("f", params=["a"])
+    fb.set_block(fb.new_block("entry"))
+    fb.add("x", "a", 5)
+    fb.copy("y", 2.5)
+    fb.ret("y")
+    fn = fb.finish()
+    regs = {r.name for r in fn.virtual_registers()}
+    assert regs == {"a", "x", "y"}
+
+
+def test_builder_control_flow_helpers(diamond_function):
+    labels = diamond_function.block_labels()
+    assert labels == ["entry", "then", "else", "join"]
+    assert diamond_function.successors("entry") == ["then", "else"]
+    assert set(diamond_function.predecessors("join")) == {"then", "else"}
+
+
+def test_builder_all_instruction_kinds():
+    fb = FunctionBuilder("kinds", params=["p"])
+    fb.set_block(fb.new_block("entry"))
+    fb.load("l", 64)
+    fb.store(64, "l")
+    fb.call("c", ["p", 1])
+    fb.call(None, ["c"])
+    fb.neg("n", "c")
+    fb.sub("s", "n", 1)
+    fb.mul("m", "s", 2)
+    fb.div("d", "m", 2)
+    fb.cmp("cc", "d", 0)
+    fb.ret("cc")
+    fn = fb.finish()
+    assert fn.num_instructions() == 10
+
+
+def test_duplicate_block_label_rejected():
+    fn = Function("f")
+    fn.add_block("a")
+    with pytest.raises(IRError):
+        fn.add_block("a")
+
+
+def test_unknown_block_lookup_raises():
+    fn = Function("f")
+    with pytest.raises(IRError):
+        fn.block("missing")
+
+
+def test_entry_of_empty_function_raises():
+    fn = Function("f")
+    with pytest.raises(IRError):
+        _ = fn.entry
+
+
+def test_fresh_register_avoids_existing_names():
+    fb = FunctionBuilder("f", params=["t0"])
+    fb.set_block(fb.new_block("entry"))
+    fb.add("t1", "t0", 1)
+    fb.ret("t1")
+    fn = fb.finish()
+    fresh = fn.fresh_register("t")
+    assert fresh.name not in {"t0", "t1"}
+
+
+def test_virtual_registers_in_first_occurrence_order(loop_function):
+    names = [reg.name for reg in loop_function.virtual_registers()]
+    assert names[0] == "n"  # the parameter comes first
+    assert len(names) == len(set(names))
+
+
+def test_defined_registers_includes_parameters(diamond_function):
+    defined = {reg.name for reg in diamond_function.defined_registers()}
+    assert {"a", "b", "c", "x", "y"} <= defined
+
+
+def test_module_add_and_lookup(diamond_function):
+    module = Module("m")
+    module.add_function(diamond_function)
+    assert module.function("diamond") is diamond_function
+    assert module.get("missing") is None
+    assert len(module) == 1
+    assert module.function_names() == ["diamond"]
+
+
+def test_module_duplicate_function_rejected(diamond_function):
+    module = Module("m")
+    module.add_function(diamond_function)
+    with pytest.raises(IRError):
+        module.add_function(diamond_function)
+
+
+def test_module_unknown_function_raises():
+    module = Module("m")
+    with pytest.raises(IRError):
+        module.function("nope")

@@ -1,0 +1,183 @@
+"""Tests for the IR interpreter."""
+
+import pytest
+
+from repro.analysis.ssa_construction import construct_ssa
+from repro.errors import IRError
+from repro.ir.builder import FunctionBuilder
+from repro.ir.interpreter import Interpreter, interpret, run_with_argument_sets
+from repro.ir.parser import parse_function
+from repro.workloads.programs import GeneratorProfile, generate_function
+
+
+def test_interpret_straight_line_arithmetic():
+    fn = parse_function(
+        """
+func @math(%a, %b) {
+entry:
+  %sum = add %a, %b
+  %difference = sub %sum, 1
+  %product = mul %difference, 3
+  %quotient = div %product, 2
+  ret %quotient
+}
+"""
+    )
+    result = interpret(fn, [4, 5])
+    assert result.terminated
+    assert result.return_value == ((4 + 5 - 1) * 3) // 2
+    assert result.block_counts == {"entry": 1}
+    assert result.steps == 5
+
+
+def test_interpret_bitwise_and_compare():
+    fn = parse_function(
+        """
+func @bits(%a, %b) {
+entry:
+  %conjunction = and %a, %b
+  %disjunction = or %a, %b
+  %exclusive = xor %conjunction, %disjunction
+  %shifted = shl %exclusive, 1
+  %back = shr %shifted, 1
+  %flag = cmp %back, 0
+  ret %flag
+}
+"""
+    )
+    result = interpret(fn, [0b1100, 0b1010])
+    assert result.return_value == 1  # the xor of and/or is non-zero here
+
+
+def test_division_by_zero_yields_zero():
+    fn = parse_function(
+        """
+func @divzero(%a) {
+entry:
+  %q = div %a, 0
+  ret %q
+}
+"""
+    )
+    assert interpret(fn, [7]).return_value == 0
+
+
+def test_interpret_branching(diamond_function):
+    # diamond: c = cmp a, b; then-branch computes (a+1)^2, else (b+2)^2.
+    bigger = interpret(diamond_function, [10, 3])
+    assert bigger.return_value == (10 + 1) ** 2
+    smaller = interpret(diamond_function, [1, 5])
+    assert smaller.return_value == (5 + 2) ** 2
+    assert bigger.block_counts["then"] == 1
+    assert "else" not in bigger.block_counts or bigger.block_counts.get("else", 0) == 0
+
+
+def test_interpret_loop_counts_blocks(loop_function):
+    # loop: sums 0..n-1 and multiplies; with n=5 the body runs 5 times.
+    result = interpret(loop_function, [5])
+    assert result.terminated
+    assert result.block_counts["body"] == 5
+    assert result.block_counts["header"] == 6
+    assert result.block_counts["entry"] == 1
+    assert result.block_counts["exit"] == 1
+    # sum = 0+1+2+3+4 = 10; prod = 0 (multiplied by i=0 on the first pass).
+    assert result.return_value == 10
+
+
+def test_interpret_loop_on_ssa_form_gives_same_result(loop_function):
+    ssa = construct_ssa(loop_function)
+    for n in (0, 1, 4, 9):
+        assert interpret(ssa, [n]).return_value == interpret(loop_function, [n]).return_value
+
+
+def test_interpret_diamond_ssa_phi_selection(diamond_function):
+    ssa = construct_ssa(diamond_function)
+    assert interpret(ssa, [10, 3]).return_value == (10 + 1) ** 2
+    assert interpret(ssa, [1, 5]).return_value == (5 + 2) ** 2
+
+
+def test_memory_load_store_roundtrip():
+    fn = parse_function(
+        """
+func @memory(%address, %value) {
+entry:
+  store %address, %value
+  %reloaded = load %address
+  %missing = load 9999
+  %sum = add %reloaded, %missing
+  ret %sum
+}
+"""
+    )
+    result = interpret(fn, [100, 42])
+    assert result.return_value == 42
+    assert result.loads == 2
+    assert result.stores == 1
+    assert result.memory[100] == 42
+
+
+def test_call_is_deterministic():
+    fn = parse_function(
+        """
+func @caller(%a) {
+entry:
+  %first = call %a, 3
+  %second = call %a, 3
+  %difference = sub %first, %second
+  ret %difference
+}
+"""
+    )
+    assert interpret(fn, [5]).return_value == 0
+
+
+def test_step_budget_stops_infinite_loops():
+    fn = parse_function(
+        """
+func @forever() {
+entry:
+  br entry
+}
+"""
+    )
+    result = interpret(fn, [], max_steps=50)
+    assert not result.terminated
+    assert result.return_value is None
+    assert result.block_counts["entry"] >= 40
+
+
+def test_missing_arguments_default_to_zero(loop_function):
+    result = interpret(loop_function, [])
+    assert result.terminated
+    assert result.return_value == 1  # n=0: sum=0, prod=1
+
+
+def test_void_return():
+    fn = parse_function("func @void() {\nentry:\n  ret\n}")
+    result = interpret(fn, [])
+    assert result.terminated
+    assert result.return_value is None
+
+
+def test_block_without_terminator_raises():
+    builder = FunctionBuilder("broken")
+    builder.set_block(builder.new_block("entry"))
+    builder.copy("x", 1)
+    function = builder.function  # bypass finish() so the IR stays broken
+    with pytest.raises(IRError):
+        interpret(function, [])
+
+
+def test_run_with_argument_sets(loop_function):
+    results = run_with_argument_sets(loop_function, [[1], [2], [3]])
+    assert [r.block_counts["body"] for r in results] == [1, 2, 3]
+
+
+def test_generated_programs_execute_within_budget():
+    profile = GeneratorProfile(statements=25, accumulators=4, loop_depth=2)
+    for seed in range(5):
+        fn = generate_function("exec", profile, rng=seed)
+        result = Interpreter(fn, max_steps=100_000).run([3, 5, 7])
+        assert result.steps <= 100_000 + 1
+        # Whether or not it terminated, the counts must be self-consistent.
+        assert sum(result.block_counts.values()) >= 1

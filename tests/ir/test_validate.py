@@ -1,0 +1,135 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Phi, make_branch, make_return
+from repro.ir.module import Module
+from repro.ir.parser import parse_function
+from repro.ir.validate import verify_function, verify_module
+from repro.ir.values import VirtualRegister
+from repro.analysis.ssa_construction import construct_ssa
+
+
+def test_valid_function_passes(diamond_function):
+    verify_function(diamond_function)
+
+
+def test_empty_function_rejected():
+    with pytest.raises(VerificationError):
+        verify_function(Function("empty"))
+
+
+def test_missing_terminator_rejected():
+    fn = Function("f")
+    block = fn.add_block("entry")
+    from repro.ir.instructions import make_copy
+    from repro.ir.values import Constant
+
+    block.append(make_copy(VirtualRegister("x"), Constant(1)))
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_branch_to_unknown_block_rejected():
+    fn = Function("f")
+    fn.add_block("entry").append(make_branch("nowhere"))
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_terminator_in_middle_rejected():
+    fn = Function("f")
+    block = fn.add_block("entry")
+    block.append(make_return())
+    # Force a second instruction after the terminator, bypassing append checks.
+    block.instructions.append(make_return())
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_use_of_undefined_register_rejected():
+    fb = FunctionBuilder("f")
+    fb.set_block(fb.new_block("entry"))
+    fb.add("x", "ghost", 1)
+    fb.ret("x")
+    with pytest.raises(VerificationError):
+        fb.finish()
+
+
+def test_phi_with_wrong_predecessors_rejected():
+    text = """
+func @bad(%a) {
+entry:
+  br next
+next:
+  %x = phi [%a, entry], [%a, ghost]
+  ret %x
+}
+"""
+    fn = parse_function(text)
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_ssa_verification_accepts_constructed_ssa(diamond_function, loop_function):
+    for fn in (diamond_function, loop_function):
+        ssa = construct_ssa(fn)
+        verify_function(ssa, require_ssa=True)
+
+
+def test_ssa_verification_rejects_double_definition(loop_function):
+    # The loop function redefines i/sum/prod, so it is not in SSA form.
+    with pytest.raises(VerificationError):
+        verify_function(loop_function, require_ssa=True)
+
+
+def test_ssa_verification_rejects_non_dominating_use():
+    text = """
+func @nondom(%p) {
+entry:
+  %c = cmp %p, 0
+  cbr %c, left, right
+left:
+  %x = add %p, 1
+  br join
+right:
+  br join
+join:
+  %y = add %x, 1
+  ret %y
+}
+"""
+    fn = parse_function(text)
+    with pytest.raises(VerificationError):
+        verify_function(fn, require_ssa=True)
+
+
+def test_verify_module(diamond_function):
+    module = Module("m")
+    module.add_function(diamond_function)
+    verify_module(module)
+
+
+def test_phi_use_dominance_checked_on_incoming_edge():
+    # %x is defined in 'left' and flows into the phi from 'left': valid SSA.
+    text = """
+func @phi_ok(%p) {
+entry:
+  %c = cmp %p, 0
+  cbr %c, left, right
+left:
+  %x = add %p, 1
+  br join
+right:
+  %z = add %p, 2
+  br join
+join:
+  %m = phi [%x, left], [%z, right]
+  ret %m
+}
+"""
+    fn = parse_function(text)
+    verify_function(fn, require_ssa=True)

@@ -1,0 +1,153 @@
+"""Tests for IR values and instructions."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Instruction,
+    Opcode,
+    Phi,
+    TERMINATOR_OPCODES,
+    make_binary,
+    make_branch,
+    make_call,
+    make_cond_branch,
+    make_copy,
+    make_load,
+    make_return,
+    make_store,
+    make_unary,
+)
+from repro.ir.values import Constant, VirtualRegister, const, vreg
+
+
+# ---------------------------------------------------------------------- #
+# values
+# ---------------------------------------------------------------------- #
+def test_virtual_register_equality_and_hash():
+    assert vreg("a") == VirtualRegister("a")
+    assert hash(vreg("a")) == hash(VirtualRegister("a"))
+    assert vreg("a") != vreg("b")
+    assert str(vreg("a")) == "%a"
+
+
+def test_constant_equality_and_str():
+    assert const(3) == Constant(3)
+    assert const(3) != const(4)
+    assert str(const(7)) == "7"
+    assert str(const(2.5)) == "2.5"
+
+
+def test_registers_usable_as_dict_keys():
+    costs = {vreg("x"): 1.5}
+    assert costs[VirtualRegister("x")] == 1.5
+
+
+# ---------------------------------------------------------------------- #
+# instructions
+# ---------------------------------------------------------------------- #
+def test_make_binary_defs_and_uses():
+    instr = make_binary(Opcode.ADD, vreg("d"), vreg("a"), const(1))
+    assert instr.defined_registers() == [vreg("d")]
+    assert instr.used_registers() == [vreg("a")]
+    assert not instr.is_terminator
+
+
+def test_make_binary_rejects_non_binary_opcode():
+    with pytest.raises(IRError):
+        make_binary(Opcode.COPY, vreg("d"), vreg("a"), vreg("b"))
+
+
+def test_make_unary_rejects_non_unary_opcode():
+    with pytest.raises(IRError):
+        make_unary(Opcode.ADD, vreg("d"), vreg("a"))
+
+
+def test_copy_load_store_shapes():
+    copy = make_copy(vreg("d"), const(0))
+    assert copy.opcode is Opcode.COPY
+    load = make_load(vreg("d"), const(100))
+    assert load.used_registers() == []
+    store = make_store(const(100), vreg("v"))
+    assert store.defined_registers() == []
+    assert store.used_registers() == [vreg("v")]
+
+
+def test_call_with_and_without_result():
+    with_result = make_call(vreg("r"), [vreg("a"), const(2)])
+    assert with_result.defined_registers() == [vreg("r")]
+    void = make_call(None, [vreg("a")])
+    assert void.defined_registers() == []
+
+
+def test_terminators():
+    br = make_branch("exit")
+    assert br.is_terminator
+    assert br.targets == ["exit"]
+    cbr = make_cond_branch(vreg("c"), "then", "else")
+    assert cbr.is_terminator
+    assert cbr.targets == ["then", "else"]
+    assert cbr.used_registers() == [vreg("c")]
+    ret = make_return(vreg("x"))
+    assert ret.is_terminator
+    assert make_return().uses == []
+
+
+def test_terminator_opcodes_constant():
+    assert Opcode.BR in TERMINATOR_OPCODES
+    assert Opcode.ADD not in TERMINATOR_OPCODES
+
+
+def test_terminator_cannot_define_register():
+    with pytest.raises(IRError):
+        Instruction(Opcode.BR, defs=[vreg("x")], targets=["b"])
+
+
+def test_non_terminator_cannot_have_targets():
+    with pytest.raises(IRError):
+        Instruction(Opcode.ADD, defs=[vreg("x")], uses=[const(1), const(2)], targets=["b"])
+
+
+def test_replace_use():
+    instr = make_binary(Opcode.ADD, vreg("d"), vreg("a"), vreg("a"))
+    instr.replace_use(vreg("a"), vreg("b"))
+    assert instr.used_registers() == [vreg("b"), vreg("b")]
+
+
+# ---------------------------------------------------------------------- #
+# phi nodes
+# ---------------------------------------------------------------------- #
+def test_phi_incoming_and_uses():
+    phi = Phi(vreg("x"), {"left": vreg("a"), "right": const(0)})
+    assert phi.target == vreg("x")
+    assert phi.incoming_from("left") == vreg("a")
+    assert set(phi.used_registers()) == {vreg("a")}
+    assert phi.opcode is Opcode.PHI
+
+
+def test_phi_add_incoming_updates_uses():
+    phi = Phi(vreg("x"))
+    phi.add_incoming("a", vreg("v1"))
+    phi.add_incoming("b", vreg("v2"))
+    assert set(phi.used_registers()) == {vreg("v1"), vreg("v2")}
+
+
+def test_phi_incoming_from_missing_edge_raises():
+    phi = Phi(vreg("x"), {"a": vreg("v")})
+    with pytest.raises(IRError):
+        phi.incoming_from("zzz")
+
+
+def test_phi_replace_use():
+    phi = Phi(vreg("x"), {"a": vreg("old"), "b": vreg("other")})
+    phi.replace_use(vreg("old"), vreg("new"))
+    assert phi.incoming_from("a") == vreg("new")
+    assert phi.incoming_from("b") == vreg("other")
+
+
+def test_phi_rename_incoming_block():
+    phi = Phi(vreg("x"), {"a": vreg("v")})
+    phi.rename_incoming_block("a", "a.split")
+    assert phi.incoming_from("a.split") == vreg("v")
+    with pytest.raises(IRError):
+        phi.incoming_from("a")

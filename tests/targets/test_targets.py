@@ -1,0 +1,50 @@
+"""Tests for the target machine descriptions."""
+
+import pytest
+
+from repro.targets import ALL_TARGETS, ARMV7_CORTEX_A8, JIKES_RVM_IA32, ST231, get_target
+from repro.targets.machine import TargetMachine
+
+
+def test_paper_targets_are_registered():
+    assert set(ALL_TARGETS) == {"st231", "armv7-a8", "jikesrvm-ia32"}
+
+
+def test_st231_matches_paper_description():
+    assert ST231.num_registers == 64
+    assert ST231.issue_width == 4
+    assert ST231.load_cost >= ST231.store_cost
+
+
+def test_armv7_register_file():
+    assert ARMV7_CORTEX_A8.num_registers == 16
+
+
+def test_jvm_target_is_register_starved():
+    assert JIKES_RVM_IA32.num_registers <= 8
+
+
+def test_get_target_case_insensitive():
+    assert get_target("ST231") is ST231
+    assert get_target("ARMv7-A8") is ARMV7_CORTEX_A8
+    with pytest.raises(KeyError):
+        get_target("riscv")
+
+
+def test_register_names_cover_the_file():
+    names = ST231.register_names()
+    assert len(names) == 64
+    assert names[0] == "r0"
+    assert names[63] == "r63"
+
+
+def test_scaled_costs_apply_memory_latency():
+    target = TargetMachine(name="toy", num_registers=4, load_cost=4.0, store_cost=2.0)
+    scaled = target.scaled_costs({"x": 1.0, "y": 2.0}, load_fraction=0.5)
+    assert scaled["x"] == pytest.approx(3.0)
+    assert scaled["y"] == pytest.approx(6.0)
+
+
+def test_targets_are_frozen():
+    with pytest.raises(Exception):
+        ST231.num_registers = 128  # type: ignore[misc]

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import dump_graph
+from repro.ir.printer import print_function
+from repro.workloads.programs import GeneratorProfile, generate_function
+from tests.conftest import build_paper_figure4_graph
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "allocators:" in out
+    assert "eembc" in out
+    assert "st231" in out
+
+
+def test_cli_allocate_graph_json(tmp_path, capsys):
+    path = tmp_path / "fig4.json"
+    dump_graph(build_paper_figure4_graph(), path, name="fig4")
+    assert main(["allocate", "--input", str(path), "--allocator", "BFPL", "--registers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "spilled=" in out
+    assert "cost=" in out
+
+
+def test_cli_allocate_ir_file(tmp_path, capsys):
+    fn = generate_function("cli_demo", GeneratorProfile(statements=15, accumulators=4), rng=3)
+    path = tmp_path / "prog.ir"
+    path.write_text(print_function(fn))
+    assert main(["allocate", "--input", str(path), "--allocator", "NL", "--registers", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "cli_demo" in out
+
+
+def test_cli_allocate_ir_file_non_ssa_pipeline(tmp_path, capsys):
+    fn = generate_function("cli_demo2", GeneratorProfile(statements=15, accumulators=4), rng=4)
+    path = tmp_path / "prog.ir"
+    path.write_text(print_function(fn))
+    assert (
+        main(
+            [
+                "allocate",
+                "--input",
+                str(path),
+                "--allocator",
+                "LH",
+                "--registers",
+                "4",
+                "--pipeline",
+                "non-ssa",
+                "--target",
+                "jikesrvm-ia32",
+            ]
+        )
+        == 0
+    )
+    assert "cli_demo2" in capsys.readouterr().out
+
+
+def test_cli_corpus_summary(capsys):
+    assert main(["corpus", "--suite", "lao_kernels", "--seed", "3", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "suite=lao_kernels" in out
+    assert "pressure=" in out
+
+
+def test_cli_figure_small(capsys):
+    assert main(["figure", "ablation", "--scale", "0.15", "--seed", "3", "--max-instances", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Ablation" in out
+
+
+def test_cli_unknown_allocator_fails(tmp_path):
+    path = tmp_path / "fig4.json"
+    dump_graph(build_paper_figure4_graph(), path)
+    with pytest.raises(Exception):
+        main(["allocate", "--input", str(path), "--allocator", "nope", "--registers", "2"])
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "figure99"])
