@@ -41,8 +41,12 @@ class BiasedLayeredAllocator(LayeredOptimalAllocator):
     name = "BL"
 
     def layer_weights(self, problem: AllocationProblem) -> Optional[Dict[Vertex, float]]:
-        """Search each layer with the biased weights."""
-        return bias_weights(problem.graph)
+        """Search each layer with the biased weights (cached per problem).
+
+        The bias only depends on the graph, not on ``R``, so register-count
+        sweeps share one computation via the problem's derived-data cache.
+        """
+        return problem.derived("bias_weights", lambda: bias_weights(problem.graph))
 
 
 register_allocator("BL", BiasedLayeredAllocator)

@@ -51,11 +51,14 @@ class FixedPointLayeredAllocator(LayeredOptimalAllocator):
 
         candidates: Set[Vertex] = set(graph.vertices())
         allocated: List[Vertex] = []
+        # One PEO for the whole run; both phases reuse it over shrinking
+        # candidate masks instead of re-deriving it per round.
+        peo = problem.peo if (self.shared_peo and candidates) else None
 
         # ---------------- Phase 1: the plain layered allocation ---------- #
         layers = 0
         while candidates and layers < num_registers:
-            layer = optimal_layer(graph, candidates, weights=weights, step=1)
+            layer = optimal_layer(graph, candidates, weights=weights, step=1, peo=peo)
             if not layer:
                 break
             allocated.extend(layer)
@@ -86,7 +89,7 @@ class FixedPointLayeredAllocator(LayeredOptimalAllocator):
 
         extra_rounds = 0
         while candidates:
-            layer = optimal_layer(graph, candidates, weights=weights, step=1)
+            layer = optimal_layer(graph, candidates, weights=weights, step=1, peo=peo)
             if not layer:
                 break
             allocated.extend(layer)
@@ -112,8 +115,11 @@ class BiasedFixedPointLayeredAllocator(FixedPointLayeredAllocator):
     name = "BFPL"
 
     def layer_weights(self, problem: AllocationProblem) -> Optional[Dict[Vertex, float]]:
-        """Search with the biased weights of :func:`repro.alloc.biased.bias_weights`."""
-        return bias_weights(problem.graph)
+        """Search with the biased weights of :func:`repro.alloc.biased.bias_weights`.
+
+        Cached per problem (the bias is ``R``-independent), like BL's.
+        """
+        return problem.derived("bias_weights", lambda: bias_weights(problem.graph))
 
 
 register_allocator("FPL", FixedPointLayeredAllocator)

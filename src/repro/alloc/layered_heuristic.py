@@ -79,9 +79,15 @@ class LayeredHeuristicAllocator(Allocator):
     name = "LH"
 
     def allocate(self, problem: AllocationProblem) -> AllocationResult:
-        """Cluster the variables and allocate the heaviest R clusters."""
+        """Cluster the variables and allocate the heaviest R clusters.
+
+        The clustering (Algorithm 5) is independent of the register count, so
+        it is computed once per problem and shared across every ``R`` of a
+        sweep through the problem's derived-data cache; only the cluster
+        ranking (Algorithm 6) runs per register count.
+        """
         graph = problem.graph
-        clusters = cluster_vertices(graph)
+        clusters = problem.derived("lh_clusters", lambda: cluster_vertices(graph))
         allocated = allocate_clusters(graph, clusters, problem.num_registers)
         return self._result(
             problem,

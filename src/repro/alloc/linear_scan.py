@@ -28,6 +28,7 @@ from repro.alloc.base import Allocator, register_allocator
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
 from repro.analysis.live_ranges import LiveInterval
+from repro.errors import AllocationError
 from repro.ir.values import VirtualRegister
 
 
@@ -118,7 +119,13 @@ class BeladyLinearScanAllocator(LinearScanAllocator):
     name = "BLS"
 
     def __init__(self, threshold: float = 0.25) -> None:
-        self.threshold = float(threshold)
+        super().__init__()
+        threshold = float(threshold)
+        if threshold < 0:
+            # A negative threshold would silently invert the cost window
+            # (making *no* candidate qualify except via float slack).
+            raise AllocationError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
 
     def choose_victim(
         self,

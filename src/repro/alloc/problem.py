@@ -40,6 +40,10 @@ class AllocationProblem:
     _chordal: Optional[bool] = field(default=None, repr=False)
     _peo: Optional[List[Vertex]] = field(default=None, repr=False)
     _cliques: Optional[List[Clique]] = field(default=None, repr=False)
+    #: shared scratch cache for R-independent derived data (biased weights,
+    #: heuristic clusters, ...); allocators key it by a short string.  The
+    #: *same dict object* is carried across :meth:`with_registers` clones.
+    _derived_cache: Dict[str, object] = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_registers < 0:
@@ -101,7 +105,20 @@ class AllocationProblem:
         clone._chordal = self._chordal
         clone._peo = self._peo
         clone._cliques = self._cliques
+        clone._derived_cache = self._derived_cache
         return clone
+
+    def derived(self, key: str, compute):
+        """Return an ``R``-independent derived value, computing it once.
+
+        ``compute`` is a zero-argument callable evaluated on the first
+        request; the result is memoized in a cache shared with every
+        :meth:`with_registers` clone, so register-count sweeps pay graph
+        preprocessing once per instance rather than once per ``R``.
+        """
+        if key not in self._derived_cache:
+            self._derived_cache[key] = compute()
+        return self._derived_cache[key]
 
     def spill_cost_of(self, spilled: Sequence[Vertex]) -> float:
         """Total cost of spilling ``spilled``."""

@@ -1,10 +1,19 @@
-"""Run allocators over corpora of allocation problems."""
+"""Run allocators over corpora of allocation problems.
+
+Sweeps are embarrassingly parallel across instances: every (instance,
+register count, allocator) cell is independent.  ``ExperimentConfig.jobs``
+enables a process-pool sweep that shards the corpus round-robin over workers
+while keeping the returned record list byte-for-byte identical to the serial
+order (records are reassembled by instance index, and within one instance
+the register-count × allocator nesting is preserved by :func:`run_instance`).
+"""
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.alloc import get_allocator
 from repro.alloc.problem import AllocationProblem
@@ -23,9 +32,13 @@ class ExperimentConfig:
     register_counts: Sequence[int]
     #: validate every allocation result (slower but catches allocator bugs).
     verify: bool = True
-    #: drop instances whose register pressure never exceeds the largest
-    #: register count (they need no spilling and only add noise).
+    #: drop instances whose register pressure never exceeds the *smallest*
+    #: register count (such instances need no spilling at any swept count
+    #: and only add noise).
     skip_trivial: bool = False
+    #: worker processes for the sweep; ``1`` (default) runs serially in
+    #: process.  Record ordering is identical regardless of ``jobs``.
+    jobs: int = 1
 
 
 @dataclass
@@ -79,6 +92,26 @@ def run_instance(
     return records
 
 
+def _run_instance_shard(
+    shard: Sequence[Tuple[int, AllocationProblem, str]],
+    allocator_names: Sequence[str],
+    register_counts: Sequence[int],
+    verify: bool,
+) -> List[Tuple[int, List[InstanceRecord]]]:
+    """Worker entry point: run one shard of (index, problem, program) triples.
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`.  The
+    original corpus index travels with each result so the parent can restore
+    the serial record order deterministically.
+    """
+    out: List[Tuple[int, List[InstanceRecord]]] = []
+    for index, problem, program in shard:
+        out.append(
+            (index, run_instance(problem, allocator_names, register_counts, program=program, verify=verify))
+        )
+    return out
+
+
 def run_experiment(
     corpus: Corpus | Iterable[AllocationProblem],
     config: ExperimentConfig,
@@ -88,6 +121,11 @@ def run_experiment(
 
     ``max_instances`` truncates the corpus, which the quick benchmarks use to
     bound their runtime; the full figures run the whole corpus.
+
+    With ``config.jobs > 1`` the selected instances are sharded round-robin
+    over a process pool; the returned records are re-ordered by instance
+    index, so the output is identical to a serial run (modulo the measured
+    ``runtime_seconds``).
     """
     if isinstance(corpus, Corpus):
         problems = list(corpus.problems)
@@ -96,21 +134,55 @@ def run_experiment(
         problems = list(corpus)
         program_of = {index: problem.name for index, problem in enumerate(problems)}
 
-    records: List[InstanceRecord] = []
-    count = 0
+    # Select the instances first so trivial-skipping and truncation behave
+    # identically in the serial and parallel paths.
+    pressure_floor: Optional[int] = None
+    if config.skip_trivial and config.register_counts:
+        pressure_floor = min(config.register_counts)
+    selected: List[Tuple[int, AllocationProblem, str]] = []
     for index, problem in enumerate(problems):
-        if max_instances is not None and count >= max_instances:
+        if max_instances is not None and len(selected) >= max_instances:
             break
-        if config.skip_trivial and problem.max_pressure <= min(config.register_counts):
+        if pressure_floor is not None and problem.max_pressure <= pressure_floor:
             continue
-        records.extend(
-            run_instance(
-                problem,
-                config.allocators,
-                config.register_counts,
-                program=program_of.get(index, problem.name),
-                verify=config.verify,
+        selected.append((index, problem, program_of.get(index, problem.name)))
+
+    if config.jobs <= 1 or len(selected) <= 1:
+        records: List[InstanceRecord] = []
+        for _, problem, program in selected:
+            records.extend(
+                run_instance(
+                    problem,
+                    config.allocators,
+                    config.register_counts,
+                    program=program,
+                    verify=config.verify,
+                )
             )
-        )
-        count += 1
+        return records
+
+    workers = min(config.jobs, len(selected))
+    shards: List[List[Tuple[int, AllocationProblem, str]]] = [[] for _ in range(workers)]
+    for position, item in enumerate(selected):
+        shards[position % workers].append(item)
+
+    indexed: List[Tuple[int, List[InstanceRecord]]] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _run_instance_shard,
+                shard,
+                list(config.allocators),
+                list(config.register_counts),
+                config.verify,
+            )
+            for shard in shards
+        ]
+        for future in futures:
+            indexed.extend(future.result())
+
+    indexed.sort(key=lambda pair: pair[0])
+    records = []
+    for _, instance_records in indexed:
+        records.extend(instance_records)
     return records

@@ -187,6 +187,20 @@ class Graph:
         drop_set = set(drop)
         return self.subgraph(v for v in self._adj if v not in drop_set)
 
+    def induced_view(self, keep: Iterable[Vertex]) -> "GraphView":
+        """Return a read-only *view* of the induced subgraph on ``keep``.
+
+        Unlike :meth:`subgraph`, no adjacency sets are copied: the view keeps
+        a reference to this graph plus the membership mask and filters lazily.
+        Building a view is ``O(|keep|)``; every query pays at most the degree
+        of the queried vertex.  This is what lets the layered allocators run a
+        round over the remaining candidates without materializing a fresh
+        graph per round.  Unknown vertices in ``keep`` are ignored, matching
+        :meth:`subgraph`.  The view reflects later mutations of the base
+        graph; do not mutate the base while holding a view.
+        """
+        return GraphView(self, keep)
+
     def is_clique(self, vertices: Iterable[Vertex]) -> bool:
         """Return whether ``vertices`` are pairwise adjacent."""
         vs = list(vertices)
@@ -226,3 +240,90 @@ class Graph:
             else:
                 g.set_weight(v, w)
         return g
+
+
+class GraphView:
+    """A read-only induced-subgraph view sharing the base graph's storage.
+
+    Implements the query surface of :class:`Graph` (membership, iteration,
+    ``neighbors``, weights, ``has_edge``, ...) restricted to a vertex mask,
+    so graph algorithms written against :class:`Graph` — MCS, lex-BFS, PEO
+    validation, Frank's algorithm — run on the view unchanged and without
+    the ``O(|V|+|E|)`` copy that :meth:`Graph.subgraph` pays.
+
+    ``neighbors`` builds the filtered adjacency set on demand (``O(deg)``);
+    callers that only need membership tests should prefer ``has_edge``.
+    """
+
+    __slots__ = ("_base", "_keep")
+
+    def __init__(self, base: Graph, keep: Iterable[Vertex]) -> None:
+        self._base = base
+        self._keep: Set[Vertex] = {v for v in keep if v in base}
+
+    # -- queries (mirror Graph's read API) ----------------------------- #
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._keep
+
+    def __len__(self) -> int:
+        return len(self._keep)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        # Preserve the base graph's insertion order, like Graph.subgraph.
+        return (v for v in self._base if v in self._keep)
+
+    def vertices(self) -> List[Vertex]:
+        """Return the kept vertices in base-graph insertion order."""
+        return [v for v in self._base if v in self._keep]
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Return the kept neighbours of ``v`` (a fresh set, O(deg))."""
+        if v not in self._keep:
+            raise GraphError(f"unknown vertex {v!r}")
+        return self._base.neighbors(v) & self._keep
+
+    def degree(self, v: Vertex) -> int:
+        return len(self.neighbors(v))
+
+    def weight(self, v: Vertex) -> float:
+        if v not in self._keep:
+            raise GraphError(f"unknown vertex {v!r}")
+        return self._base.weight(v)
+
+    def weights(self) -> Dict[Vertex, float]:
+        return {v: self._base.weight(v) for v in self.vertices()}
+
+    def total_weight(self, vertices: Iterable[Vertex] | None = None) -> float:
+        if vertices is None:
+            vertices = self._keep
+        return sum(self.weight(v) for v in vertices)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._keep and v in self._keep and self._base.has_edge(u, v)
+
+    def num_edges(self) -> int:
+        return sum(len(self.neighbors(v)) for v in self._keep) // 2
+
+    def edges(self) -> List[Tuple[Vertex, Vertex]]:
+        index = {v: i for i, v in enumerate(self.vertices())}
+        result: List[Tuple[Vertex, Vertex]] = []
+        for u in self.vertices():
+            for v in self.neighbors(u):
+                if index[u] < index[v]:
+                    result.append((u, v))
+        return result
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            for v in vs[i + 1 :]:
+                if not self.has_edge(u, v):
+                    return False
+        return True
+
+    def materialize(self) -> Graph:
+        """Copy the view into a standalone :class:`Graph`."""
+        return self._base.subgraph(self._keep)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphView(|V|={len(self)} of {len(self._base)})"

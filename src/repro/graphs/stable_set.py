@@ -39,6 +39,7 @@ def maximum_weighted_stable_set(
     graph: Graph,
     weights: Optional[Dict[Vertex, float]] = None,
     peo: Optional[Sequence[Vertex]] = None,
+    candidates: Optional[Iterable[Vertex]] = None,
 ) -> List[Vertex]:
     """Compute a maximum weighted stable set of a chordal graph.
 
@@ -58,31 +59,56 @@ def maximum_weighted_stable_set(
     result, matching the paper: allocating a never-accessed value cannot
     reduce the spill cost.
 
+    ``candidates`` restricts the search to the induced subgraph on a vertex
+    subset *without materializing it*: the PEO walk and the neighbour updates
+    simply skip non-candidates.  Because an induced subgraph of a chordal
+    graph is chordal and the restriction of a PEO is still a PEO, a single
+    ``peo`` of the full graph can be reused across many candidate masks —
+    this is what keeps the layered allocator within the paper's
+    ``O(R·(|V|+|E|))`` bound.  Entries of ``candidates`` absent from the
+    graph are ignored (mirroring :meth:`Graph.subgraph`); ``weights`` only
+    needs to cover the candidates.
+
     Raises :class:`~repro.errors.NotChordalError` when the graph is not
     chordal and no valid ``peo`` is supplied.
     """
     if len(graph) == 0:
         return []
-    if peo is None:
-        peo = perfect_elimination_order(graph)
-    if weights is None:
-        weights = graph.weights()
+
+    if candidates is None:
+        cand: Set[Vertex] = set(graph.vertices())
     else:
-        missing = [v for v in graph if v not in weights]
+        cand = {v for v in candidates if v in graph}
+        if not cand:
+            return []
+    if peo is None:
+        base = graph if len(cand) == len(graph) else graph.induced_view(cand)
+        peo = perfect_elimination_order(base)
+    if weights is None:
+        weights = {v: graph.weight(v) for v in cand}
+    else:
+        missing = [v for v in cand if v not in weights]
         if missing:
             raise GraphError(f"weights missing for vertices: {missing!r}")
 
-    position = {v: i for i, v in enumerate(peo)}
-    residual: Dict[Vertex, float] = {v: float(weights[v]) for v in graph}
-    marked: List[Vertex] = []
-
+    position: Dict[Vertex, int] = {}
     for v in peo:
-        if residual[v] <= 0:
+        if v in cand:
+            position[v] = len(position)
+    if len(position) != len(cand):
+        absent = [v for v in cand if v not in position]
+        raise GraphError(f"peo missing candidate vertices: {absent!r}")
+
+    residual: Dict[Vertex, float] = {v: float(weights[v]) for v in cand}
+    marked: List[Vertex] = []
+    for v in peo:
+        if v not in cand or residual[v] <= 0:
             continue
         marked.append(v)
         amount = residual[v]
+        pos_v = position[v]
         for u in graph.neighbors(v):
-            if position[u] > position[v]:
+            if u in cand and position[u] > pos_v:
                 residual[u] = max(0.0, residual[u] - amount)
         residual[v] = 0.0
 

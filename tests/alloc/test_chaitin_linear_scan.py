@@ -1,8 +1,10 @@
 """Tests for the baseline allocators: Chaitin-Briggs GC, linear scan LS/BLS."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.alloc.chaitin import ChaitinBriggsAllocator
+from repro.errors import AllocationError
 from repro.alloc.linear_scan import BeladyLinearScanAllocator, LinearScanAllocator
 from repro.alloc.optimal import OptimalAllocator
 from repro.alloc.problem import AllocationProblem
@@ -187,3 +189,23 @@ def test_linear_scan_property_kept_intervals_fit(seed, registers):
     result = LinearScanAllocator().allocate(problem)
     kept = [i for i in intervals if i.register.name in result.allocated]
     assert interval_pressure(kept) <= registers
+
+
+# ---------------------------------------------------------------------- #
+# BLS constructor validation (regression: a negative threshold silently
+# inverted the cost window instead of failing fast)
+# ---------------------------------------------------------------------- #
+def test_bls_rejects_negative_threshold():
+    with pytest.raises(AllocationError):
+        BeladyLinearScanAllocator(threshold=-0.1)
+
+
+def test_bls_zero_threshold_degenerates_to_exact_cost_window():
+    allocator = BeladyLinearScanAllocator(threshold=0.0)
+    assert allocator.threshold == 0.0
+
+
+def test_bls_init_calls_base_initializer():
+    allocator = BeladyLinearScanAllocator(threshold=0.5)
+    assert isinstance(allocator, LinearScanAllocator)
+    assert allocator.name == "BLS"

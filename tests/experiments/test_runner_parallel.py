@@ -1,0 +1,85 @@
+"""The parallel sweep path and the ``skip_trivial`` semantics of the runner."""
+
+import pytest
+
+from repro.alloc.problem import AllocationProblem
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.graphs.generators import complete_graph, path_graph, random_chordal_graph
+
+
+def _record_key(records):
+    """Everything except the measured runtime, which varies run to run."""
+    return [
+        (r.instance, r.program, r.allocator, r.num_registers, r.spill_cost,
+         r.num_spilled, r.num_variables, r.max_pressure)
+        for r in records
+    ]
+
+
+@pytest.fixture(scope="module")
+def small_problems():
+    return [
+        AllocationProblem(
+            graph=random_chordal_graph(18 + seed, rng=seed), num_registers=4, name=f"p{seed}"
+        )
+        for seed in range(7)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# parallel sweep
+# ---------------------------------------------------------------------- #
+def test_parallel_sweep_matches_serial_order_and_results(small_problems):
+    serial = ExperimentConfig(allocators=["NL", "BFPL"], register_counts=[1, 2, 4], verify=False)
+    parallel = ExperimentConfig(
+        allocators=["NL", "BFPL"], register_counts=[1, 2, 4], verify=False, jobs=3
+    )
+    a = run_experiment(small_problems, serial)
+    b = run_experiment(small_problems, parallel)
+    assert _record_key(a) == _record_key(b)
+    assert len(a) == len(small_problems) * 2 * 3
+
+
+def test_parallel_sweep_respects_max_instances(small_problems):
+    config = ExperimentConfig(allocators=["NL"], register_counts=[2], verify=False, jobs=2)
+    records = run_experiment(small_problems, config, max_instances=3)
+    assert {r.instance for r in records} == {"p0", "p1", "p2"}
+
+
+def test_parallel_sweep_with_more_jobs_than_instances(small_problems):
+    config = ExperimentConfig(allocators=["NL"], register_counts=[2], verify=False, jobs=32)
+    records = run_experiment(small_problems[:2], config)
+    assert len(records) == 2
+
+
+# ---------------------------------------------------------------------- #
+# skip_trivial semantics (regression: code and docstring disagreed)
+# ---------------------------------------------------------------------- #
+def test_skip_trivial_uses_smallest_register_count():
+    """An instance is trivial only if even the *smallest* swept R needs no
+    spilling; pressure between min and max must still be run."""
+    low = AllocationProblem(graph=path_graph(6), num_registers=0, name="low")  # pressure 2
+    mid = AllocationProblem(graph=complete_graph(5), num_registers=0, name="mid")  # pressure 5
+    config = ExperimentConfig(
+        allocators=["NL"], register_counts=[2, 8], verify=False, skip_trivial=True
+    )
+    records = run_experiment([low, mid], config)
+    # pressure(low)=2 <= min(R)=2 -> trivial, skipped; pressure(mid)=5 > 2 -> kept
+    # even though 5 <= max(R)=8.
+    assert {r.instance for r in records} == {"mid"}
+
+
+def test_skip_trivial_with_empty_register_counts_does_not_crash():
+    problems = [AllocationProblem(graph=path_graph(4), num_registers=0, name="p")]
+    config = ExperimentConfig(allocators=["NL"], register_counts=[], verify=False, skip_trivial=True)
+    assert run_experiment(problems, config) == []
+
+
+def test_skipped_instances_do_not_consume_max_instances_budget():
+    trivial = AllocationProblem(graph=path_graph(4), num_registers=0, name="trivial")
+    heavy = AllocationProblem(graph=complete_graph(6), num_registers=0, name="heavy")
+    config = ExperimentConfig(
+        allocators=["NL"], register_counts=[2], verify=False, skip_trivial=True
+    )
+    records = run_experiment([trivial, heavy], config, max_instances=1)
+    assert {r.instance for r in records} == {"heavy"}

@@ -169,3 +169,56 @@ def test_random_chordal_generator_is_chordal(seed, n):
     g = random_chordal_graph(n, rng=seed)
     assert is_chordal(g)
     assert nx.is_chordal(_to_networkx(g))
+
+
+# ---------------------------------------------------------------------- #
+# partition-refinement lex-BFS (regression: the seed rebuilt every block
+# per pivot, making the traversal quadratic)
+# ---------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+def test_both_orderings_are_peos_on_chordal_corpora(seed, n):
+    g = random_chordal_graph(n, rng=seed)
+    assert is_perfect_elimination_order(g, list(reversed(maximum_cardinality_search(g))))
+    assert is_perfect_elimination_order(g, list(reversed(lex_bfs(g))))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 30))
+def test_lex_bfs_is_deterministic_and_a_permutation(seed, n):
+    g = random_chordal_graph(n, rng=seed)
+    order = lex_bfs(g)
+    assert sorted(order, key=str) == sorted(g.vertices(), key=str)
+    assert order == lex_bfs(g)
+
+
+def test_lex_bfs_with_start_vertex_still_yields_peo():
+    g = random_chordal_graph(25, rng=8)
+    for start in list(g.vertices())[:5]:
+        order = lex_bfs(g, start=start)
+        assert order[0] == start
+        assert is_perfect_elimination_order(g, list(reversed(order)))
+
+
+def test_lex_bfs_matches_networkx_lexicographic_labels():
+    """Reverse lex-BFS of an interval graph is a PEO networkx agrees with."""
+    g, _ = random_interval_graph(40, rng=9)
+    order = list(reversed(lex_bfs(g)))
+    assert is_perfect_elimination_order(g, order)
+    assert nx.is_chordal(_to_networkx(g))
+
+
+def test_lex_bfs_runtime_grows_subquadratically():
+    import time
+
+    timings = {}
+    sizes = (500, 2000)
+    for n in sizes:
+        g = random_chordal_graph(n, rng=n, extra_edge_prob=0.5)
+        start = time.perf_counter()
+        lex_bfs(g)
+        timings[n] = (time.perf_counter() - start, len(g) + g.num_edges())
+    time_ratio = timings[sizes[1]][0] / max(timings[sizes[0]][0], 1e-6)
+    work_ratio = timings[sizes[1]][1] / timings[sizes[0]][1]
+    # The seed's quadratic refinement blows far past linear-with-slack.
+    assert time_ratio <= work_ratio * 8, timings

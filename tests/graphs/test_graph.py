@@ -183,3 +183,59 @@ def test_vertices_preserve_insertion_order():
     for name in ["z", "a", "m"]:
         g.add_vertex(name)
     assert g.vertices() == ["z", "a", "m"]
+
+
+# ---------------------------------------------------------------------- #
+# induced views (the no-copy subgraphs behind the layered fast path)
+# ---------------------------------------------------------------------- #
+def _abc_graph():
+    g = Graph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "d")],
+        weights={"a": 1, "b": 2, "c": 3, "d": 4},
+        isolated=["e"],
+    )
+    return g
+
+
+def test_induced_view_matches_subgraph_semantics():
+    g = _abc_graph()
+    for keep in (["a", "b"], ["a", "c", "e"], ["a", "b", "c", "d", "e"], [], ["ghost", "a"]):
+        view = g.induced_view(keep)
+        copy = g.subgraph(keep)
+        assert view.vertices() == copy.vertices()
+        assert len(view) == len(copy)
+        assert view.num_edges() == copy.num_edges()
+        assert view.weights() == copy.weights()
+        assert sorted(view.edges()) == sorted(copy.edges())
+        for v in copy.vertices():
+            assert view.neighbors(v) == copy.neighbors(v)
+            assert view.degree(v) == copy.degree(v)
+
+
+def test_induced_view_does_not_copy_adjacency():
+    g = _abc_graph()
+    view = g.induced_view(["a", "b", "c"])
+    assert view.has_edge("a", "b")
+    assert not view.has_edge("c", "d")  # d outside the mask
+    assert "d" not in view
+    with pytest.raises(GraphError):
+        view.neighbors("d")
+    with pytest.raises(GraphError):
+        view.weight("ghost")
+
+
+def test_induced_view_materialize_round_trips():
+    g = _abc_graph()
+    view = g.induced_view(["b", "c", "d"])
+    copy = view.materialize()
+    assert copy.vertices() == view.vertices()
+    assert copy.num_edges() == view.num_edges()
+
+
+def test_induced_view_total_weight_and_clique():
+    g = _abc_graph()
+    view = g.induced_view(["a", "b", "c"])
+    assert view.total_weight() == 6
+    assert view.total_weight(["a", "c"]) == 4
+    assert view.is_clique(["a", "b"])
+    assert not view.is_clique(["a", "c"])
