@@ -23,6 +23,12 @@ class Allocator(abc.ABC):
 
     #: registry name; subclasses must override.
     name: str = "abstract"
+    #: algorithm version tag, part of the experiment store's cache key
+    #: ``(problem_digest, name, version, R)``.  Bump it whenever a change can
+    #: alter the *result* of :meth:`allocate` on some instance (spill set,
+    #: cost, tie-breaking); pure speedups with identical output keep the tag,
+    #: so previously cached cells stay valid.
+    version: str = "1"
 
     @abc.abstractmethod
     def allocate(self, problem: AllocationProblem) -> AllocationResult:

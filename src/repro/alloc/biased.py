@@ -39,6 +39,7 @@ class BiasedLayeredAllocator(LayeredOptimalAllocator):
     """Layered-optimal allocation searching with degree-biased weights (BL)."""
 
     name = "BL"
+    version = "1"
 
     def layer_weights(self, problem: AllocationProblem) -> Optional[Dict[Vertex, float]]:
         """Search each layer with the biased weights (cached per problem).

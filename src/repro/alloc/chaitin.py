@@ -28,6 +28,7 @@ class ChaitinBriggsAllocator(Allocator):
     """Optimistic Chaitin–Briggs coloring with cost/degree spill choice."""
 
     name = "GC"
+    version = "1"
 
     def allocate(self, problem: AllocationProblem) -> AllocationResult:
         """Run simplify/select and return the colored (allocated) variables."""

@@ -39,6 +39,7 @@ class FixedPointLayeredAllocator(LayeredOptimalAllocator):
     """Layered allocation iterated to a fixed point (paper's FPL)."""
 
     name = "FPL"
+    version = "1"
 
     def allocate(self, problem: AllocationProblem) -> AllocationResult:
         """Run Algorithm 3: R layers, then extra stable sets until saturation."""
@@ -113,6 +114,7 @@ class BiasedFixedPointLayeredAllocator(FixedPointLayeredAllocator):
     """Fixed-point layered allocation with degree-biased search weights (BFPL)."""
 
     name = "BFPL"
+    version = "1"
 
     def layer_weights(self, problem: AllocationProblem) -> Optional[Dict[Vertex, float]]:
         """Search with the biased weights of :func:`repro.alloc.biased.bias_weights`.

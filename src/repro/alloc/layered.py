@@ -98,6 +98,7 @@ class LayeredOptimalAllocator(Allocator):
     """
 
     name = "NL"
+    version = "1"
 
     def __init__(self, step: int = 1, shared_peo: bool = True) -> None:
         if step < 1:

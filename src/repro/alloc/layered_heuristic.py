@@ -77,6 +77,7 @@ class LayeredHeuristicAllocator(Allocator):
     """Paper's LH: clustering-based layered allocation for general graphs."""
 
     name = "LH"
+    version = "1"
 
     def allocate(self, problem: AllocationProblem) -> AllocationResult:
         """Cluster the variables and allocate the heaviest R clusters.

@@ -56,6 +56,7 @@ class LinearScanAllocator(Allocator):
     """Classical linear scan with cost-driven eviction (paper's LS / DLS)."""
 
     name = "LS"
+    version = "1"
 
     def choose_victim(
         self,
@@ -117,6 +118,7 @@ class BeladyLinearScanAllocator(LinearScanAllocator):
     """
 
     name = "BLS"
+    version = "1"
 
     def __init__(self, threshold: float = 0.25) -> None:
         super().__init__()

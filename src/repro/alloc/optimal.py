@@ -31,6 +31,7 @@ class OptimalAllocator(Allocator):
     """Exact optimal spill-everywhere allocation (the paper's "Optimal")."""
 
     name = "Optimal"
+    version = "1"
 
     def __init__(self, prefer_ilp: bool = True) -> None:
         self.prefer_ilp = prefer_ilp

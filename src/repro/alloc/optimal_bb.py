@@ -99,6 +99,7 @@ class BranchAndBoundAllocator(Allocator):
     """Exact optimal allocator backed by the branch-and-bound solver."""
 
     name = "Optimal-BB"
+    version = "1"
 
     def __init__(self, max_nodes: int = 2_000_000) -> None:
         self.max_nodes = max_nodes

@@ -94,6 +94,7 @@ class IlpOptimalAllocator(Allocator):
     """Optimal allocator backed by scipy's MILP solver."""
 
     name = "Optimal-ILP"
+    version = "1"
 
     def allocate(self, problem: AllocationProblem) -> AllocationResult:
         """Solve the clique-constrained ILP exactly."""

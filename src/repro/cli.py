@@ -10,6 +10,14 @@ Regenerate a figure of the paper on a reduced corpus::
 
     repro-alloc figure figure10 --scale 0.5
 
+Run the persistent experiment pipeline — an interrupted or repeated ``sweep``
+only computes cells missing from the store, then ``aggregate``/``report``
+read the store without re-running any allocator::
+
+    repro-alloc sweep --figure figure9 --scale 0.5 --store results.sqlite
+    repro-alloc aggregate --store results.sqlite
+    repro-alloc report figure9 --store results.sqlite --format markdown
+
 Inspect a generated corpus::
 
     repro-alloc corpus --suite eembc --seed 7
@@ -18,18 +26,62 @@ Inspect a generated corpus::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 from repro.alloc import available_allocators, get_allocator
 from repro.alloc.problem import AllocationProblem
-from repro.experiments.figures import ALL_FIGURES
+from repro.errors import ReproError
+from repro.experiments.figures import ALL_FIGURES, FIGURE_SPECS, FigureSpec
+from repro.experiments.report import (
+    render_figure,
+    render_html_report,
+    render_markdown_report,
+    render_table,
+)
+from repro.experiments.runner import ExperimentConfig, InstanceRecord, run_experiment
+from repro.experiments.stats import mean_ratio_by, normalize_records
 from repro.graphs.io import load_graph
 from repro.ir.parser import parse_module
+from repro.store import open_store
 from repro.targets import ALL_TARGETS, get_target
 from repro.workloads.corpus import build_corpus
 from repro.workloads.extraction import extract_chordal_problem, extract_general_problem
 from repro.workloads.suites import SUITES
+
+DEFAULT_TARGET = "st231"
+
+
+def _package_version() -> str:
+    """Installed distribution version, falling back to the module version."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
+def _error(message: str) -> int:
+    """Print a clean error to stderr and return the CLI failure code."""
+    print(f"repro-alloc: error: {message}", file=sys.stderr)
+    return 1
+
+
+def _csv_names(text: str) -> List[str]:
+    return [token.strip() for token in text.split(",") if token.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(token) for token in _csv_names(text)]
+
+
+def _is_graph_json(path: str) -> bool:
+    return path.endswith(".json") or path.endswith(".json.gz")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -38,13 +90,20 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-alloc",
         description="Layered register allocation (Diouf, Cohen, Rastello - CGO 2013) reproduction",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     allocate = subparsers.add_parser("allocate", help="allocate a textual IR file or a graph JSON")
-    allocate.add_argument("--input", required=True, help="path to a .ir module or a graph .json")
+    allocate.add_argument("--input", required=True, help="path to a .ir module or a graph .json/.json.gz")
     allocate.add_argument("--allocator", default="BFPL", help=f"one of {available_allocators()}")
     allocate.add_argument("--registers", type=int, default=8)
-    allocate.add_argument("--target", default="st231", help=f"one of {sorted(ALL_TARGETS)}")
+    allocate.add_argument(
+        "--target",
+        default=None,
+        help=f"one of {sorted(ALL_TARGETS)} (default {DEFAULT_TARGET}; ignored for graph JSON inputs)",
+    )
     allocate.add_argument(
         "--pipeline",
         choices=("ssa", "non-ssa"),
@@ -57,6 +116,54 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", type=float, default=1.0, help="corpus scale factor")
     figure.add_argument("--seed", type=int, default=2013)
     figure.add_argument("--max-instances", type=int, default=None)
+    figure.add_argument(
+        "--store",
+        default=None,
+        help="experiment store path; cached cells are reused and new ones persisted",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a sweep into a persistent experiment store (resumable)"
+    )
+    sweep.add_argument("--store", required=True, help="store path (*.sqlite default, *.jsonl for JSONL)")
+    sweep.add_argument(
+        "--figure",
+        choices=sorted(FIGURE_SPECS),
+        default=None,
+        help="preset suite/target/allocators/registers from a figure's spec",
+    )
+    sweep.add_argument("--suite", default=None, choices=sorted(SUITES))
+    sweep.add_argument("--target", default=None, help="target machine (default: the suite's)")
+    sweep.add_argument("--allocators", default=None, help="comma-separated allocator names")
+    sweep.add_argument("--registers", default=None, help="comma-separated register counts")
+    sweep.add_argument("--seed", type=int, default=2013)
+    sweep.add_argument("--scale", type=float, default=1.0)
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes for cache misses")
+    sweep.add_argument("--max-instances", type=int, default=None)
+    sweep.add_argument("--skip-trivial", action="store_true")
+    sweep.add_argument("--no-verify", action="store_true", help="skip allocation verification")
+    sweep.add_argument(
+        "--no-resume", action="store_true", help="recompute every cell (results still persisted)"
+    )
+
+    aggregate = subparsers.add_parser(
+        "aggregate", help="summarize a store's records (no allocator runs)"
+    )
+    aggregate.add_argument("--store", required=True)
+    aggregate.add_argument(
+        "--figure",
+        choices=sorted(FIGURE_SPECS),
+        default=None,
+        help="restrict the aggregation to one figure's cells",
+    )
+
+    report = subparsers.add_parser(
+        "report", help="render a figure from a store (no allocator runs)"
+    )
+    report.add_argument("name", choices=sorted(FIGURE_SPECS), help="figure identifier")
+    report.add_argument("--store", required=True)
+    report.add_argument("--format", choices=("ascii", "markdown", "html"), default="markdown")
+    report.add_argument("--output", default=None, help="write to this file instead of stdout")
 
     corpus = subparsers.add_parser("corpus", help="generate and summarize a synthetic corpus")
     corpus.add_argument("--suite", default="eembc", choices=sorted(SUITES))
@@ -69,19 +176,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _command_allocate(args: argparse.Namespace) -> int:
     """Run one allocator on one input file and print the outcome."""
-    target = get_target(args.target)
-    if args.input.endswith(".json"):
-        graph = load_graph(args.input)
-        problem = AllocationProblem(graph=graph, num_registers=args.registers, name=args.input)
-        problems = [problem]
-    else:
-        with open(args.input, "r", encoding="utf-8") as handle:
-            module = parse_module(handle.read())
-        extract = extract_chordal_problem if args.pipeline == "ssa" else extract_general_problem
-        problems = [
-            extract(function, target, name=function.name).with_registers(args.registers)
-            for function in module
-        ]
+    input_path = Path(args.input)
+    if not input_path.is_file():
+        return _error(f"input file not found: {args.input}")
+    try:
+        if _is_graph_json(args.input):
+            if args.target is not None:
+                print(
+                    f"repro-alloc: warning: --target {args.target} is ignored for graph JSON inputs",
+                    file=sys.stderr,
+                )
+            graph = load_graph(input_path)
+            problem = AllocationProblem(graph=graph, num_registers=args.registers, name=args.input)
+            problems = [problem]
+        else:
+            target = get_target(args.target or DEFAULT_TARGET)
+            module = parse_module(input_path.read_text(encoding="utf-8"))
+            extract = extract_chordal_problem if args.pipeline == "ssa" else extract_general_problem
+            problems = [
+                extract(function, target, name=function.name).with_registers(args.registers)
+                for function in module
+            ]
+    except (ReproError, json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+        return _error(f"invalid input file {args.input}: {error}")
 
     allocator = get_allocator(args.allocator)
     for problem in problems:
@@ -99,8 +216,200 @@ def _command_figure(args: argparse.Namespace) -> int:
     kwargs = {"seed": args.seed, "scale": args.scale}
     if args.max_instances is not None:
         kwargs["max_instances"] = args.max_instances
+    if args.store is not None:
+        spec = FIGURE_SPECS.get(args.name)
+        if spec is None:
+            print(
+                f"repro-alloc: warning: --store is ignored for {args.name} "
+                "(it drives the allocators directly)",
+                file=sys.stderr,
+            )
+        else:
+            corpus = build_corpus(spec.suite, target=spec.target, seed=args.seed, scale=args.scale)
+            config = ExperimentConfig(
+                allocators=list(spec.allocators),
+                register_counts=list(spec.register_counts),
+            )
+            with open_store(args.store) as store:
+                kwargs["records"] = run_experiment(
+                    corpus, config, max_instances=args.max_instances, store=store
+                )
     result = function(**kwargs)
     print(result.rendered)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# sweep -> aggregate -> report pipeline
+# ---------------------------------------------------------------------- #
+def _resolve_sweep_spec(args: argparse.Namespace) -> Optional[FigureSpec]:
+    """Merge ``--figure`` presets with explicit overrides into one spec."""
+    preset = FIGURE_SPECS.get(args.figure) if args.figure else None
+    suite = args.suite or (preset.suite if preset else None)
+    target = args.target or (preset.target if preset else None)
+    allocators = _csv_names(args.allocators) if args.allocators else (
+        list(preset.allocators) if preset else None
+    )
+    registers = _csv_ints(args.registers) if args.registers else (
+        list(preset.register_counts) if preset else None
+    )
+    if suite is None or not allocators or not registers:
+        return None
+    return FigureSpec(suite, target, tuple(allocators), tuple(registers))
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    """Run a (resumable) sweep into the experiment store and print its manifest."""
+    try:
+        spec = _resolve_sweep_spec(args)
+    except ValueError as error:
+        return _error(f"invalid --registers value: {error}")
+    if spec is None:
+        return _error("sweep needs --figure or all of --suite/--allocators/--registers")
+    config = ExperimentConfig(
+        allocators=list(spec.allocators),
+        register_counts=list(spec.register_counts),
+        verify=not args.no_verify,
+        skip_trivial=args.skip_trivial,
+        jobs=args.jobs,
+    )
+    try:
+        config.validate()
+    except ValueError as error:
+        return _error(str(error))
+    corpus = build_corpus(spec.suite, target=spec.target, seed=args.seed, scale=args.scale)
+    with open_store(args.store) as store:
+        run_experiment(
+            corpus,
+            config,
+            max_instances=args.max_instances,
+            store=store,
+            resume=not args.no_resume,
+        )
+        manifest = store.manifests()[-1]
+        store_cells = len(store)
+        backend = store.backend
+    print(f"sweep complete: store={args.store} backend={backend} store_cells={store_cells}")
+    print(
+        f"suite={manifest.suite} target={manifest.target} seed={manifest.seed} "
+        f"scale={manifest.scale} git_rev={manifest.git_rev} run_id={manifest.run_id}"
+    )
+    print(
+        f"instances={manifest.instances} cells={manifest.cells_total} "
+        f"computed={manifest.cells_computed} cached={manifest.cells_cached} "
+        f"hit_rate={manifest.hit_rate:.3f} wall={manifest.wall_time_seconds:.2f}s"
+    )
+    return 0
+
+
+def _mixed_corpus_error(manifests, suites: Optional[set] = None) -> Optional[str]:
+    """Detect sweeps of one suite over *different* corpora in the same store.
+
+    Instance names are seed/scale-independent, so normalizing records of two
+    corpus builds of the same suite against each other would silently divide
+    by the wrong optimum.  The run manifests carry the provenance to catch
+    this before it corrupts a figure.
+    """
+    combos: dict = {}
+    for manifest in manifests:
+        if manifest.suite is None:
+            continue
+        if suites is not None and manifest.suite not in suites:
+            continue
+        combos.setdefault(manifest.suite, set()).add((manifest.seed, manifest.scale))
+    mixed = {suite: sorted(c) for suite, c in combos.items() if len(c) > 1}
+    if not mixed:
+        return None
+    detail = "; ".join(
+        f"{suite} swept with " + ", ".join(f"(seed={seed}, scale={scale})" for seed, scale in combos)
+        for suite, combos in sorted(mixed.items())
+    )
+    return (
+        f"store mixes different corpus builds of the same suite ({detail}); "
+        "records would normalize against the wrong optimum — keep one store "
+        "per corpus configuration"
+    )
+
+
+def _filter_records(records: Sequence[InstanceRecord], spec: FigureSpec) -> List[InstanceRecord]:
+    """Restrict store records to one figure's suite, allocators and registers."""
+    allocators = set(spec.allocators)
+    registers = set(spec.register_counts)
+    prefix = f"{spec.suite}/"
+    return [
+        record
+        for record in records
+        if record.instance.startswith(prefix)
+        and record.allocator in allocators
+        and record.num_registers in registers
+    ]
+
+
+def _command_aggregate(args: argparse.Namespace) -> int:
+    """Summarize the store's records through the standard statistics."""
+    with open_store(args.store) as store:
+        records = store.records()
+        manifests = store.manifests()
+    suites = {FIGURE_SPECS[args.figure].suite} if args.figure else None
+    mixed = _mixed_corpus_error(manifests, suites)
+    if mixed:
+        return _error(mixed)
+    if args.figure:
+        records = _filter_records(records, FIGURE_SPECS[args.figure])
+    if not records:
+        return _error(f"no matching records in store {args.store}; run `repro-alloc sweep` first")
+    allocators = sorted({record.allocator for record in records})
+    register_counts = sorted({record.num_registers for record in records})
+    normalized, unbounded = normalize_records(records)
+    if not normalized:
+        return _error(
+            "no records could be normalized: the store has no 'Optimal' baseline "
+            "cells for these instances — include Optimal in the sweep's --allocators"
+        )
+    series = mean_ratio_by(normalized, allocators, register_counts)
+    table = render_table(series, register_counts, row_header="allocator", column_format=lambda c: f"R={c}")
+    print(render_figure("Aggregate - mean normalized allocation cost", table))
+    instances = len({record.instance for record in records})
+    print(
+        f"records={len(records)} instances={instances} allocators={len(allocators)} "
+        f"register_counts={len(register_counts)} unbounded={unbounded}"
+    )
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    """Render one figure from store records, without running any allocator."""
+    spec = FIGURE_SPECS[args.name]
+    with open_store(args.store) as store:
+        records = _filter_records(store.records(), spec)
+        manifests = store.manifests()
+    mixed = _mixed_corpus_error(manifests, {spec.suite})
+    if mixed:
+        return _error(mixed)
+    if not records:
+        return _error(
+            f"no records for {args.name} in store {args.store}; "
+            f"run `repro-alloc sweep --figure {args.name}` first"
+        )
+    if not any(record.allocator.lower() == "optimal" for record in records):
+        return _error(
+            f"store has no 'Optimal' baseline cells for {args.name}; the figure "
+            "normalizes against Optimal — include it in the sweep"
+        )
+    result = ALL_FIGURES[args.name](records=records)
+    if args.format == "ascii":
+        text = result.rendered
+    elif args.format == "markdown":
+        text = render_markdown_report(result)
+    else:
+        text = render_html_report(result)
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -135,6 +444,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_allocate(args)
     if args.command == "figure":
         return _command_figure(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "aggregate":
+        return _command_aggregate(args)
+    if args.command == "report":
+        return _command_report(args)
     if args.command == "corpus":
         return _command_corpus(args)
     if args.command == "list":

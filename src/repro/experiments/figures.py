@@ -38,6 +38,35 @@ CHORDAL_REGISTER_COUNTS = (1, 2, 4, 8, 16, 32)
 GENERAL_REGISTER_COUNTS = (2, 4, 6, 8, 10, 12, 14, 16)
 
 
+@dataclass(frozen=True)
+class FigureSpec:
+    """The sweep a figure needs: corpus and (allocator × register) grid.
+
+    The ``sweep``/``report`` CLI subcommands and ``figure --store`` use these
+    specs to run the sweep through the experiment store and to filter a
+    store's records back down to one figure's cells.
+    """
+
+    suite: str
+    target: Optional[str]
+    allocators: Sequence[str]
+    register_counts: Sequence[int]
+
+
+#: sweep specifications of the figures whose records can flow through the
+#: experiment store (the companion studies drive the allocators directly).
+FIGURE_SPECS: Dict[str, FigureSpec] = {
+    "figure8": FigureSpec("spec2000int", "st231", CHORDAL_ALLOCATORS, CHORDAL_REGISTER_COUNTS),
+    "figure9": FigureSpec("eembc", "st231", CHORDAL_ALLOCATORS, CHORDAL_REGISTER_COUNTS),
+    "figure10": FigureSpec("lao_kernels", "armv7-a8", CHORDAL_ALLOCATORS, CHORDAL_REGISTER_COUNTS),
+    "figure11": FigureSpec("spec2000int", "st231", CHORDAL_ALLOCATORS, CHORDAL_REGISTER_COUNTS),
+    "figure12": FigureSpec("eembc", "st231", CHORDAL_ALLOCATORS, CHORDAL_REGISTER_COUNTS),
+    "figure13": FigureSpec("lao_kernels", "armv7-a8", CHORDAL_ALLOCATORS, CHORDAL_REGISTER_COUNTS),
+    "figure14": FigureSpec("specjvm98", "jikesrvm-ia32", GENERAL_ALLOCATORS, GENERAL_REGISTER_COUNTS),
+    "figure15": FigureSpec("specjvm98", "jikesrvm-ia32", GENERAL_ALLOCATORS, (6,)),
+}
+
+
 @dataclass
 class FigureResult:
     """Structured result of one reproduced figure."""

@@ -2,24 +2,41 @@
 
 Sweeps are embarrassingly parallel across instances: every (instance,
 register count, allocator) cell is independent.  ``ExperimentConfig.jobs``
-enables a process-pool sweep that shards the corpus round-robin over workers
-while keeping the returned record list byte-for-byte identical to the serial
-order (records are reassembled by instance index, and within one instance
-the register-count × allocator nesting is preserved by :func:`run_instance`).
+enables a process-pool sweep that shards the corpus over workers while
+keeping the returned record list byte-for-byte identical to the serial order
+(records are reassembled by instance index, and within one instance the
+register-count × allocator nesting is preserved).
+
+Passing an :class:`~repro.store.ExperimentStore` to :func:`run_experiment`
+makes the sweep *cache-aware and resumable*: cells already present in the
+store (content-addressed by ``(problem_digest, allocator, allocator_version,
+R)``) are served without invoking the allocator, only the misses are computed
+— sharded over the process pool when ``jobs > 1`` — and completed cells are
+flushed to the store incrementally, so an interrupted sweep restarts where it
+died.  Every store-backed sweep also appends a :class:`~repro.store.RunManifest`
+recording provenance (corpus, seed, scale, config, git revision, wall time)
+and the cache hit/miss split.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from concurrent.futures import ProcessPoolExecutor
+import uuid
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.alloc import get_allocator
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
 from repro.alloc.verify import check_allocation
+from repro.store.base import ExperimentStore, RunManifest, current_git_rev, utc_now_iso
+from repro.store.keys import CellKey, problem_digest
 from repro.workloads.corpus import Corpus
+
+#: one sweep cell within an instance: (register count, allocator name).
+Cell = Tuple[int, str]
 
 
 @dataclass
@@ -40,6 +57,18 @@ class ExperimentConfig:
     #: process.  Record ordering is identical regardless of ``jobs``.
     jobs: int = 1
 
+    def validate(self) -> None:
+        """Reject configurations that could only produce nonsense sweeps."""
+        if not self.allocators:
+            raise ValueError("ExperimentConfig.allocators must not be empty")
+        if self.jobs < 1:
+            raise ValueError(f"ExperimentConfig.jobs must be >= 1, got {self.jobs}")
+        bad = [r for r in self.register_counts if r < 1]
+        if bad:
+            raise ValueError(
+                f"ExperimentConfig.register_counts must be positive, got {bad}"
+            )
+
 
 @dataclass
 class InstanceRecord:
@@ -57,6 +86,50 @@ class InstanceRecord:
     stats: Dict = field(default_factory=dict)
 
 
+def run_cells(
+    problem: AllocationProblem,
+    cells: Sequence[Cell],
+    program: str = "",
+    verify: bool = True,
+    on_record: Optional[Callable[[Cell, InstanceRecord], None]] = None,
+) -> List[InstanceRecord]:
+    """Run the listed ``(register_count, allocator_name)`` cells on one problem.
+
+    Allocators are instantiated once per name (not once per register count)
+    and reused across the instance's cells.  ``on_record`` is invoked after
+    each cell completes, which the store-backed serial sweep uses to flush
+    cell-by-cell.
+    """
+    records: List[InstanceRecord] = []
+    allocators: Dict[str, object] = {}
+    for register_count, allocator_name in cells:
+        allocator = allocators.get(allocator_name)
+        if allocator is None:
+            allocator = allocators[allocator_name] = get_allocator(allocator_name)
+        instance = problem.with_registers(register_count)
+        start = time.perf_counter()
+        result: AllocationResult = allocator.allocate(instance)
+        elapsed = time.perf_counter() - start
+        if verify:
+            check_allocation(instance, result, strict=False)
+        record = InstanceRecord(
+            instance=problem.name,
+            program=program,
+            allocator=allocator_name,
+            num_registers=register_count,
+            spill_cost=result.spill_cost,
+            num_spilled=result.num_spilled,
+            num_variables=len(problem.graph),
+            max_pressure=problem.max_pressure,
+            runtime_seconds=elapsed,
+            stats=dict(result.stats),
+        )
+        records.append(record)
+        if on_record is not None:
+            on_record((register_count, allocator_name), record)
+    return records
+
+
 def run_instance(
     problem: AllocationProblem,
     allocator_names: Sequence[str],
@@ -65,31 +138,8 @@ def run_instance(
     verify: bool = True,
 ) -> List[InstanceRecord]:
     """Run every allocator at every register count on one problem."""
-    records: List[InstanceRecord] = []
-    for register_count in register_counts:
-        instance = problem.with_registers(register_count)
-        for allocator_name in allocator_names:
-            allocator = get_allocator(allocator_name)
-            start = time.perf_counter()
-            result: AllocationResult = allocator.allocate(instance)
-            elapsed = time.perf_counter() - start
-            if verify:
-                check_allocation(instance, result, strict=False)
-            records.append(
-                InstanceRecord(
-                    instance=problem.name,
-                    program=program,
-                    allocator=allocator_name,
-                    num_registers=register_count,
-                    spill_cost=result.spill_cost,
-                    num_spilled=result.num_spilled,
-                    num_variables=len(problem.graph),
-                    max_pressure=problem.max_pressure,
-                    runtime_seconds=elapsed,
-                    stats=dict(result.stats),
-                )
-            )
-    return records
+    cells = [(r, name) for r in register_counts for name in allocator_names]
+    return run_cells(problem, cells, program=program, verify=verify)
 
 
 def _run_instance_shard(
@@ -112,21 +162,12 @@ def _run_instance_shard(
     return out
 
 
-def run_experiment(
+def _select_instances(
     corpus: Corpus | Iterable[AllocationProblem],
     config: ExperimentConfig,
-    max_instances: Optional[int] = None,
-) -> List[InstanceRecord]:
-    """Run the configured sweep over a corpus and return raw records.
-
-    ``max_instances`` truncates the corpus, which the quick benchmarks use to
-    bound their runtime; the full figures run the whole corpus.
-
-    With ``config.jobs > 1`` the selected instances are sharded round-robin
-    over a process pool; the returned records are re-ordered by instance
-    index, so the output is identical to a serial run (modulo the measured
-    ``runtime_seconds``).
-    """
+    max_instances: Optional[int],
+) -> List[Tuple[int, AllocationProblem, str]]:
+    """Apply trivial-skipping and truncation, identically for every path."""
     if isinstance(corpus, Corpus):
         problems = list(corpus.problems)
         program_of = dict(corpus.program_of)
@@ -134,8 +175,6 @@ def run_experiment(
         problems = list(corpus)
         program_of = {index: problem.name for index, problem in enumerate(problems)}
 
-    # Select the instances first so trivial-skipping and truncation behave
-    # identically in the serial and parallel paths.
     pressure_floor: Optional[int] = None
     if config.skip_trivial and config.register_counts:
         pressure_floor = min(config.register_counts)
@@ -146,6 +185,39 @@ def run_experiment(
         if pressure_floor is not None and problem.max_pressure <= pressure_floor:
             continue
         selected.append((index, problem, program_of.get(index, problem.name)))
+    return selected
+
+
+def run_experiment(
+    corpus: Corpus | Iterable[AllocationProblem],
+    config: ExperimentConfig,
+    max_instances: Optional[int] = None,
+    store: Optional[ExperimentStore] = None,
+    resume: bool = True,
+) -> List[InstanceRecord]:
+    """Run the configured sweep over a corpus and return raw records.
+
+    ``max_instances`` truncates the corpus, which the quick benchmarks use to
+    bound their runtime; the full figures run the whole corpus.
+
+    With ``config.jobs > 1`` the selected instances are sharded over a
+    process pool; the returned records are re-ordered by instance index, so
+    the output is identical to a serial run (modulo the measured
+    ``runtime_seconds``).
+
+    With a ``store``, cells already cached are served without running the
+    allocator (their records are rehydrated with the current instance and
+    program names, so renamed corpora still hit) and only the misses are
+    computed and persisted — incrementally, so an interrupted sweep resumes
+    from the last flushed cell.  ``resume=False`` recomputes every cell but
+    still persists the results.  Cached cells are not re-verified; they were
+    verified when first computed.
+    """
+    config.validate()
+    selected = _select_instances(corpus, config, max_instances)
+
+    if store is not None:
+        return _run_with_store(corpus, config, selected, store, resume)
 
     if config.jobs <= 1 or len(selected) <= 1:
         records: List[InstanceRecord] = []
@@ -185,4 +257,144 @@ def run_experiment(
     records = []
     for _, instance_records in indexed:
         records.extend(instance_records)
+    return records
+
+
+# ---------------------------------------------------------------------- #
+# store-backed sweep
+# ---------------------------------------------------------------------- #
+def _run_with_store(
+    corpus: Corpus | Iterable[AllocationProblem],
+    config: ExperimentConfig,
+    selected: List[Tuple[int, AllocationProblem, str]],
+    store: ExperimentStore,
+    resume: bool,
+) -> List[InstanceRecord]:
+    """Cache-aware sweep: serve hits from ``store``, compute and persist misses."""
+    started = time.perf_counter()
+    target = corpus.target if isinstance(corpus, Corpus) else None
+    full_cells: List[Cell] = [
+        (r, name) for r in config.register_counts for name in config.allocators
+    ]
+
+    # Canonicalize allocator names/versions once; aliases ("layered") key the
+    # same cells as their paper name ("NL").
+    canonical = {name: get_allocator(name) for name in config.allocators}
+    key_of: Dict[Tuple[int, Cell], CellKey] = {}
+    for index, problem, _program in selected:
+        digests = {
+            r: problem_digest(problem, target=target, registers=r)
+            for r in config.register_counts
+        }
+        for r, name in full_cells:
+            allocator = canonical[name]
+            key_of[(index, (r, name))] = CellKey(
+                problem_digest=digests[r],
+                allocator=allocator.name,
+                allocator_version=allocator.version,
+                num_registers=r,
+            )
+
+    cached = store.get_many(key_of.values()) if resume else {}
+
+    cell_records: Dict[Tuple[int, Cell], InstanceRecord] = {}
+    plan: List[Tuple[int, AllocationProblem, str, List[Cell]]] = []
+    for index, problem, program in selected:
+        missing: List[Cell] = []
+        for cell in full_cells:
+            record = cached.get(key_of[(index, cell)])
+            if record is None:
+                missing.append(cell)
+            else:
+                # Rehydrate provenance: content-addressing means a renamed
+                # corpus (or an allocator alias) still hits, but the record
+                # must carry the names this sweep was asked with.
+                cell_records[(index, cell)] = dataclasses.replace(
+                    record, instance=problem.name, program=program, allocator=cell[1]
+                )
+        if missing:
+            plan.append((index, problem, program, missing))
+
+    cells_total = len(selected) * len(full_cells)
+    cells_cached = len(cell_records)
+
+    def canonicalized(cell: Cell, record: InstanceRecord) -> InstanceRecord:
+        """The persisted copy carries the canonical allocator name, so a
+        sweep via an alias ("layered") fills the same cells downstream
+        consumers (aggregate/report) look up under the paper name ("NL")."""
+        name = canonical[cell[1]].name
+        return record if record.allocator == name else dataclasses.replace(record, allocator=name)
+
+    if plan:
+        if config.jobs <= 1 or len(plan) <= 1:
+            for index, problem, program, missing in plan:
+
+                def persist(cell: Cell, record: InstanceRecord, _index: int = index) -> None:
+                    cell_records[(_index, cell)] = record
+                    store.put(key_of[(_index, cell)], canonicalized(cell, record))
+
+                run_cells(
+                    problem,
+                    missing,
+                    program=program,
+                    verify=config.verify,
+                    on_record=persist,
+                )
+        else:
+            workers = min(config.jobs, len(plan))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(run_cells, problem, missing, program, config.verify): (
+                        index,
+                        missing,
+                    )
+                    for index, problem, program, missing in plan
+                }
+                for future in as_completed(futures):
+                    index, missing = futures[future]
+                    results = future.result()
+                    store.put_many(
+                        [
+                            (key_of[(index, cell)], canonicalized(cell, record))
+                            for cell, record in zip(missing, results)
+                        ]
+                    )
+                    for cell, record in zip(missing, results):
+                        cell_records[(index, cell)] = record
+    store.flush()
+
+    records: List[InstanceRecord] = []
+    for index, _problem, _program in selected:
+        for cell in full_cells:
+            records.append(cell_records[(index, cell)])
+
+    if isinstance(corpus, Corpus):
+        suite, corpus_target, seed, scale = corpus.suite, corpus.target, corpus.seed, corpus.scale
+    else:
+        suite = corpus_target = seed = scale = None
+    store.add_manifest(
+        RunManifest(
+            run_id=uuid.uuid4().hex[:12],
+            created_at=utc_now_iso(),
+            suite=suite,
+            target=corpus_target,
+            seed=seed,
+            scale=scale,
+            config={
+                "allocators": list(config.allocators),
+                "register_counts": list(config.register_counts),
+                "verify": config.verify,
+                "skip_trivial": config.skip_trivial,
+                "jobs": config.jobs,
+                "resume": resume,
+            },
+            git_rev=current_git_rev(),
+            instances=len(selected),
+            cells_total=cells_total,
+            cells_computed=cells_total - cells_cached,
+            cells_cached=cells_cached,
+            wall_time_seconds=time.perf_counter() - started,
+        )
+    )
+    store.flush()
     return records

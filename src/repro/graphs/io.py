@@ -1,17 +1,25 @@
-"""Serialization of weighted interference graphs.
+"""Serialization and content-addressing of weighted interference graphs.
 
 The paper's prototype operated on interference graphs *extracted* from Open64
 and JikesRVM and stored on disk.  This module defines the equivalent exchange
 format for this reproduction: a small JSON document with vertices, weights and
 edges, so corpora of extracted graphs can be cached and shared between the
-experiment harness and the benchmarks.
+experiment harness and the benchmarks.  Files ending in ``.gz`` are
+transparently gzip-compressed so cached corpora stay small.
+
+It also defines the *canonical digest* of a graph: a SHA-256 over the
+sorted-adjacency representation, independent of vertex/edge insertion order.
+The experiment store (:mod:`repro.store`) uses this digest to content-address
+cached allocation results.
 """
 
 from __future__ import annotations
 
+import gzip
+import hashlib
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, IO, Union
 
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
@@ -46,15 +54,50 @@ def graph_from_dict(data: Dict[str, Any]) -> Graph:
     return graph
 
 
+# ---------------------------------------------------------------------- #
+# content addressing
+# ---------------------------------------------------------------------- #
+def canonical_graph_payload(graph: Graph) -> Dict[str, Any]:
+    """The insertion-order-independent representation hashed by the digest.
+
+    Vertices are sorted by their string form, edges by their sorted endpoint
+    pair, so two graphs built in different orders canonicalize identically.
+    """
+    vertices = sorted((str(v), float(graph.weight(v))) for v in graph.vertices())
+    edges = sorted(
+        (str(u), str(v)) if str(u) <= str(v) else (str(v), str(u))
+        for u, v in graph.edges()
+    )
+    return {"vertices": vertices, "edges": edges}
+
+
+def graph_digest(graph: Graph) -> str:
+    """SHA-256 hex digest of the canonical sorted-adjacency representation."""
+    payload = json.dumps(
+        canonical_graph_payload(graph), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# file I/O
+# ---------------------------------------------------------------------- #
+def _open_text(path: Path, mode: str) -> IO[str]:
+    """Open ``path`` for text I/O, transparently gzipping ``*.gz`` files."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
 def dump_graph(graph: Graph, path: Union[str, Path], name: str | None = None) -> None:
-    """Write ``graph`` to ``path`` as JSON."""
+    """Write ``graph`` to ``path`` as JSON (gzip-compressed for ``*.json.gz``)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         json.dump(graph_to_dict(graph, name=name), handle, indent=2, sort_keys=False)
 
 
 def load_graph(path: Union[str, Path]) -> Graph:
     """Load a graph previously written with :func:`dump_graph`."""
-    with Path(path).open("r", encoding="utf-8") as handle:
+    with _open_text(Path(path), "r") as handle:
         return graph_from_dict(json.load(handle))

@@ -1,0 +1,41 @@
+"""Persistent experiment store: content-addressed caching of sweep results.
+
+The paper's evaluation is a large sweep of allocators × register counts over
+corpora of interference graphs.  This package persists every computed cell so
+the sweep is *resumable* (an interrupted run restarts where it died) and
+*incremental* (an unchanged corpus re-sweeps with zero allocator calls),
+decoupling the expensive ``sweep`` from the cheap ``aggregate``/``report``
+stages of the pipeline (see ``repro-alloc sweep / aggregate / report``).
+
+Cache keys are ``(problem_digest, allocator, allocator_version, R)`` — see
+:mod:`repro.store.keys` for the digest contract and
+:attr:`repro.alloc.base.Allocator.version` for when a version bump is
+required.  Two interchangeable backends are provided: SQLite (default) and
+append-only JSONL.
+"""
+
+from repro.store.base import (
+    ExperimentStore,
+    RunManifest,
+    current_git_rev,
+    open_store,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.store.jsonl import JsonlExperimentStore, StoreFormatError
+from repro.store.keys import CellKey, problem_digest
+from repro.store.sqlite import SqliteExperimentStore
+
+__all__ = [
+    "CellKey",
+    "ExperimentStore",
+    "JsonlExperimentStore",
+    "RunManifest",
+    "SqliteExperimentStore",
+    "StoreFormatError",
+    "current_git_rev",
+    "open_store",
+    "problem_digest",
+    "record_from_dict",
+    "record_to_dict",
+]

@@ -1,0 +1,213 @@
+"""Experiment-store interface, run manifests and record serialization.
+
+An :class:`ExperimentStore` is a durable map from :class:`~repro.store.keys.CellKey`
+to one :class:`~repro.experiments.runner.InstanceRecord`, plus an append-only
+log of :class:`RunManifest` provenance entries (one per sweep).  Two backends
+ship with the library — SQLite (:mod:`repro.store.sqlite`, the default) and
+JSONL (:mod:`repro.store.jsonl`) — with identical semantics, checked by the
+backend-parity tests.
+
+Stores are cheap to reopen: an interrupted sweep leaves every flushed cell
+behind, and the next ``run_experiment(..., store=..., resume=True)`` computes
+only the missing ones.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.store.keys import CellKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.experiments.runner import InstanceRecord
+
+
+# ---------------------------------------------------------------------- #
+# record (de)serialization
+# ---------------------------------------------------------------------- #
+def record_to_dict(record: "InstanceRecord") -> Dict[str, Any]:
+    """Convert an :class:`InstanceRecord` to a JSON-serializable dict."""
+    return dataclasses.asdict(record)
+
+
+def record_from_dict(data: Dict[str, Any]) -> "InstanceRecord":
+    """Reconstruct an :class:`InstanceRecord` from :func:`record_to_dict`."""
+    from repro.experiments.runner import InstanceRecord
+
+    return InstanceRecord(
+        instance=str(data["instance"]),
+        program=str(data["program"]),
+        allocator=str(data["allocator"]),
+        num_registers=int(data["num_registers"]),
+        spill_cost=float(data["spill_cost"]),
+        num_spilled=int(data["num_spilled"]),
+        num_variables=int(data["num_variables"]),
+        max_pressure=int(data["max_pressure"]),
+        runtime_seconds=float(data["runtime_seconds"]),
+        stats=dict(data.get("stats") or {}),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# run manifests
+# ---------------------------------------------------------------------- #
+@dataclasses.dataclass
+class RunManifest:
+    """Provenance of one sweep: what ran, over what, and how much was cached."""
+
+    run_id: str
+    created_at: str
+    suite: Optional[str]
+    target: Optional[str]
+    seed: Optional[int]
+    scale: Optional[float]
+    config: Dict[str, Any]
+    git_rev: str
+    instances: int
+    cells_total: int
+    cells_computed: int
+    cells_cached: int
+    wall_time_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cells served from the store (1.0 for an empty sweep)."""
+        return self.cells_cached / self.cells_total if self.cells_total else 1.0
+
+
+def utc_now_iso() -> str:
+    """Current UTC time in ISO-8601 form, for manifests and cell stamps."""
+    return datetime.now(timezone.utc).isoformat()
+
+
+def current_git_rev(cwd: Union[str, Path, None] = None) -> str:
+    """Short git revision of ``cwd`` (or the process cwd); ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+# ---------------------------------------------------------------------- #
+# store interface
+# ---------------------------------------------------------------------- #
+class ExperimentStore(abc.ABC):
+    """Durable, content-addressed map of experiment cells plus run manifests."""
+
+    #: backend identifier (``"sqlite"`` or ``"jsonl"``).
+    backend: str = "abstract"
+
+    # -- cells --------------------------------------------------------- #
+    @abc.abstractmethod
+    def get_many(self, keys: Iterable[CellKey]) -> Dict[CellKey, "InstanceRecord"]:
+        """Return the cached records for the subset of ``keys`` present."""
+
+    @abc.abstractmethod
+    def put_many(self, items: Iterable[Tuple[CellKey, "InstanceRecord"]]) -> None:
+        """Insert (or overwrite) cells; durable once :meth:`flush` returns."""
+
+    @abc.abstractmethod
+    def items(self) -> List[Tuple[CellKey, "InstanceRecord"]]:
+        """All cells in a deterministic order (instance, R, allocator, key)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of cached cells."""
+
+    def get(self, key: CellKey) -> Optional["InstanceRecord"]:
+        """Return one cached record, or ``None``."""
+        return self.get_many([key]).get(key)
+
+    def put(self, key: CellKey, record: "InstanceRecord") -> None:
+        """Insert (or overwrite) one cell."""
+        self.put_many([(key, record)])
+
+    def __contains__(self, key: CellKey) -> bool:
+        return bool(self.get_many([key]))
+
+    def keys(self) -> List[CellKey]:
+        """All cell keys, in :meth:`items` order."""
+        return [key for key, _ in self.items()]
+
+    def records(self) -> List["InstanceRecord"]:
+        """All cached records, in :meth:`items` order — the aggregation input."""
+        return [record for _, record in self.items()]
+
+    # -- manifests ----------------------------------------------------- #
+    @abc.abstractmethod
+    def add_manifest(self, manifest: RunManifest) -> None:
+        """Append one run manifest."""
+
+    @abc.abstractmethod
+    def manifests(self) -> List[RunManifest]:
+        """All manifests in insertion order."""
+
+    # -- lifecycle ----------------------------------------------------- #
+    @abc.abstractmethod
+    def flush(self) -> None:
+        """Make every prior write durable."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Flush and release the backing resources."""
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _items_sort_key(pair: Tuple[CellKey, "InstanceRecord"]) -> Tuple:
+    """Deterministic total order shared by both backends (backend parity)."""
+    key, record = pair
+    return (
+        record.instance,
+        record.program,
+        key.num_registers,
+        key.allocator,
+        key.allocator_version,
+        key.problem_digest,
+    )
+
+
+def open_store(
+    path: Union[str, Path], backend: Optional[str] = None
+) -> ExperimentStore:
+    """Open (creating if needed) the experiment store at ``path``.
+
+    The backend is ``backend`` when given, else inferred from the suffix:
+    ``*.jsonl`` opens the append-only JSONL backend, anything else SQLite.
+    """
+    path = Path(path)
+    if backend is None:
+        backend = "jsonl" if path.suffix == ".jsonl" else "sqlite"
+    if backend == "sqlite":
+        from repro.store.sqlite import SqliteExperimentStore
+
+        return SqliteExperimentStore(path)
+    if backend == "jsonl":
+        from repro.store.jsonl import JsonlExperimentStore
+
+        return JsonlExperimentStore(path)
+    raise ValueError(f"unknown store backend {backend!r}; expected 'sqlite' or 'jsonl'")

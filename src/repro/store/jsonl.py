@@ -1,0 +1,153 @@
+"""Append-only JSONL backend of the experiment store.
+
+One line per event, each a JSON object tagged ``"type": "cell"`` or
+``"type": "manifest"``.  Cells are indexed in memory on open with
+last-write-wins semantics, matching the SQLite backend's
+``INSERT OR REPLACE``.
+
+The format is crash-tolerant by construction: a sweep killed mid-write leaves
+at most one truncated final line, which :meth:`_load` skips (any malformed
+*interior* line is an error — that is corruption, not an interrupted append).
+The file is human-greppable and trivially mergeable across hosts with ``cat``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple, Union
+
+from repro.errors import ReproError
+from repro.store.base import (
+    ExperimentStore,
+    RunManifest,
+    _items_sort_key,
+    record_from_dict,
+    record_to_dict,
+    utc_now_iso,
+)
+from repro.store.keys import CellKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import InstanceRecord
+
+
+class StoreFormatError(ReproError):
+    """The JSONL store file is corrupted beyond an interrupted final append."""
+
+
+class JsonlExperimentStore(ExperimentStore):
+    """Experiment store persisted as one append-only JSON-lines file."""
+
+    backend = "jsonl"
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._cells: Dict[CellKey, "InstanceRecord"] = {}
+        self._manifests: List[RunManifest] = []
+        repair = self._load()
+        if repair == "terminate":
+            # Valid final line that lost its newline: complete it in place.
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write("\n")
+        elif repair == "truncate":
+            # Garbage partial final line from an interrupted append: cut it
+            # off so it cannot masquerade as interior corruption later.
+            self._truncate_partial_tail()
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def _load(self) -> str:
+        """Replay the log into the in-memory index.
+
+        Returns the repair needed for the file's final line: ``"none"``,
+        ``"terminate"`` (valid line missing its newline) or ``"truncate"``
+        (unparseable partial line left by an interrupted append).
+        """
+        if not self.path.exists():
+            return "none"
+        text = self.path.read_text(encoding="utf-8")
+        if not text:
+            return "none"
+        terminated = text.endswith("\n")
+        lines = text.split("\n")[:-1] if terminated else text.split("\n")
+        tail_number = len(lines)
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            is_tail = not terminated and number == tail_number
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                if is_tail:
+                    return "truncate"  # interrupted append; drop it
+                raise StoreFormatError(
+                    f"{self.path}:{number}: malformed store line: {error}"
+                ) from None
+            self._apply(event, number)
+            if is_tail:
+                return "terminate"
+        return "none"
+
+    def _truncate_partial_tail(self) -> None:
+        """Cut the unterminated final line off the file."""
+        data = self.path.read_bytes()
+        keep = data.rfind(b"\n") + 1  # 0 when the file is one partial line
+        with self.path.open("rb+") as handle:
+            handle.truncate(keep)
+
+    def _apply(self, event: Dict, number: int) -> None:
+        kind = event.get("type")
+        if kind == "cell":
+            self._cells[CellKey.from_dict(event["key"])] = record_from_dict(event["record"])
+        elif kind == "manifest":
+            self._manifests.append(RunManifest.from_dict(event["manifest"]))
+        else:
+            raise StoreFormatError(f"{self.path}:{number}: unknown event type {kind!r}")
+
+    def _append(self, event: Dict) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    # -- cells --------------------------------------------------------- #
+    def get_many(self, keys: Iterable[CellKey]) -> Dict[CellKey, "InstanceRecord"]:
+        return {key: self._cells[key] for key in keys if key in self._cells}
+
+    def put_many(self, items: Iterable[Tuple[CellKey, "InstanceRecord"]]) -> None:
+        stamp = utc_now_iso()
+        wrote = False
+        for key, record in items:
+            self._append(
+                {
+                    "type": "cell",
+                    "key": key.to_dict(),
+                    "record": record_to_dict(record),
+                    "created_at": stamp,
+                }
+            )
+            self._cells[key] = record
+            wrote = True
+        if wrote:
+            self._handle.flush()
+
+    def items(self) -> List[Tuple[CellKey, "InstanceRecord"]]:
+        return sorted(self._cells.items(), key=_items_sort_key)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    # -- manifests ----------------------------------------------------- #
+    def add_manifest(self, manifest: RunManifest) -> None:
+        self._append({"type": "manifest", "manifest": manifest.to_dict()})
+        self._handle.flush()
+        self._manifests.append(manifest)
+
+    def manifests(self) -> List[RunManifest]:
+        return list(self._manifests)
+
+    # -- lifecycle ----------------------------------------------------- #
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.flush()
+        self._handle.close()

@@ -1,0 +1,102 @@
+"""Content-addressed cache keys for experiment cells.
+
+A *cell* is one allocator run on one problem at one register count.  Its key
+is ``(problem_digest, allocator, allocator_version, num_registers)``:
+
+* ``problem_digest`` — SHA-256 over the problem's canonical content: the
+  sorted-adjacency graph digest (which covers the spill-cost weights), the
+  register count, the live intervals (when present, they change what the
+  linear-scan family computes) and the target name when known.  The instance
+  *name* is deliberately excluded — renaming a corpus must not invalidate its
+  cache.
+* ``allocator`` — the allocator's canonical registry name (``"NL"``, not the
+  ``"layered"`` alias).
+* ``allocator_version`` — the :attr:`~repro.alloc.base.Allocator.version`
+  tag; bumping it on an algorithm change invalidates only that allocator's
+  cached cells.
+* ``num_registers`` — the swept ``R``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.alloc.problem import AllocationProblem
+from repro.graphs.io import graph_digest
+
+PROBLEM_DIGEST_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class CellKey:
+    """Identity of one cached experiment cell."""
+
+    problem_digest: str
+    allocator: str
+    allocator_version: str
+    num_registers: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "problem_digest": self.problem_digest,
+            "allocator": self.allocator,
+            "allocator_version": self.allocator_version,
+            "num_registers": self.num_registers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellKey":
+        return cls(
+            problem_digest=str(data["problem_digest"]),
+            allocator=str(data["allocator"]),
+            allocator_version=str(data["allocator_version"]),
+            num_registers=int(data["num_registers"]),
+        )
+
+
+def _intervals_payload(problem: AllocationProblem) -> List[Tuple[str, int, int]]:
+    """Canonical (sorted) form of the live intervals, if the problem has any."""
+    if not problem.intervals:
+        return []
+    return sorted((str(i.register), i.start, i.end) for i in problem.intervals)
+
+
+def problem_digest(
+    problem: AllocationProblem,
+    target: Optional[str] = None,
+    registers: Optional[int] = None,
+) -> str:
+    """SHA-256 hex digest of the problem's canonical content.
+
+    ``registers`` overrides ``problem.num_registers`` so a register-count
+    sweep can key every ``R`` without materializing ``with_registers`` clones.
+    The graph and interval digests are R-independent and memoized through
+    :meth:`AllocationProblem.derived`, which is shared across clones, so a
+    full sweep hashes the graph exactly once per instance.
+    """
+    content = problem.derived(
+        "store:content_digest",
+        lambda: hashlib.sha256(
+            json.dumps(
+                {
+                    "graph": graph_digest(problem.graph),
+                    "intervals": _intervals_payload(problem),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ).encode("utf-8")
+        ).hexdigest(),
+    )
+    payload = {
+        "format": "repro-problem",
+        "version": PROBLEM_DIGEST_VERSION,
+        "content": content,
+        "registers": problem.num_registers if registers is None else int(registers),
+        "target": target,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()

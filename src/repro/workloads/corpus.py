@@ -28,6 +28,9 @@ class Corpus:
     suite: str
     target: str
     seed: int
+    #: corpus scale factor (fraction of functions per program), recorded so
+    #: run manifests capture the full provenance of a sweep.
+    scale: float = 1.0
     problems: List[AllocationProblem] = field(default_factory=list)
     #: maps each problem index to the benchmark program it came from.
     program_of: Dict[int, str] = field(default_factory=dict)
@@ -80,7 +83,7 @@ def build_corpus(
         target = get_target(target)
 
     rng = random.Random(seed)
-    corpus = Corpus(suite=suite.name, target=target.name, seed=seed)
+    corpus = Corpus(suite=suite.name, target=target.name, seed=seed, scale=scale)
     index = 0
     for program_name, (num_functions, profile) in suite.programs.items():
         count = max(1, round(num_functions * scale))

@@ -36,6 +36,22 @@ def test_roundtrip_through_file(tmp_path):
     assert payload["version"] == 1
 
 
+def test_roundtrip_through_gzip_file(tmp_path):
+    g = random_chordal_graph(20, rng=9)
+    plain = tmp_path / "graph.json"
+    compressed = tmp_path / "graph.json.gz"
+    dump_graph(g, plain, name="random20")
+    dump_graph(g, compressed, name="random20")
+    assert graphs_equal(g, load_graph(compressed))
+    # Actually gzip on disk (magic bytes), and the same document once inflated.
+    raw = compressed.read_bytes()
+    assert raw[:2] == b"\x1f\x8b"
+    import gzip
+
+    assert json.loads(gzip.decompress(raw)) == json.loads(plain.read_text())
+    assert len(raw) < plain.stat().st_size
+
+
 def test_from_dict_rejects_wrong_format():
     with pytest.raises(GraphError):
         graph_from_dict({"format": "something-else", "version": 1})

@@ -1,0 +1,165 @@
+"""SQLite and JSONL backend semantics, checked for parity."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import InstanceRecord
+from repro.store import (
+    CellKey,
+    JsonlExperimentStore,
+    RunManifest,
+    SqliteExperimentStore,
+    StoreFormatError,
+    open_store,
+)
+
+BACKENDS = ("sqlite", "jsonl")
+
+
+def _store_path(tmp_path, backend):
+    return tmp_path / ("store.sqlite" if backend == "sqlite" else "store.jsonl")
+
+
+def _key(digest="d0", allocator="NL", version="1", registers=2):
+    return CellKey(digest, allocator, version, registers)
+
+
+def _record(instance="s/p/fn0", allocator="NL", registers=2, cost=3.0):
+    return InstanceRecord(
+        instance=instance,
+        program="p",
+        allocator=allocator,
+        num_registers=registers,
+        spill_cost=cost,
+        num_spilled=1,
+        num_variables=7,
+        max_pressure=4,
+        runtime_seconds=0.01,
+        stats={"layers": 2},
+    )
+
+
+def _manifest(run_id="r1"):
+    return RunManifest(
+        run_id=run_id,
+        created_at="2026-07-26T00:00:00+00:00",
+        suite="eembc",
+        target="st231",
+        seed=7,
+        scale=0.5,
+        config={"allocators": ["NL"], "register_counts": [2]},
+        git_rev="abc1234",
+        instances=3,
+        cells_total=6,
+        cells_computed=4,
+        cells_cached=2,
+        wall_time_seconds=1.5,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_put_get_roundtrip_and_miss(tmp_path, backend):
+    with open_store(_store_path(tmp_path, backend)) as store:
+        assert store.backend == backend
+        key, record = _key(), _record()
+        assert store.get(key) is None
+        store.put(key, record)
+        assert store.get(key) == record
+        assert key in store
+        assert _key(digest="other") not in store
+        assert store.get_many([key, _key(digest="other")]) == {key: record}
+        assert len(store) == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_overwrite_is_last_write_wins(tmp_path, backend):
+    with open_store(_store_path(tmp_path, backend)) as store:
+        key = _key()
+        store.put(key, _record(cost=3.0))
+        store.put(key, _record(cost=9.0))
+        assert len(store) == 1
+        assert store.get(key).spill_cost == 9.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_persistence_across_reopen(tmp_path, backend):
+    path = _store_path(tmp_path, backend)
+    with open_store(path) as store:
+        store.put(_key(), _record())
+        store.add_manifest(_manifest())
+    with open_store(path) as store:
+        assert len(store) == 1
+        assert store.get(_key()) == _record()
+        manifests = store.manifests()
+        assert len(manifests) == 1
+        assert manifests[0] == _manifest()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_manifests_preserve_insertion_order(tmp_path, backend):
+    path = _store_path(tmp_path, backend)
+    with open_store(path) as store:
+        for run_id in ("r1", "r2", "r3"):
+            store.add_manifest(_manifest(run_id))
+    with open_store(path) as store:
+        assert [m.run_id for m in store.manifests()] == ["r1", "r2", "r3"]
+
+
+def test_backend_parity_same_content_same_views(tmp_path):
+    """Identical operations on both backends produce identical read views."""
+    pairs = [
+        (_key("d1", "NL", "1", 2), _record(instance="s/a/fn0", allocator="NL", registers=2)),
+        (_key("d1", "GC", "1", 2), _record(instance="s/a/fn0", allocator="GC", registers=2, cost=5.0)),
+        (_key("d2", "NL", "1", 4), _record(instance="s/b/fn1", allocator="NL", registers=4, cost=0.0)),
+    ]
+    views = {}
+    for backend in BACKENDS:
+        with open_store(_store_path(tmp_path, backend)) as store:
+            # insert in different orders; the read view must not care
+            ordered = pairs if backend == "sqlite" else list(reversed(pairs))
+            store.put_many(ordered)
+            store.add_manifest(_manifest())
+            views[backend] = (store.items(), store.records(), store.manifests())
+    assert views["sqlite"] == views["jsonl"]
+
+
+def test_open_store_infers_backend_from_suffix(tmp_path):
+    with open_store(tmp_path / "a.jsonl") as store:
+        assert isinstance(store, JsonlExperimentStore)
+    with open_store(tmp_path / "a.sqlite") as store:
+        assert isinstance(store, SqliteExperimentStore)
+    with open_store(tmp_path / "a.db", backend="jsonl") as store:
+        assert isinstance(store, JsonlExperimentStore)
+    with pytest.raises(ValueError):
+        open_store(tmp_path / "a.db", backend="parquet")
+
+
+def test_jsonl_tolerates_truncated_final_line(tmp_path):
+    path = tmp_path / "store.jsonl"
+    with open_store(path) as store:
+        store.put(_key(), _record())
+    # Simulate a crash mid-append: a partial JSON line without newline.
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"type": "cell", "key": {"problem_di')
+    with open_store(path) as store:
+        assert len(store) == 1
+        store.put(_key(digest="d9"), _record())
+    with open_store(path) as store:
+        assert len(store) == 2
+
+
+def test_jsonl_rejects_interior_corruption(tmp_path):
+    path = tmp_path / "store.jsonl"
+    path.write_text('not json at all\n{"type": "manifest", "manifest": {}}\n')
+    with pytest.raises(StoreFormatError):
+        JsonlExperimentStore(path)
+
+
+def test_jsonl_lines_are_plain_json(tmp_path):
+    path = tmp_path / "store.jsonl"
+    with open_store(path) as store:
+        store.put(_key(), _record())
+        store.add_manifest(_manifest())
+    lines = [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+    assert {line["type"] for line in lines} == {"cell", "manifest"}

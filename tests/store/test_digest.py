@@ -1,0 +1,90 @@
+"""Digest stability and sensitivity: the cache-key contract."""
+
+import random
+
+from repro.alloc import available_allocators, get_allocator
+from repro.alloc.problem import AllocationProblem
+from repro.analysis.live_ranges import LiveInterval
+from repro.graphs.graph import Graph
+from repro.graphs.io import graph_digest
+from repro.store import problem_digest
+from tests.conftest import build_paper_figure4_graph
+
+
+def _shuffled_copy(graph: Graph, seed: int) -> Graph:
+    """Rebuild ``graph`` with vertices and edges inserted in random order."""
+    rng = random.Random(seed)
+    vertices = graph.vertices()
+    edges = graph.edges()
+    rng.shuffle(vertices)
+    rng.shuffle(edges)
+    clone = Graph()
+    for v in vertices:
+        clone.add_vertex(v, graph.weight(v))
+    for u, v in edges:
+        if rng.random() < 0.5:
+            u, v = v, u
+        clone.add_edge(u, v)
+    return clone
+
+
+def test_graph_digest_is_insertion_order_independent():
+    graph = build_paper_figure4_graph()
+    digest = graph_digest(graph)
+    for seed in range(5):
+        assert graph_digest(_shuffled_copy(graph, seed)) == digest
+
+
+def test_graph_digest_sensitive_to_weights_and_edges():
+    graph = build_paper_figure4_graph()
+    digest = graph_digest(graph)
+
+    reweighted = graph.copy()
+    vertex = reweighted.vertices()[0]
+    reweighted.set_weight(vertex, reweighted.weight(vertex) + 1.0)
+    assert graph_digest(reweighted) != digest
+
+    pruned = graph.copy()
+    u, v = pruned.edges()[0]
+    pruned.remove_edge(u, v)
+    assert graph_digest(pruned) != digest
+
+
+def test_problem_digest_ignores_instance_name():
+    graph = build_paper_figure4_graph()
+    a = AllocationProblem(graph=graph, num_registers=2, name="alpha")
+    b = AllocationProblem(graph=graph.copy(), num_registers=2, name="beta")
+    assert problem_digest(a) == problem_digest(b)
+
+
+def test_problem_digest_varies_with_registers_target_and_intervals():
+    graph = build_paper_figure4_graph()
+    problem = AllocationProblem(graph=graph, num_registers=2, name="p")
+    base = problem_digest(problem)
+    assert problem_digest(problem, registers=3) != base
+    assert problem_digest(problem.with_registers(3)) == problem_digest(problem, registers=3)
+    assert problem_digest(problem, target="st231") != base
+
+    with_intervals = AllocationProblem(
+        graph=graph.copy(),
+        num_registers=2,
+        intervals=[LiveInterval(register="a", start=0, end=4)],
+        name="p",
+    )
+    assert problem_digest(with_intervals) != base
+
+
+def test_problem_digest_cached_across_register_clones():
+    """The expensive graph hash is computed once and shared by R-clones."""
+    graph = build_paper_figure4_graph()
+    problem = AllocationProblem(graph=graph, num_registers=2, name="p")
+    problem_digest(problem)
+    assert "store:content_digest" in problem._derived_cache
+    clone = problem.with_registers(7)
+    assert clone._derived_cache is problem._derived_cache
+
+
+def test_every_registered_allocator_has_a_version_tag():
+    for name in available_allocators():
+        allocator = get_allocator(name)
+        assert isinstance(allocator.version, str) and allocator.version

@@ -75,6 +75,67 @@ def test_cli_figure_small(capsys):
     assert "Ablation" in out
 
 
+def test_cli_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("repro-alloc ")
+    assert any(ch.isdigit() for ch in out)
+
+
+def test_cli_allocate_missing_input_is_clean_error(capsys):
+    assert main(["allocate", "--input", "/no/such/file.json"]) == 1
+    captured = capsys.readouterr()
+    assert "error" in captured.err
+    assert "not found" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_cli_allocate_invalid_json_is_clean_error(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    assert main(["allocate", "--input", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "invalid input file" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_cli_allocate_wrong_document_is_clean_error(tmp_path, capsys):
+    path = tmp_path / "other.json"
+    path.write_text('{"format": "something-else"}')
+    assert main(["allocate", "--input", str(path)]) == 1
+    assert "invalid input file" in capsys.readouterr().err
+
+
+def test_cli_allocate_invalid_ir_is_clean_error(tmp_path, capsys):
+    path = tmp_path / "broken.ir"
+    path.write_text("this is not IR at all {{{")
+    assert main(["allocate", "--input", str(path)]) == 1
+    assert "invalid input file" in capsys.readouterr().err
+
+
+def test_cli_allocate_warns_when_target_ignored_for_graph_json(tmp_path, capsys):
+    path = tmp_path / "fig4.json"
+    dump_graph(build_paper_figure4_graph(), path, name="fig4")
+    assert main(["allocate", "--input", str(path), "--target", "armv7-a8", "--registers", "2"]) == 0
+    assert "--target armv7-a8 is ignored" in capsys.readouterr().err
+
+
+def test_cli_allocate_no_warning_without_explicit_target(tmp_path, capsys):
+    path = tmp_path / "fig4.json"
+    dump_graph(build_paper_figure4_graph(), path, name="fig4")
+    assert main(["allocate", "--input", str(path), "--registers", "2"]) == 0
+    assert "ignored" not in capsys.readouterr().err
+
+
+def test_cli_allocate_gzipped_graph(tmp_path, capsys):
+    path = tmp_path / "fig4.json.gz"
+    dump_graph(build_paper_figure4_graph(), path, name="fig4")
+    assert main(["allocate", "--input", str(path), "--allocator", "BFPL", "--registers", "2"]) == 0
+    assert "spilled=" in capsys.readouterr().out
+
+
 def test_cli_unknown_allocator_fails(tmp_path):
     path = tmp_path / "fig4.json"
     dump_graph(build_paper_figure4_graph(), path)
