@@ -1,17 +1,25 @@
-"""Compiler-substrate micro-benchmarks: SSA construction, liveness, extraction.
+"""Pipeline benchmarks: compiler substrate plus the pass-pipeline engine.
 
-Not a paper figure; these measure the cost of the surrounding pipeline so the
-allocator timings of ``bench_scaling`` can be put in context (the paper's JIT
-argument is that allocation must stay a small fraction of compile time).
+Not a paper figure.  The first half measures the cost of the surrounding
+compiler substrate (SSA construction, liveness, extraction) so the allocator
+timings of ``bench_scaling`` can be put in context (the paper's JIT argument
+is that allocation must stay a small fraction of compile time).  The second
+half benchmarks the :class:`repro.pipeline.Pipeline` engine itself: a full
+end-to-end run, a per-stage timing breakdown, and the warm-vs-cold
+allocate-stage cache — including the acceptance assertion that a warm batch
+rerun performs **zero** allocate-stage calls.
 """
 
 import pytest
 
+from repro.alloc.base import register_allocator
+from repro.alloc.layered import LayeredOptimalAllocator
 from repro.analysis.interference import build_interference_graph
 from repro.analysis.liveness import liveness
 from repro.analysis.ssa_construction import construct_ssa
 from repro.graphs.stable_set import maximum_weighted_stable_set
 from repro.graphs.generators import random_chordal_graph
+from repro.pipeline import Pipeline
 from repro.workloads.extraction import extract_chordal_problem
 from repro.workloads.programs import GeneratorProfile, generate_function
 
@@ -46,3 +54,87 @@ def test_full_extraction_pipeline(benchmark, medium_function):
 def test_franks_algorithm_on_large_chordal_graph(benchmark):
     graph = random_chordal_graph(1000, rng=7, extra_edge_prob=0.4)
     benchmark(maximum_weighted_stable_set, graph)
+
+
+# ---------------------------------------------------------------------- #
+# pass-pipeline engine benchmarks
+# ---------------------------------------------------------------------- #
+def _batch(count=8, statements=60, accumulators=10):
+    return [
+        generate_function(
+            f"bench_fn{i}", GeneratorProfile(statements=statements, accumulators=accumulators), rng=i
+        )
+        for i in range(count)
+    ]
+
+
+def test_engine_end_to_end_single_function(benchmark, medium_function):
+    pipe = Pipeline.from_spec("NL", target="st231", registers=8)
+    context = benchmark(pipe.run, medium_function)
+    assert context.report is not None and context.report.feasible
+
+
+def test_engine_per_stage_timing_breakdown(medium_function, capsys):
+    """Report where the wall time goes, stage by stage (not a timing assert)."""
+    pipe = Pipeline.from_spec("NL", target="st231", registers=8)
+    context = pipe.run(medium_function)
+    total = sum(context.timings.values()) or 1.0
+    with capsys.disabled():
+        print("\nper-stage timing breakdown (NL @ st231, R=8):")
+        for stage, seconds in context.timings.items():
+            print(f"  {stage:<14} {seconds * 1e3:8.3f} ms  {100 * seconds / total:5.1f}%")
+    assert set(context.timings) == set(pipe.stages)
+    assert all(seconds >= 0.0 for seconds in context.timings.values())
+
+
+def test_engine_warm_vs_cold_allocate_cache(tmp_path, capsys):
+    """Warm batch reruns must serve every allocate stage from the store."""
+
+    class _CountingBenchNL(LayeredOptimalAllocator):
+        name = "bench-counting-NL"
+        calls = 0
+
+        def allocate(self, problem):
+            type(self).calls += 1
+            return super().allocate(problem)
+
+    register_allocator("bench-counting-NL", _CountingBenchNL)
+    functions = _batch()
+    store_path = str(tmp_path / "bench_cache.sqlite")
+
+    import time
+
+    with Pipeline.from_spec(
+        "bench-counting-NL", target="st231", registers=6, store=store_path
+    ) as pipe:
+        started = time.perf_counter()
+        cold = pipe.run_many(functions)
+        cold_seconds = time.perf_counter() - started
+        assert _CountingBenchNL.calls == len(functions)
+
+        started = time.perf_counter()
+        warm = pipe.run_many(functions)
+        warm_seconds = time.perf_counter() - started
+
+    # The acceptance assertion: zero allocate-stage calls on the warm rerun.
+    assert _CountingBenchNL.calls == len(functions), (
+        "warm batch rerun invoked the allocator "
+        f"{_CountingBenchNL.calls - len(functions)} time(s)"
+    )
+    assert all(c.stage_stats["allocate"]["cache"] == "hit" for c in warm)
+    assert [c.rewritten_ir() for c in cold] == [c.rewritten_ir() for c in warm]
+    cold_alloc = sum(c.timings["allocate"] for c in cold)
+    warm_alloc = sum(c.timings["allocate"] for c in warm)
+    with capsys.disabled():
+        print(
+            f"\nallocate-stage cache: cold {cold_seconds * 1e3:.1f} ms total "
+            f"({cold_alloc * 1e3:.1f} ms allocating), warm {warm_seconds * 1e3:.1f} ms "
+            f"({warm_alloc * 1e3:.1f} ms serving hits)"
+        )
+
+
+def test_engine_batch_throughput(benchmark):
+    functions = _batch(count=4, statements=40, accumulators=8)
+    pipe = Pipeline.from_spec("BFPL", target="st231", registers=6, verify=False)
+    contexts = benchmark(pipe.run_many, functions)
+    assert len(contexts) == len(functions)

@@ -9,13 +9,18 @@ Figures 8–15.
 
 Quick start
 -----------
->>> from repro.workloads import generate_function, extract_chordal_problem
->>> from repro.alloc import get_allocator
+>>> from repro import Pipeline
+>>> from repro.workloads import generate_function
 >>> function = generate_function("demo", rng=42)
->>> problem = extract_chordal_problem(function, "st231").with_registers(8)
->>> result = get_allocator("BFPL").allocate(problem)
->>> result.spill_cost >= 0
+>>> context = Pipeline.from_spec("BFPL", target="st231", registers=8).run(function)
+>>> context.spill_cost >= 0 and context.report.feasible
 True
+
+The loose helpers remain for ad-hoc use (``extract_chordal_problem`` +
+``get_allocator(...).allocate`` + ``insert_optimized_spill_code``), but the
+:mod:`repro.pipeline` engine is the first-class API: declarative specs,
+batch runs with a process pool, and allocate-stage caching through the
+experiment store.
 """
 
 from repro.alloc import (
@@ -25,6 +30,7 @@ from repro.alloc import (
     get_allocator,
 )
 from repro.graphs import Graph
+from repro.pipeline import Pipeline, PipelineContext, PipelineSpec
 
 __version__ = "1.0.0"
 
@@ -34,5 +40,8 @@ __all__ = [
     "available_allocators",
     "get_allocator",
     "Graph",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineSpec",
     "__version__",
 ]

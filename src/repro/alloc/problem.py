@@ -31,6 +31,19 @@ class AllocationProblem:
     Expensive derived structures (chordality, a perfect elimination order and
     the maximal cliques) are computed lazily and cached because several
     allocators running on the same instance need the same data.
+
+    Cache-sharing contract
+    ----------------------
+    :meth:`with_registers` clones share these caches **by reference** — the
+    clone and the original point at the *same* PEO list, clique list and
+    ``derived`` dict, because none of them depend on ``R``.  The shared data
+    is valid only while the underlying :class:`~repro.graphs.graph.Graph` is
+    unchanged.  Mutating the graph after a cache has been filled (adding or
+    removing vertices/edges, reweighting) is detected through the graph's
+    :attr:`~repro.graphs.graph.Graph.mutation_stamp`: the next cached-property
+    access on *any* clone drops every cached structure — including the shared
+    ``derived`` dict, so content digests cached there can never go stale —
+    and recomputes from the current graph.
     """
 
     graph: Graph
@@ -41,18 +54,62 @@ class AllocationProblem:
     _peo: Optional[List[Vertex]] = field(default=None, repr=False)
     _cliques: Optional[List[Clique]] = field(default=None, repr=False)
     #: shared scratch cache for R-independent derived data (biased weights,
-    #: heuristic clusters, ...); allocators key it by a short string.  The
-    #: *same dict object* is carried across :meth:`with_registers` clones.
+    #: heuristic clusters, content digests, ...); allocators key it by a short
+    #: string.  The *same dict object* is carried across
+    #: :meth:`with_registers` clones — see the cache-sharing contract above.
     _derived_cache: Dict[str, object] = field(default_factory=dict, repr=False, compare=False)
+    #: graph mutation stamp the caches were filled against (stale-cache guard).
+    _cache_stamp: Optional[int] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_registers < 0:
             raise AllocationError(f"negative register count {self.num_registers}")
+        if self._cache_stamp is None:
+            self._cache_stamp = getattr(self.graph, "mutation_stamp", None)
+
+    #: sentinel key under which the *shared* derived dict records the graph
+    #: stamp it was filled against, so invalidation of the shared dict
+    #: happens exactly once across all :meth:`with_registers` sharers.
+    _DERIVED_STAMP_KEY = "__graph_mutation_stamp__"
 
     # ------------------------------------------------------------------ #
+    def ensure_cache_coherent(self) -> bool:
+        """Drop every cached derived structure if the graph mutated.
+
+        Returns ``True`` when the caches were still coherent, ``False`` when
+        a graph mutation was detected and caches were flushed.  Every
+        cached-property access calls this; the pipeline engine also calls it
+        explicitly before keying the content-addressed store, because a
+        stale cached digest would poison the cache for every later run.
+
+        Two stamps are kept: a per-instance one guarding the private
+        ``_chordal``/``_peo``/``_cliques`` fields, and one stored *inside*
+        the shared ``derived`` dict guarding its entries — so after a
+        mutation the shared dict is cleared exactly once, and a sibling
+        clone catching up later invalidates only its private fields instead
+        of wiping entries the first sharer already recomputed.
+        """
+        stamp = getattr(self.graph, "mutation_stamp", None)
+        coherent = True
+        if stamp != self._cache_stamp:
+            self._chordal = None
+            self._peo = None
+            self._cliques = None
+            self._cache_stamp = stamp
+            coherent = False
+        shared_stamp = self._derived_cache.get(self._DERIVED_STAMP_KEY)
+        if shared_stamp != stamp:
+            if shared_stamp is not None:
+                # clear() (not a fresh dict) so every sharer observes it.
+                self._derived_cache.clear()
+                coherent = False
+            self._derived_cache[self._DERIVED_STAMP_KEY] = stamp
+        return coherent
+
     @property
     def is_chordal(self) -> bool:
         """Whether the interference graph is chordal (cached)."""
+        self.ensure_cache_coherent()
         if self._chordal is None:
             self._chordal = is_chordal(self.graph)
         return self._chordal
@@ -60,6 +117,7 @@ class AllocationProblem:
     @property
     def peo(self) -> List[Vertex]:
         """A perfect elimination order of the graph (chordal instances only)."""
+        self.ensure_cache_coherent()
         if self._peo is None:
             self._peo = perfect_elimination_order(self.graph)
         return self._peo
@@ -67,6 +125,7 @@ class AllocationProblem:
     @property
     def cliques(self) -> List[Clique]:
         """The maximal cliques of the interference graph (cached)."""
+        self.ensure_cache_coherent()
         if self._cliques is None:
             self._cliques = maximal_cliques(self.graph)
         return self._cliques
@@ -93,8 +152,14 @@ class AllocationProblem:
     def with_registers(self, num_registers: int) -> "AllocationProblem":
         """Return the same instance with a different register count.
 
-        Cached graph-derived structures are shared because they do not depend
-        on ``R`` — this is what makes register-count sweeps cheap.
+        Cached graph-derived structures (chordality flag, PEO, cliques and
+        the ``derived`` dict) are shared *by reference* because they do not
+        depend on ``R`` — this is what makes register-count sweeps cheap.
+        The clone therefore aliases the original's graph and caches: mutate
+        neither.  If the graph does mutate, the
+        :attr:`~repro.graphs.graph.Graph.mutation_stamp` guard invalidates
+        the caches of every clone on its next access (see the class-level
+        cache-sharing contract).
         """
         clone = AllocationProblem(
             graph=self.graph,
@@ -106,6 +171,7 @@ class AllocationProblem:
         clone._peo = self._peo
         clone._cliques = self._cliques
         clone._derived_cache = self._derived_cache
+        clone._cache_stamp = self._cache_stamp
         return clone
 
     def derived(self, key: str, compute):
@@ -114,8 +180,11 @@ class AllocationProblem:
         ``compute`` is a zero-argument callable evaluated on the first
         request; the result is memoized in a cache shared with every
         :meth:`with_registers` clone, so register-count sweeps pay graph
-        preprocessing once per instance rather than once per ``R``.
+        preprocessing once per instance rather than once per ``R``.  The
+        cache participates in the stale-graph guard: a graph mutation clears
+        it for all clones at once.
         """
+        self.ensure_cache_coherent()
         if key not in self._derived_cache:
             self._derived_cache[key] = compute()
         return self._derived_cache[key]

@@ -6,6 +6,15 @@ Allocate a textual IR file with the BFPL allocator and 8 registers::
 
     repro-alloc allocate --input program.ir --allocator BFPL --registers 8
 
+The allocate command drives the pass-pipeline engine
+(:mod:`repro.pipeline`); ``--pipeline`` accepts a declarative spec (a stage
+chain, a JSON config, ``ssa``/``non-ssa``, or an allocator name), ``--emit``
+selects the output form, and ``--store`` caches allocate-stage results
+through the experiment store::
+
+    repro-alloc allocate --input program.ir --allocator NL --registers 4 \
+        --emit ir --no-opt --store cache.sqlite
+
 Regenerate a figure of the paper on a reduced corpus::
 
     repro-alloc figure figure10 --scale 0.5
@@ -26,14 +35,16 @@ Inspect a generated corpus::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import sqlite3
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.alloc import available_allocators, get_allocator
+from repro.alloc import available_allocators
 from repro.alloc.problem import AllocationProblem
-from repro.errors import ReproError
+from repro.errors import PipelineError, ReproError
 from repro.experiments.figures import ALL_FIGURES, FIGURE_SPECS, FigureSpec
 from repro.experiments.report import (
     render_figure,
@@ -45,10 +56,10 @@ from repro.experiments.runner import ExperimentConfig, InstanceRecord, run_exper
 from repro.experiments.stats import mean_ratio_by, normalize_records
 from repro.graphs.io import load_graph
 from repro.ir.parser import parse_module
+from repro.pipeline import Pipeline, PipelineSpec
 from repro.store import open_store
-from repro.targets import ALL_TARGETS, get_target
+from repro.targets import ALL_TARGETS
 from repro.workloads.corpus import build_corpus
-from repro.workloads.extraction import extract_chordal_problem, extract_general_problem
 from repro.workloads.suites import SUITES
 
 DEFAULT_TARGET = "st231"
@@ -97,8 +108,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     allocate = subparsers.add_parser("allocate", help="allocate a textual IR file or a graph JSON")
     allocate.add_argument("--input", required=True, help="path to a .ir module or a graph .json/.json.gz")
-    allocate.add_argument("--allocator", default="BFPL", help=f"one of {available_allocators()}")
-    allocate.add_argument("--registers", type=int, default=8)
+    allocate.add_argument("--allocator", default=None, help=f"one of {available_allocators()} (default BFPL)")
+    allocate.add_argument("--registers", type=int, default=None, help="register count (default 8)")
     allocate.add_argument(
         "--target",
         default=None,
@@ -106,9 +117,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     allocate.add_argument(
         "--pipeline",
-        choices=("ssa", "non-ssa"),
-        default="ssa",
-        help="extraction pipeline for IR inputs (ignored for graph JSON inputs)",
+        default=None,
+        help=(
+            "pipeline spec: 'ssa'/'non-ssa' (lowering mode), a comma-separated "
+            "stage chain (e.g. 'liveness,interference,extract,allocate,verify'), "
+            "a JSON config object, or an allocator name"
+        ),
+    )
+    allocate.add_argument(
+        "--no-opt",
+        action="store_true",
+        help="skip the loadstore_opt stage (keep naive spill-everywhere code)",
+    )
+    allocate.add_argument(
+        "--emit",
+        choices=("ir", "json", "summary"),
+        default="summary",
+        help="output form: rewritten IR, a JSON run summary, or the classic summary lines",
+    )
+    allocate.add_argument(
+        "--store",
+        default=None,
+        help="experiment store path; allocate-stage results are cached/reused through it",
+    )
+    allocate.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for multi-function modules"
     )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
@@ -174,40 +207,102 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _allocate_spec(args: argparse.Namespace, is_graph: bool) -> PipelineSpec:
+    """Merge ``--pipeline`` with the explicit allocate flags into one spec.
+
+    Explicit flags win over the spec form; unset flags fall back to the spec
+    form, then to the legacy defaults (BFPL, 8 registers).  ``--target`` is
+    documented as ignored for graph JSON inputs, so it is not even validated
+    there (the caller warns separately).
+    """
+    spec = PipelineSpec.parse(
+        args.pipeline,
+        allocator=args.allocator,
+        registers=args.registers,
+        target=None if is_graph else args.target,
+        opt=False if args.no_opt else None,
+    )
+    if spec.registers is None:
+        spec = dataclasses.replace(spec, registers=8)
+    return spec
+
+
+def _emit_contexts(contexts, emit: str) -> int:
+    """Print a batch of pipeline contexts in the requested form."""
+    if emit == "ir":
+        texts = [context.rewritten_ir() for context in contexts]
+        if any(text is None for text in texts):
+            return _error(
+                "--emit ir needs the spill_code stage to run on IR input "
+                "(graph JSON inputs carry no IR to rewrite)"
+            )
+        print("\n\n".join(texts))
+        return 0
+    if emit == "json":
+        print(json.dumps([context.summary() for context in contexts], indent=2))
+        return 0
+    for context in contexts:
+        problem, result = context.problem, context.result
+        if problem is None:
+            # A front-end-only stage chain produced no allocation problem.
+            print(f"{context.name}: stages {', '.join(context.stages_run)} completed")
+            continue
+        print(f"{context.name}: |V|={len(problem.graph)} pressure={problem.max_pressure}")
+        if result is None:
+            print(f"  no allocation (stages: {', '.join(context.stages_run)})")
+            continue
+        print(
+            f"  allocated={result.num_allocated} spilled={result.num_spilled} "
+            f"cost={result.spill_cost:.2f}"
+        )
+        if result.spilled:
+            print(f"  spilled variables: {', '.join(sorted(str(v) for v in result.spilled))}")
+    return 0
+
+
 def _command_allocate(args: argparse.Namespace) -> int:
-    """Run one allocator on one input file and print the outcome."""
+    """Run the pass pipeline on one input file and print the outcome."""
     input_path = Path(args.input)
     if not input_path.is_file():
         return _error(f"input file not found: {args.input}")
+    if args.jobs < 1:
+        return _error(f"--jobs must be >= 1, got {args.jobs}")
+    is_graph = _is_graph_json(args.input)
     try:
-        if _is_graph_json(args.input):
+        spec = _allocate_spec(args, is_graph)
+    except PipelineError as error:
+        return _error(str(error))
+
+    try:
+        if is_graph:
             if args.target is not None:
                 print(
                     f"repro-alloc: warning: --target {args.target} is ignored for graph JSON inputs",
                     file=sys.stderr,
                 )
             graph = load_graph(input_path)
-            problem = AllocationProblem(graph=graph, num_registers=args.registers, name=args.input)
-            problems = [problem]
-        else:
-            target = get_target(args.target or DEFAULT_TARGET)
-            module = parse_module(input_path.read_text(encoding="utf-8"))
-            extract = extract_chordal_problem if args.pipeline == "ssa" else extract_general_problem
             problems = [
-                extract(function, target, name=function.name).with_registers(args.registers)
-                for function in module
+                AllocationProblem(graph=graph, num_registers=spec.registers, name=args.input)
             ]
+            functions = None
+        else:
+            module = parse_module(input_path.read_text(encoding="utf-8"))
+            functions = list(module)
+            problems = None
     except (ReproError, json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
         return _error(f"invalid input file {args.input}: {error}")
 
-    allocator = get_allocator(args.allocator)
-    for problem in problems:
-        result = allocator.allocate(problem)
-        print(f"{problem.name}: |V|={len(problem.graph)} pressure={problem.max_pressure}")
-        print(f"  allocated={result.num_allocated} spilled={result.num_spilled} cost={result.spill_cost:.2f}")
-        if result.spilled:
-            print(f"  spilled variables: {', '.join(sorted(str(v) for v in result.spilled))}")
-    return 0
+    try:
+        with Pipeline(spec, store=args.store) as pipeline:
+            if functions is not None:
+                contexts = pipeline.run_many(functions, jobs=args.jobs)
+            else:
+                contexts = [pipeline.run_problem(problem) for problem in problems]
+    except ReproError as error:
+        return _error(str(error))
+    except (OSError, sqlite3.Error) as error:
+        return _error(f"cannot use store {args.store}: {error}")
+    return _emit_contexts(contexts, args.emit)
 
 
 def _command_figure(args: argparse.Namespace) -> int:

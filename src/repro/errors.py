@@ -38,6 +38,11 @@ class NotChordalError(GraphError):
     """An algorithm requiring a chordal graph was given a non-chordal one."""
 
 
+class PipelineError(ReproError):
+    """Invalid pipeline specification or stage wiring (unknown stage,
+    missing stage input, malformed config)."""
+
+
 class AllocationError(ReproError):
     """A register allocation request could not be satisfied."""
 

@@ -28,9 +28,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.alloc import get_allocator
+from repro.alloc.base import Allocator
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
-from repro.alloc.verify import check_allocation
+from repro.pipeline.passes import run_allocator
 from repro.store.base import ExperimentStore, RunManifest, current_git_rev, utc_now_iso
 from repro.store.keys import CellKey, problem_digest
 from repro.workloads.corpus import Corpus
@@ -72,7 +73,14 @@ class ExperimentConfig:
 
 @dataclass
 class InstanceRecord:
-    """Raw result of one allocator on one instance at one register count."""
+    """Raw result of one allocator on one instance at one register count.
+
+    ``spilled`` carries the sorted spill-set variable names; it is what lets
+    the pipeline engine rebuild a full :class:`AllocationResult` from a
+    cached cell without re-running the allocator.  Records written before
+    the field existed deserialize with ``spilled=None`` — still valid for
+    aggregation (cost/count suffice), but a cache *miss* for the engine.
+    """
 
     instance: str
     program: str
@@ -84,6 +92,33 @@ class InstanceRecord:
     max_pressure: int
     runtime_seconds: float
     stats: Dict = field(default_factory=dict)
+    spilled: Optional[List[str]] = None
+
+    @classmethod
+    def from_result(
+        cls,
+        problem: AllocationProblem,
+        result: AllocationResult,
+        *,
+        instance: str,
+        program: str,
+        allocator: str,
+        elapsed: float,
+    ) -> "InstanceRecord":
+        """Package one allocate-stage output (the runner's and the engine's)."""
+        return cls(
+            instance=instance,
+            program=program,
+            allocator=allocator,
+            num_registers=problem.num_registers,
+            spill_cost=result.spill_cost,
+            num_spilled=result.num_spilled,
+            num_variables=len(problem.graph),
+            max_pressure=problem.max_pressure,
+            runtime_seconds=elapsed,
+            stats=dict(result.stats),
+            spilled=sorted(str(v) for v in result.spilled),
+        )
 
 
 def run_cells(
@@ -96,33 +131,29 @@ def run_cells(
     """Run the listed ``(register_count, allocator_name)`` cells on one problem.
 
     Allocators are instantiated once per name (not once per register count)
-    and reused across the instance's cells.  ``on_record`` is invoked after
-    each cell completes, which the store-backed serial sweep uses to flush
+    and reused across the instance's cells.  Each cell executes through the
+    pipeline's allocate kernel
+    (:func:`repro.pipeline.passes.run_allocator`), so the runner and the
+    :class:`~repro.pipeline.engine.Pipeline` engine produce interchangeable
+    results and store cells.  ``on_record`` is invoked after each cell
+    completes, which the store-backed serial sweep uses to flush
     cell-by-cell.
     """
     records: List[InstanceRecord] = []
-    allocators: Dict[str, object] = {}
+    allocators: Dict[str, Allocator] = {}
     for register_count, allocator_name in cells:
         allocator = allocators.get(allocator_name)
         if allocator is None:
             allocator = allocators[allocator_name] = get_allocator(allocator_name)
         instance = problem.with_registers(register_count)
-        start = time.perf_counter()
-        result: AllocationResult = allocator.allocate(instance)
-        elapsed = time.perf_counter() - start
-        if verify:
-            check_allocation(instance, result, strict=False)
-        record = InstanceRecord(
+        result, elapsed = run_allocator(instance, allocator, verify=verify)
+        record = InstanceRecord.from_result(
+            instance,
+            result,
             instance=problem.name,
             program=program,
             allocator=allocator_name,
-            num_registers=register_count,
-            spill_cost=result.spill_cost,
-            num_spilled=result.num_spilled,
-            num_variables=len(problem.graph),
-            max_pressure=problem.max_pressure,
-            runtime_seconds=elapsed,
-            stats=dict(result.stats),
+            elapsed=elapsed,
         )
         records.append(record)
         if on_record is not None:

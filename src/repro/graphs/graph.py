@@ -35,11 +35,23 @@ class Graph:
     5.0
     """
 
-    __slots__ = ("_adj", "_weights")
+    __slots__ = ("_adj", "_weights", "_mutations")
 
     def __init__(self) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._weights: Dict[Vertex, float] = {}
+        self._mutations: int = 0
+
+    @property
+    def mutation_stamp(self) -> int:
+        """Monotonic counter bumped by every mutating operation.
+
+        Consumers that cache structures derived from the graph (PEO, maximal
+        cliques, digests — see :class:`repro.alloc.problem.AllocationProblem`)
+        snapshot this stamp when they fill their cache and invalidate when it
+        moves, so mutating a graph after derivation cannot serve stale data.
+        """
+        return self._mutations
 
     # ------------------------------------------------------------------ #
     # construction
@@ -55,6 +67,7 @@ class Graph:
         if v not in self._adj:
             self._adj[v] = set()
         self._weights[v] = float(weight)
+        self._mutations += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``; endpoints are created lazily."""
@@ -66,6 +79,7 @@ class Graph:
             self.add_vertex(v)
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self._mutations += 1
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and all incident edges."""
@@ -75,6 +89,7 @@ class Graph:
             self._adj[u].discard(v)
         del self._adj[v]
         del self._weights[v]
+        self._mutations += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``(u, v)`` if present."""
@@ -82,6 +97,7 @@ class Graph:
             raise GraphError(f"unknown endpoint in edge ({u!r}, {v!r})")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._mutations += 1
 
     def set_weight(self, v: Vertex, weight: float) -> None:
         """Update the weight of an existing vertex."""
@@ -90,6 +106,7 @@ class Graph:
         if weight < 0:
             raise GraphError(f"vertex {v!r} has negative weight {weight}")
         self._weights[v] = float(weight)
+        self._mutations += 1
 
     # ------------------------------------------------------------------ #
     # queries

@@ -1,0 +1,45 @@
+"""Composable pass-pipeline engine: IR -> allocation -> spill code, one API.
+
+The paper's decoupled design — spill decisions, then assignment, then
+load/store optimization — is a staged pipeline; this package makes it a
+first-class one.  :class:`Pipeline` composes named stages
+
+``liveness -> interference -> extract -> allocate -> assign -> spill_code ->
+loadstore_opt -> verify``
+
+over an immutable :class:`PipelineContext`, supports declarative
+construction (:meth:`Pipeline.from_spec` from allocator names, stage chains,
+config dicts or JSON), batch execution (:meth:`Pipeline.run_many` with a
+process pool), and allocate-stage memoization through the experiment store's
+``(problem_digest, allocator, allocator_version, R)`` contract.  Third-party
+stages and allocators plug in through :func:`register_pass` and
+:func:`repro.alloc.base.register_allocator`.
+"""
+
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.engine import Pipeline
+from repro.pipeline.passes import (
+    DEFAULT_STAGES,
+    Pass,
+    allocate_cell_key,
+    available_passes,
+    get_pass,
+    register_pass,
+    result_from_record,
+    run_allocator,
+)
+from repro.pipeline.spec import PipelineSpec
+
+__all__ = [
+    "DEFAULT_STAGES",
+    "Pass",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineSpec",
+    "allocate_cell_key",
+    "available_passes",
+    "get_pass",
+    "register_pass",
+    "result_from_record",
+    "run_allocator",
+]

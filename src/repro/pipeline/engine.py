@@ -1,0 +1,340 @@
+"""The pipeline engine: compose passes, run functions, batch with a pool.
+
+:class:`Pipeline` is the single entry point unifying what used to be loose
+glue — extraction, allocation, assignment, spill-code insertion, load/store
+optimization and verification — behind one API::
+
+    from repro.pipeline import Pipeline
+
+    pipe = Pipeline.from_spec("NL", target="st231", registers=4)
+    context = pipe.run(function)          # one function
+    contexts = pipe.run_many(module.functions.values(), jobs=4)
+
+Attach an experiment store (path or open
+:class:`~repro.store.ExperimentStore`) and the ``allocate`` stage becomes
+memoized under the store's ``(problem_digest, allocator, allocator_version,
+R)`` contract: a warm batch over an unchanged corpus performs **zero**
+allocator calls, and the cells it writes are the same ones
+``repro-alloc sweep`` reads.  One caveat: the zero-call guarantee holds for
+every serial run and for SQLite-backed parallel runs; a JSONL-backed
+*parallel* batch recomputes in its storeless workers (the parent then
+persists only cells the store does not already hold) — see
+:meth:`Pipeline.run_many`.
+
+Batch runs shard over a :class:`~concurrent.futures.ProcessPoolExecutor`
+exactly like the experiment runner: round-robin shards, results reassembled
+in input order, so ``jobs`` never changes the output.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.alloc.problem import AllocationProblem
+from repro.errors import PipelineError
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.passes import Pass, allocate_cell_key, get_pass
+from repro.pipeline.spec import PipelineSpec
+from repro.store.base import ExperimentStore, open_store
+
+StoreLike = Union[ExperimentStore, str, Path, None]
+
+
+class Pipeline:
+    """A composed chain of passes plus the spec and (optional) store."""
+
+    def __init__(self, spec: Optional[PipelineSpec] = None, *, store: StoreLike = None) -> None:
+        self.spec = (spec or PipelineSpec()).validate()
+        self._passes: List[Pass] = [get_pass(name) for name in self.spec.stage_chain()]
+        self._store: Optional[ExperimentStore] = None
+        self._store_path: Optional[Path] = None
+        self._store_backend: Optional[str] = None
+        self._owns_store = False
+        if isinstance(store, (str, Path)):
+            self._store = open_store(store)
+            self._owns_store = True
+        elif store is not None:
+            self._store = store
+        if self._store is not None:
+            self._store_path = getattr(self._store, "path", None)
+            self._store_backend = getattr(self._store, "backend", None)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Union[PipelineSpec, Mapping[str, Any], str, None] = None,
+        *,
+        store: StoreLike = None,
+        **overrides: Any,
+    ) -> "Pipeline":
+        """Build a pipeline from any spec surface form (see :class:`PipelineSpec`).
+
+        ``Pipeline.from_spec("NL", target="st231", opt=True)`` selects the
+        allocator; strings may equally be ``"ssa"``/``"non-ssa"``, a JSON
+        config object, or a comma-separated stage chain.
+        """
+        return cls(PipelineSpec.parse(spec, **overrides), store=store)
+
+    @classmethod
+    def from_config(
+        cls, config: Mapping[str, Any], *, store: StoreLike = None, **overrides: Any
+    ) -> "Pipeline":
+        """Build a pipeline from the config-dict/JSON form."""
+        return cls(PipelineSpec.from_config(config, **overrides), store=store)
+
+    @property
+    def stages(self) -> Tuple[str, ...]:
+        """The stage names this pipeline executes, in order."""
+        return tuple(p.name for p in self._passes)
+
+    @property
+    def store(self) -> Optional[ExperimentStore]:
+        """The attached experiment store, if any."""
+        return self._store
+
+    def close(self) -> None:
+        """Close a store this pipeline opened itself (no-op otherwise)."""
+        if self._owns_store and self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # single-item entry points
+    # ------------------------------------------------------------------ #
+    def run(self, function: Function, name: Optional[str] = None) -> PipelineContext:
+        """Run the full chain on one IR function."""
+        context = PipelineContext(
+            function=function,
+            name=name or function.name,
+            target=self.spec.resolve_target(),
+            num_registers=self.spec.registers,
+        )
+        context = self._execute(context)
+        if self._store is not None:
+            self._store.flush()
+        return context
+
+    def run_problem(self, problem: AllocationProblem, name: Optional[str] = None) -> PipelineContext:
+        """Run on a pre-built problem (front-end stages skip themselves).
+
+        The context carries no target, matching how
+        :func:`~repro.experiments.runner.run_experiment` digests raw problem
+        iterables — so engine runs and store sweeps over the same problems
+        share cache cells.
+        """
+        context = PipelineContext(
+            name=name or problem.name,
+            num_registers=problem.num_registers,
+            problem=problem,
+        )
+        context = self._execute(context)
+        if self._store is not None:
+            self._store.flush()
+        return context
+
+    def run_module(self, module: Module) -> List[PipelineContext]:
+        """Run every function of a module, in order."""
+        return [self.run(function) for function in module]
+
+    # ------------------------------------------------------------------ #
+    # batch entry point
+    # ------------------------------------------------------------------ #
+    def run_many(
+        self,
+        functions: Iterable[Function],
+        jobs: int = 1,
+        names: Optional[Sequence[str]] = None,
+    ) -> List[PipelineContext]:
+        """Run the chain over a batch of functions, optionally in parallel.
+
+        ``jobs > 1`` shards the batch round-robin over a process pool and
+        reassembles the contexts in input order, so the output is identical
+        to a serial run (modulo measured timings).  Workers share the
+        allocate-stage cache through the store *file*: each opens its own
+        connection (SQLite handles the concurrent writers; the append-only
+        JSONL backend does not, so JSONL-backed parallel batches recompute
+        in storeless workers and the parent persists only the cells the
+        store does not already hold — warm JSONL batches should run
+        serially, or on SQLite, to get the zero-allocator-call guarantee).
+
+        Workers rebuild the pass/allocator registries by importing the
+        library, so custom passes and allocators used in a parallel batch
+        must be registered at import time of their defining module (the
+        usual multiprocessing constraint; under the ``fork`` start method
+        parent-process registrations happen to carry over, under
+        ``spawn``/``forkserver`` they do not).
+        """
+        if jobs < 1:
+            raise PipelineError(f"jobs must be >= 1, got {jobs}")
+        function_list = list(functions)
+        if names is not None and len(names) != len(function_list):
+            raise PipelineError(
+                f"names has {len(names)} entries for {len(function_list)} functions"
+            )
+        items: List[Tuple[int, Function, Optional[str]]] = [
+            (index, function, names[index] if names is not None else None)
+            for index, function in enumerate(function_list)
+        ]
+
+        if jobs <= 1 or len(items) <= 1:
+            contexts = [self.run(function, name=name) for _, function, name in items]
+            if self._store is not None:
+                self._store.flush()
+            return contexts
+
+        workers = min(jobs, len(items))
+        shards: List[List[Tuple[int, Function, Optional[str]]]] = [[] for _ in range(workers)]
+        for position, item in enumerate(items):
+            shards[position % workers].append(item)
+
+        # SQLite stores are safe for one connection per worker; other setups
+        # compute storeless in the workers and persist through the parent.
+        worker_store_path: Optional[str] = None
+        if self._store_backend == "sqlite" and self._store_path is not None:
+            self._store.flush()
+            worker_store_path = str(self._store_path)
+
+        spec = self.spec
+        indexed: List[Tuple[int, PipelineContext]] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_shard, spec, worker_store_path, shard)
+                for shard in shards
+            ]
+            for future in futures:
+                indexed.extend(future.result())
+        indexed.sort(key=lambda pair: pair[0])
+        contexts = [context for _, context in indexed]
+
+        if self._store is not None and worker_store_path is None:
+            self._persist_contexts(contexts)
+        if self._store is not None:
+            self._store.flush()
+        return contexts
+
+    def _persist_contexts(self, contexts: Sequence[PipelineContext]) -> None:
+        """Parent-side persistence for batches whose workers ran storeless.
+
+        Only cells the store does not already hold are written, so a warm
+        rerun of a JSONL-backed parallel batch (which recomputes in the
+        workers — see :meth:`run_many`) appends nothing instead of growing
+        the append-only log with duplicates.
+        """
+        from repro.experiments.runner import InstanceRecord
+
+        items = []
+        allocators: dict = {}
+        for context in contexts:
+            if context.problem is None or context.result is None:
+                continue
+            if context.stage_stats.get("allocate", {}).get("cache") == "hit":
+                continue
+            name = context.result.allocator
+            allocator = allocators.get(name)
+            if allocator is None:
+                allocator = allocators[name] = _allocator_of(name)
+            key = allocate_cell_key(
+                context.problem,
+                allocator,
+                target=context.target.name if context.target else None,
+            )
+            items.append(
+                (
+                    key,
+                    InstanceRecord.from_result(
+                        context.problem,
+                        context.result,
+                        instance=context.name,
+                        program=context.name,
+                        allocator=allocator.name,
+                        elapsed=context.timings.get("allocate", 0.0),
+                    ),
+                )
+            )
+        # Dedup against the store *and* within the batch (duplicate inputs
+        # share one cell), so the append-only JSONL log never grows twice
+        # for the same key.
+        existing = self._store.get_many([key for key, _ in items])
+        unique = {}
+        for key, record in items:
+            if key not in existing and key not in unique:
+                unique[key] = record
+        if unique:
+            self._store.put_many(list(unique.items()))
+
+    # ------------------------------------------------------------------ #
+    # execution core
+    # ------------------------------------------------------------------ #
+    def _execute(self, context: PipelineContext) -> PipelineContext:
+        """Run the pass chain over one context, skipping inapplicable stages."""
+        for pass_ in self._passes:
+            if pass_.provides and all(
+                getattr(context, field) is not None for field in pass_.provides
+            ):
+                context = context.with_stage(
+                    pass_.name, 0.0, stats={"skipped": "already provided"}
+                )
+                continue
+            missing = [
+                field for field in pass_.requires if getattr(context, field) is None
+            ]
+            if missing:
+                if set(missing) & set(pass_.skip_without):
+                    context = context.with_stage(
+                        pass_.name,
+                        0.0,
+                        stats={"skipped": f"missing {', '.join(missing)}"},
+                    )
+                    continue
+                raise PipelineError(
+                    f"stage {pass_.name!r} requires {missing} but the context "
+                    f"does not provide them (stages run: {list(context.timings)})"
+                )
+            started = time.perf_counter()
+            context = pass_.run(context, self.spec, self._store)
+            if pass_.name not in context.timings:
+                # A pass that forgot with_stage still gets an engine-side timing.
+                context = context.with_stage(pass_.name, time.perf_counter() - started)
+        return context
+
+
+def _allocator_of(name: str):
+    from repro.alloc.base import get_allocator
+
+    return get_allocator(name)
+
+
+def _run_shard(
+    spec: PipelineSpec,
+    store_path: Optional[str],
+    shard: Sequence[Tuple[int, Function, Optional[str]]],
+) -> List[Tuple[int, PipelineContext]]:
+    """Worker entry point: run one shard with its own store connection.
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`; the input
+    index travels with each context so the parent restores input order.
+    """
+    store = open_store(store_path) if store_path is not None else None
+    try:
+        pipeline = Pipeline(spec, store=store)
+        return [
+            (index, pipeline.run(function, name=name))
+            for index, function, name in shard
+        ]
+    finally:
+        if store is not None:
+            store.close()

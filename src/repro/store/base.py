@@ -50,6 +50,11 @@ def record_from_dict(data: Dict[str, Any]) -> "InstanceRecord":
         max_pressure=int(data["max_pressure"]),
         runtime_seconds=float(data["runtime_seconds"]),
         stats=dict(data.get("stats") or {}),
+        spilled=(
+            [str(name) for name in data["spilled"]]
+            if data.get("spilled") is not None
+            else None
+        ),
     )
 
 

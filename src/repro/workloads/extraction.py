@@ -4,7 +4,10 @@ This is the equivalent of the paper's graph-extraction step: run the compiler
 pipeline on a function and package the weighted interference graph (plus live
 intervals for the linear scans) as an :class:`AllocationProblem`.
 
-Two pipelines exist:
+Both helpers are now thin wrappers over the pass-pipeline engine
+(:class:`repro.pipeline.Pipeline` running ``liveness -> interference ->
+extract``); they remain the convenient one-call form for corpus building and
+ad-hoc use:
 
 * :func:`extract_chordal_problem` — SSA pipeline (φ insertion + renaming),
   producing chordal graphs; used for the ST231/ARMv7 studies;
@@ -18,31 +21,19 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.alloc.problem import AllocationProblem
-from repro.analysis.interference import build_interference_graph
-from repro.analysis.live_ranges import live_intervals
-from repro.analysis.liveness import liveness
-from repro.analysis.spill_costs import spill_costs
-from repro.analysis.ssa_construction import construct_ssa
-from repro.analysis.ssa_destruction import coalesce_copies, destruct_ssa
 from repro.ir.function import Function
-from repro.targets import get_target
+from repro.pipeline.engine import Pipeline
+from repro.pipeline.spec import PipelineSpec
 from repro.targets.machine import TargetMachine
 
+#: the front-end slice of the canonical stage chain.
+_EXTRACTION_STAGES = ("liveness", "interference", "extract")
 
-def _problem_from_function(
-    function: Function, target: TargetMachine, name: str
-) -> AllocationProblem:
-    """Shared tail of both pipelines: liveness, costs, graph, intervals."""
-    info = liveness(function)
-    costs = spill_costs(function, store_cost=target.store_cost, load_cost=target.load_cost)
-    graph = build_interference_graph(function, info=info, weights=costs)
-    intervals = live_intervals(function, info=info)
-    return AllocationProblem(
-        graph=graph,
-        num_registers=target.num_registers,
-        intervals=intervals,
-        name=name,
-    )
+
+def _extract(function: Function, spec: PipelineSpec, name: Optional[str]) -> AllocationProblem:
+    """Run the front-end stages of the engine and return the packaged problem."""
+    context = Pipeline(spec).run(function, name=name or function.name)
+    return context.problem
 
 
 def extract_chordal_problem(
@@ -50,11 +41,17 @@ def extract_chordal_problem(
     target: TargetMachine | str = "st231",
     name: Optional[str] = None,
 ) -> AllocationProblem:
-    """Run the SSA pipeline on ``function`` and return its allocation problem."""
-    if isinstance(target, str):
-        target = get_target(target)
-    ssa = construct_ssa(function)
-    return _problem_from_function(ssa, target, name or function.name)
+    """Run the SSA pipeline on ``function`` and return its allocation problem.
+
+    .. deprecated::
+        Kept as a thin wrapper over the pipeline engine; new code should use
+        ``Pipeline.from_spec(..., ssa=True)`` (or an explicit
+        ``liveness,interference,extract`` stage chain) and read
+        ``context.problem`` — the engine adds per-stage stats/timings, batch
+        execution and allocate-stage caching on top of this helper.
+    """
+    spec = PipelineSpec(target=target, ssa=True, stages=_EXTRACTION_STAGES)
+    return _extract(function, spec, name)
 
 
 def extract_general_problem(
@@ -71,11 +68,16 @@ def extract_general_problem(
     coalesced (``coalesce_moves``), merging related live ranges into shared
     names — the shape of interference graphs a non-SSA JIT such as JikesRVM
     sees, and generally non-chordal.
+
+    .. deprecated::
+        Kept as a thin wrapper over the pipeline engine; new code should use
+        ``Pipeline.from_spec(..., ssa=False)`` and read ``context.problem``.
     """
-    if isinstance(target, str):
-        target = get_target(target)
-    ssa = construct_ssa(function)
-    non_ssa = destruct_ssa(ssa, coalesce_phi_webs=coalesce_phi_webs)
-    if coalesce_moves:
-        non_ssa = coalesce_copies(non_ssa)
-    return _problem_from_function(non_ssa, target, name or function.name)
+    spec = PipelineSpec(
+        target=target,
+        ssa=False,
+        coalesce_phi_webs=coalesce_phi_webs,
+        coalesce_moves=coalesce_moves,
+        stages=_EXTRACTION_STAGES,
+    )
+    return _extract(function, spec, name)

@@ -1,0 +1,112 @@
+"""The stale-cache guard: mutated graphs invalidate derived caches."""
+
+import pytest
+
+from repro.alloc.problem import AllocationProblem
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph
+from repro.pipeline import Pipeline
+from repro.store.keys import problem_digest
+
+
+def _triangle_plus_tail():
+    graph = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+    return graph
+
+
+def test_graph_mutation_stamp_moves_on_every_mutation():
+    graph = Graph()
+    stamps = [graph.mutation_stamp]
+    graph.add_vertex("a", 1.0)
+    stamps.append(graph.mutation_stamp)
+    graph.add_edge("a", "b")
+    stamps.append(graph.mutation_stamp)
+    graph.set_weight("a", 2.0)
+    stamps.append(graph.mutation_stamp)
+    graph.remove_edge("a", "b")
+    stamps.append(graph.mutation_stamp)
+    graph.remove_vertex("b")
+    stamps.append(graph.mutation_stamp)
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == len(stamps)
+
+
+def test_queries_do_not_move_the_stamp():
+    graph = _triangle_plus_tail()
+    before = graph.mutation_stamp
+    graph.vertices(); graph.edges(); graph.neighbors("a"); graph.weights()
+    list(graph); graph.has_edge("a", "b"); graph.num_edges()
+    assert graph.mutation_stamp == before
+
+
+def test_mutated_graph_invalidates_cached_peo_and_cliques():
+    graph = _triangle_plus_tail()
+    problem = AllocationProblem(graph=graph, num_registers=2)
+    assert problem.max_pressure == 3
+    peo_before = list(problem.peo)
+    assert problem.is_chordal
+
+    # Grow the clique: a stale cache would keep reporting pressure 3.
+    graph.add_edge("b", "d")
+    graph.add_edge("a", "d")
+    assert problem.max_pressure == 4
+    assert set(problem.peo) == set(peo_before)
+    assert len(problem.cliques) != 0
+
+
+def test_clones_share_the_invalidation():
+    graph = _triangle_plus_tail()
+    problem = AllocationProblem(graph=graph, num_registers=2)
+    clone = problem.with_registers(3)
+    assert clone.max_pressure == 3
+    graph.add_edge("b", "d")
+    graph.add_edge("a", "d")
+    # Either order: both views recompute against the mutated graph.
+    assert problem.max_pressure == 4
+    assert clone.max_pressure == 4
+
+
+def test_shared_derived_cache_invalidates_once_across_clones():
+    """After one mutation, sharers must not wipe each other's recomputations."""
+    graph = _triangle_plus_tail()
+    problem = AllocationProblem(graph=graph, num_registers=2)
+    clones = [problem.with_registers(r) for r in (3, 4, 5)]
+    calls = {"n": 0}
+
+    def compute():
+        calls["n"] += 1
+        return calls["n"]
+
+    assert problem.derived("k", compute) == 1
+    assert all(clone.derived("k", compute) == 1 for clone in clones)
+    graph.add_edge("b", "d")
+    # One recomputation serves the original and every clone.
+    values = [problem.derived("k", compute)] + [c.derived("k", compute) for c in clones]
+    assert values == [2, 2, 2, 2]
+    assert calls["n"] == 2
+
+
+def test_mutated_graph_invalidates_cached_content_digest():
+    graph = path_graph(4)
+    problem = AllocationProblem(graph=graph, num_registers=2)
+    digest_before = problem_digest(problem)
+    graph.add_edge("v0", "v3")
+    assert problem_digest(problem) != digest_before
+
+
+def test_pipeline_rekeys_after_graph_mutation(tmp_path):
+    """The engine guard: a mutated problem graph never reuses the old cell."""
+    store_path = str(tmp_path / "stale.sqlite")
+    graph = _triangle_plus_tail()
+    problem = AllocationProblem(graph=graph, num_registers=2, name="mut")
+    with Pipeline.from_spec("NL", registers=2, store=store_path) as pipe:
+        first = pipe.run_problem(problem)
+        assert first.stage_stats["allocate"]["cache"] == "miss"
+        again = pipe.run_problem(problem)
+        assert again.stage_stats["allocate"]["cache"] == "hit"
+
+        graph.add_edge("b", "d")
+        graph.add_edge("a", "d")
+        mutated = pipe.run_problem(problem)
+        assert mutated.stage_stats["allocate"]["cache"] == "miss"
+        assert mutated.result.spill_cost >= first.result.spill_cost

@@ -136,11 +136,156 @@ def test_cli_allocate_gzipped_graph(tmp_path, capsys):
     assert "spilled=" in capsys.readouterr().out
 
 
-def test_cli_unknown_allocator_fails(tmp_path):
+def test_cli_unknown_allocator_is_clean_error(tmp_path, capsys):
     path = tmp_path / "fig4.json"
     dump_graph(build_paper_figure4_graph(), path)
-    with pytest.raises(Exception):
-        main(["allocate", "--input", str(path), "--allocator", "nope", "--registers", "2"])
+    assert main(["allocate", "--input", str(path), "--allocator", "nope", "--registers", "2"]) == 1
+    captured = capsys.readouterr()
+    assert "unknown allocator 'nope'" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def _write_example_ir(tmp_path, rng=3, name="cli_demo"):
+    fn = generate_function(name, GeneratorProfile(statements=20, accumulators=6), rng=rng)
+    path = tmp_path / "prog.ir"
+    path.write_text(print_function(fn))
+    return path
+
+
+def test_cli_allocate_unknown_stage_is_clean_exit_1(tmp_path, capsys):
+    path = _write_example_ir(tmp_path)
+    code = main(
+        ["allocate", "--input", str(path), "--pipeline", "liveness,frobnicate,allocate"]
+    )
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "unknown pipeline stage 'frobnicate'" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_cli_allocate_emit_ir_prints_rewritten_function(tmp_path, capsys):
+    path = _write_example_ir(tmp_path)
+    assert (
+        main(
+            ["allocate", "--input", str(path), "--allocator", "NL", "--registers", "3", "--emit", "ir"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.startswith("func @cli_demo(")
+    assert "load " in out and "store " in out  # spill code present
+
+
+def test_cli_allocate_no_opt_never_shortens_the_ir(tmp_path, capsys):
+    path = _write_example_ir(tmp_path)
+    args = ["allocate", "--input", str(path), "--allocator", "NL", "--registers", "3", "--emit", "ir"]
+    assert main(args) == 0
+    optimized = capsys.readouterr().out
+    assert main(args + ["--no-opt"]) == 0
+    naive = capsys.readouterr().out
+    assert naive.count("load ") >= optimized.count("load ")
+
+
+def test_cli_allocate_emit_json_summary(tmp_path, capsys):
+    path = _write_example_ir(tmp_path)
+    assert (
+        main(
+            ["allocate", "--input", str(path), "--allocator", "NL", "--registers", "3", "--emit", "json"]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["name"] == "cli_demo"
+    assert payload[0]["allocator"] == "NL"
+    assert payload[0]["verify"]["feasible"] is True
+    assert "rewritten_ir" in payload[0]
+
+
+def test_cli_allocate_pipeline_json_spec(tmp_path, capsys):
+    path = _write_example_ir(tmp_path)
+    code = main(
+        [
+            "allocate",
+            "--input",
+            str(path),
+            "--pipeline",
+            '{"allocator": "NL", "registers": 3, "opt": false}',
+            "--emit",
+            "json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["allocator"] == "NL"
+    assert "loadstore_opt" not in payload[0]["stages"]
+
+
+def test_cli_allocate_emit_ir_rejected_for_graph_inputs(tmp_path, capsys):
+    path = tmp_path / "fig4.json"
+    dump_graph(build_paper_figure4_graph(), path, name="fig4")
+    assert main(["allocate", "--input", str(path), "--registers", "2", "--emit", "ir"]) == 1
+    assert "--emit ir" in capsys.readouterr().err
+
+
+def test_cli_allocate_store_caches_allocate_stage(tmp_path, capsys):
+    path = _write_example_ir(tmp_path)
+    store = str(tmp_path / "cache.sqlite")
+    args = [
+        "allocate", "--input", str(path), "--allocator", "NL", "--registers", "3",
+        "--emit", "json", "--store", store,
+    ]
+    assert main(args) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert main(args) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert cold[0]["stage_stats"]["allocate"]["cache"] == "miss"
+    assert warm[0]["stage_stats"]["allocate"]["cache"] == "hit"
+    assert warm[0]["rewritten_ir"] == cold[0]["rewritten_ir"]
+
+
+def test_cli_allocate_front_end_only_chain_summary_is_clean(tmp_path, capsys):
+    path = _write_example_ir(tmp_path)
+    code = main(
+        ["allocate", "--input", str(path), "--pipeline", "liveness,interference,extract"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cli_demo: |V|=" in out
+    assert "no allocation" in out
+
+
+def test_cli_allocate_no_opt_wins_over_explicit_stage_chain(tmp_path, capsys):
+    path = _write_example_ir(tmp_path)
+    chain = "liveness,interference,extract,allocate,assign,spill_code,loadstore_opt,verify"
+    code = main(
+        ["allocate", "--input", str(path), "--pipeline", chain, "--no-opt",
+         "--registers", "3", "--emit", "json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "loadstore_opt" not in payload[0]["stages"]
+
+
+def test_cli_allocate_unusable_store_path_is_clean_error(tmp_path, capsys):
+    path = _write_example_ir(tmp_path)
+    store_dir = tmp_path / "store_dir"
+    store_dir.mkdir()
+    code = main(
+        ["allocate", "--input", str(path), "--registers", "3", "--store", str(store_dir)]
+    )
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "cannot use store" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_cli_allocate_graph_input_ignores_unknown_target(tmp_path, capsys):
+    path = tmp_path / "fig4.json"
+    dump_graph(build_paper_figure4_graph(), path, name="fig4")
+    assert main(["allocate", "--input", str(path), "--target", "weird", "--registers", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "--target weird is ignored" in captured.err
+    assert "spilled=" in captured.out
 
 
 def test_cli_requires_command():
