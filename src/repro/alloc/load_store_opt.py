@@ -14,16 +14,29 @@ observation:
   the store that filled the slot) is removed, and its uses are redirected to
   the register that still holds the value.
 
-The redundancy analysis is local (per block) and therefore always safe: no
-path can invalidate the availability between the defining access and the
-reuse inside the same block (our stack slots are only written by the spill
-stores themselves).
+Correctness of the redundancy analysis (checked end-to-end by the
+differential oracle in :mod:`repro.oracle`):
+
+* availability is strictly intra-block — it is never carried across a basic
+  block boundary, and a reload whose destination is referenced by a φ or by
+  another block is never removed;
+* a store through a *register* address may alias any tracked slot, so it
+  invalidates all availability (constant-address stores only touch their own
+  slot — ``call`` never touches memory in this IR, see
+  :mod:`repro.ir.interpreter`);
+* a redefinition of a register invalidates every slot it was holding,
+  including redefinitions performed by loads and stores themselves
+  (non-SSA input reuses destination registers);
+* a reload is only removed when the replacement register provably still
+  holds the slot's value at every rewritten use: the reload's destination
+  has a single definition, all its uses sit later in the same block, and the
+  holding register is not redefined before the last of them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.alloc.spill_code import insert_spill_code
 from repro.ir.function import Function
@@ -45,6 +58,36 @@ class LoadStoreStats:
         return self.loads_before - self.loads_after
 
 
+def _use_index(function: Function) -> Tuple[Dict[VirtualRegister, int], Set[VirtualRegister]]:
+    """Count definitions and find registers used by φs or across blocks.
+
+    Returns ``(def_counts, unsafe)`` where ``unsafe`` holds every register
+    referenced by any φ — those uses happen on a CFG edge, outside the
+    straight-line region the availability analysis reasons about.
+    """
+    def_counts: Dict[VirtualRegister, int] = {}
+    for param in function.parameters:
+        def_counts[param] = def_counts.get(param, 0) + 1
+    unsafe: Set[VirtualRegister] = set()
+    for block in function:
+        for phi in block.phis:
+            def_counts[phi.target] = def_counts.get(phi.target, 0) + 1
+            unsafe.update(phi.used_registers())
+        for instruction in block.instructions:
+            for reg in instruction.defined_registers():
+                def_counts[reg] = def_counts.get(reg, 0) + 1
+    return def_counts, unsafe
+
+
+def _block_uses(instructions: List[Instruction]) -> Dict[VirtualRegister, List[int]]:
+    """Positions of every register use within one block's instruction list."""
+    uses: Dict[VirtualRegister, List[int]] = {}
+    for position, instruction in enumerate(instructions):
+        for reg in instruction.used_registers():
+            uses.setdefault(reg, []).append(position)
+    return uses
+
+
 def remove_redundant_reloads(function: Function) -> Tuple[Function, int]:
     """Remove locally redundant reloads from ``function`` (returns a copy).
 
@@ -53,48 +96,116 @@ def remove_redundant_reloads(function: Function) -> Tuple[Function, int]:
     — either the register stored to the slot earlier in the block, or the
     destination of an earlier load of the same slot.  Returns the rewritten
     function and the number of loads removed.
-    """
-    from repro.alloc.spill_code import _clone  # same deep-copy helper
 
-    result = _clone(function)
+    Removal is conservative: see the module docstring for the exact safety
+    conditions (single definition, same-block uses only, stable holder).
+    """
+    result = function.clone()
+    def_counts, phi_used = _use_index(result)
+
+    # Registers used in more than one block (or used by φs) cannot have their
+    # defining reload removed: the rewrite is purely intra-block.
+    use_blocks: Dict[VirtualRegister, Set[str]] = {}
+    for block in result:
+        for instruction in block.instructions:
+            for reg in instruction.used_registers():
+                use_blocks.setdefault(reg, set()).add(block.label)
+
     removed = 0
     for block in result:
+        instructions = block.instructions
+        uses_here = _block_uses(instructions)
         available: Dict[Constant, VirtualRegister] = {}
         replacements: Dict[VirtualRegister, VirtualRegister] = {}
         new_instructions: List[Instruction] = []
-        for instruction in block.instructions:
+
+        def invalidate_holders(registers: Iterable[VirtualRegister]) -> None:
+            redefined = set(registers)
+            stale = [slot for slot, holder in available.items() if holder in redefined]
+            for slot in stale:
+                del available[slot]
+
+        def holder_stable(holder: VirtualRegister, start: int, stop: int) -> bool:
+            """Whether ``holder`` has no definition in positions (start, stop]."""
+            for position in range(start + 1, stop + 1):
+                if holder in instructions[position].defined_registers():
+                    return False
+            return True
+
+        for index, instruction in enumerate(instructions):
             # Rewrite uses through the replacement map built so far.
             for old, new in replacements.items():
                 instruction.replace_use(old, new)
 
-            if instruction.opcode is Opcode.LOAD and isinstance(instruction.uses[0], Constant):
+            opcode = instruction.opcode
+            if opcode is Opcode.LOAD and isinstance(instruction.uses[0], Constant):
                 slot = instruction.uses[0]
-                if slot in available:
-                    replacements[instruction.defs[0]] = available[slot]
+                destination = instruction.defs[0]
+                holder = available.get(slot)
+                if holder is not None and _removable(
+                    destination,
+                    holder,
+                    index,
+                    uses_here,
+                    use_blocks,
+                    block.label,
+                    def_counts,
+                    phi_used,
+                    holder_stable,
+                ):
+                    replacements[destination] = holder
                     removed += 1
                     continue  # drop the redundant reload
-                available[slot] = instruction.defs[0]
-            elif instruction.opcode is Opcode.STORE and isinstance(instruction.uses[0], Constant):
-                slot, value = instruction.uses[0], instruction.uses[1]
-                if isinstance(value, VirtualRegister):
-                    available[slot] = value
+                # The load's destination is (re)defined here: any slot it was
+                # holding is stale from this point on.
+                invalidate_holders([destination])
+                available[slot] = destination
+            elif opcode is Opcode.STORE:
+                address = instruction.uses[0]
+                if isinstance(address, Constant):
+                    value = instruction.uses[1]
+                    if isinstance(value, VirtualRegister):
+                        available[address] = value
+                    else:
+                        available.pop(address, None)
                 else:
-                    available.pop(slot, None)
+                    # A store through a register may alias any slot.
+                    available.clear()
             else:
                 # A redefinition of a register that was tracked as holding a
-                # slot value invalidates that availability.
-                for register in instruction.defined_registers():
-                    stale = [slot for slot, holder in available.items() if holder == register]
-                    for slot in stale:
-                        del available[slot]
+                # slot value invalidates that availability.  Calls are pure in
+                # this IR (the interpreter models them as a deterministic
+                # function of the arguments) so they never clobber memory.
+                invalidate_holders(instruction.defined_registers())
             new_instructions.append(instruction)
         block.instructions = new_instructions
-
-        # φ operands may also reference replaced reload registers.
-        for phi in block.phis:
-            for old, new in replacements.items():
-                phi.replace_use(old, new)
     return result, removed
+
+
+def _removable(
+    destination: VirtualRegister,
+    holder: VirtualRegister,
+    index: int,
+    uses_here: Dict[VirtualRegister, List[int]],
+    use_blocks: Dict[VirtualRegister, Set[str]],
+    label: str,
+    def_counts: Dict[VirtualRegister, int],
+    phi_used: Set[VirtualRegister],
+    holder_stable,
+) -> bool:
+    """Safety check for removing one reload (see module docstring)."""
+    if def_counts.get(destination, 0) != 1:
+        return False  # another definition exists: later uses may mean *it*
+    if destination in phi_used:
+        return False  # φ uses happen on CFG edges, outside this block
+    if use_blocks.get(destination, set()) - {label}:
+        return False  # used in another block: availability must not cross
+    positions = uses_here.get(destination, [])
+    if any(position <= index for position in positions):
+        return False  # a use textually before the reload: broken input, keep
+    if not positions:
+        return True  # dead reload: removing it is trivially safe
+    return holder_stable(holder, index, max(positions))
 
 
 def insert_optimized_spill_code(

@@ -21,10 +21,16 @@ from repro.graphs.graph import Graph, Vertex
 def solve_optimal_allocation(
     graph: Graph, num_registers: int, cliques=None, prefer_ilp: bool = True
 ) -> Tuple[Set[Vertex], float]:
-    """Return ``(allocated, allocated_weight)`` using the best available backend."""
+    """Return ``(allocated, allocated_weight)`` using the best available backend.
+
+    The branch-and-bound fallback runs with the historical 2M-node budget:
+    "Optimal" is the sweep/figure baseline and should decide everything it
+    always could, while the standalone Optimal-BB allocator keeps the small
+    default that makes fuzz campaigns affordable.
+    """
     if prefer_ilp and scipy_available():
         return solve_ilp(graph, num_registers, cliques=cliques)
-    return solve_branch_and_bound(graph, num_registers, cliques=cliques)
+    return solve_branch_and_bound(graph, num_registers, cliques=cliques, max_nodes=2_000_000)
 
 
 class OptimalAllocator(Allocator):

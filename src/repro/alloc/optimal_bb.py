@@ -20,7 +20,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 from repro.alloc.base import Allocator, register_allocator
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
-from repro.errors import AllocationError
+from repro.errors import SearchBudgetError
 from repro.graphs.cliques import Clique
 from repro.graphs.graph import Graph, Vertex
 
@@ -29,12 +29,15 @@ def solve_branch_and_bound(
     graph: Graph,
     num_registers: int,
     cliques: Sequence[Clique] | None = None,
-    max_nodes: int = 2_000_000,
+    max_nodes: int = 200_000,
 ) -> Tuple[Set[Vertex], float]:
     """Return ``(allocated, allocated_weight)`` for the exact optimum.
 
     ``max_nodes`` bounds the number of explored search nodes; exceeding it
-    raises :class:`AllocationError` so callers can fall back to the ILP.
+    raises :class:`SearchBudgetError` so callers can fall back to the ILP.
+    The default is sized to give up within a fraction of a second: a weak
+    bound at small ``R`` makes large instances hopeless anyway, and fast
+    failure keeps fuzz campaigns that sweep every allocator affordable.
     """
     if cliques is None:
         from repro.graphs.cliques import maximal_cliques
@@ -63,7 +66,7 @@ def solve_branch_and_bound(
         nonlocal best_weight, best_set, explored
         explored += 1
         if explored > max_nodes:
-            raise AllocationError(
+            raise SearchBudgetError(
                 f"branch-and-bound budget of {max_nodes} nodes exceeded "
                 f"(|V|={len(vertices)}); use the ILP backend"
             )
@@ -99,9 +102,14 @@ class BranchAndBoundAllocator(Allocator):
     """Exact optimal allocator backed by the branch-and-bound solver."""
 
     name = "Optimal-BB"
-    version = "1"
+    #: v2: the default search budget dropped from 2M to 200k nodes, so
+    #: instances in the 200k-2M band that previously solved now raise
+    #: SearchBudgetError — a result-altering change per the cache-key
+    #: contract, hence the bump (stale v1 cells must not be served warm
+    #: for instances a cold run can no longer decide).
+    version = "2"
 
-    def __init__(self, max_nodes: int = 2_000_000) -> None:
+    def __init__(self, max_nodes: int = 200_000) -> None:
         self.max_nodes = max_nodes
 
     def allocate(self, problem: AllocationProblem) -> AllocationResult:

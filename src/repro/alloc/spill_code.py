@@ -21,28 +21,38 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.ir.function import Function
-from repro.ir.instructions import Instruction, Phi, make_load, make_store
+from repro.ir.instructions import Instruction, Opcode, make_load, make_store
 from repro.ir.values import Constant, VirtualRegister
+
+#: first stack-slot address handed out by :func:`insert_spill_code`.  Program
+#: memory traffic below this address can never alias spill slots, which is
+#: what lets the correctness oracle diff visible memory (addresses below the
+#: base) while ignoring the slots, and lets the interpreter attribute
+#: high-address accesses to spill code in its diagnostics.  A function that
+#: itself addresses memory at or above the base gets its slots placed above
+#: its highest *constant* address (see :func:`insert_spill_code`), so slots
+#: never collide with statically-addressed program traffic; register-computed
+#: addresses that land in the slot range at runtime remain the caller's
+#: responsibility (the oracle's generator masks them well below the base),
+#: and high program addresses sit outside the oracle's visible window on
+#: *both* sides of a diff.
+SPILL_SLOT_BASE = 1000
+
+
+def _slot_base(function: Function) -> int:
+    """First safe slot address: above every constant address the program uses."""
+    highest = -1
+    for instruction in function.instructions():
+        if instruction.opcode in (Opcode.LOAD, Opcode.STORE) and instruction.uses:
+            address = instruction.uses[0]
+            if isinstance(address, Constant) and isinstance(address.value, int):
+                highest = max(highest, address.value)
+    return max(SPILL_SLOT_BASE, highest + 1)
 
 
 def _clone(function: Function) -> Function:
-    """Deep copy of a function (blocks, φs, instructions)."""
-    clone = Function(function.name, list(function.parameters))
-    for block in function:
-        new_block = clone.add_block(block.label)
-        for phi in block.phis:
-            new_block.phis.append(Phi(phi.target, dict(phi.incoming)))
-        for instruction in block.instructions:
-            new_block.append(
-                Instruction(
-                    instruction.opcode,
-                    defs=list(instruction.defs),
-                    uses=list(instruction.uses),
-                    targets=list(instruction.targets),
-                )
-            )
-    clone.entry_label = function.entry_label
-    return clone
+    """Deep copy of a function (kept as an alias of :meth:`Function.clone`)."""
+    return function.clone()
 
 
 def insert_spill_code(
@@ -56,8 +66,9 @@ def insert_spill_code(
     """
     spilled_names: Set[str] = set(spilled)
     result = _clone(function)
+    base = _slot_base(function)
     slot_address: Dict[str, Constant] = {
-        name: Constant(1000 + index) for index, name in enumerate(sorted(spilled_names))
+        name: Constant(base + index) for index, name in enumerate(sorted(spilled_names))
     }
     stats = {"loads": 0, "stores": 0}
     reload_counter = 0

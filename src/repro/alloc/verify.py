@@ -11,13 +11,17 @@ mirrors the structure of the allocators:
   attempt and reports which one decided.
 
 ``check_allocation`` additionally validates the bookkeeping of a result
-(partition of the variables, correctly summed spill cost).
+(partition of the variables, correctly summed spill cost), and
+``check_assignment`` validates a *concrete* register assignment against both
+the interference graph and the target's register file — the register count
+and the register names the target actually provides (ST231 / ARMv7 / JVM),
+not just interference-freedom.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Dict, Iterable, Optional
 
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
@@ -26,6 +30,7 @@ from repro.graphs.chordal import is_chordal
 from repro.graphs.cliques import maximal_cliques
 from repro.graphs.coloring import chromatic_number_chordal, greedy_coloring, is_valid_coloring
 from repro.graphs.graph import Graph, Vertex
+from repro.targets.machine import TargetMachine
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,62 @@ def is_allocation_feasible(graph: Graph, allocated: Iterable[Vertex], num_regist
         False,
         "clique bound satisfied but greedy coloring exceeded R; feasibility undecided (clique relaxation)",
     )
+
+
+def check_assignment(
+    problem: AllocationProblem,
+    result: AllocationResult,
+    assignment: Dict[Vertex, str],
+    target: Optional[TargetMachine] = None,
+) -> None:
+    """Validate a concrete register assignment against problem and target.
+
+    Raises :class:`InvalidAllocationError` when:
+
+    * an allocated variable is missing from the assignment, or a spilled
+      variable appears in it;
+    * two interfering variables share a register;
+    * the assignment uses more distinct registers than ``R``;
+    * with a ``target``, a register name is outside the target's register
+      file (the names :meth:`TargetMachine.register_names` provides for the
+      problem's register count).
+    """
+    allocated = set(result.allocated)
+    missing = sorted(str(v) for v in allocated if v not in assignment)
+    if missing:
+        raise InvalidAllocationError(
+            f"allocated variables missing from the register assignment: {missing}"
+        )
+    spilled_assigned = sorted(str(v) for v in result.spilled if v in assignment)
+    if spilled_assigned:
+        raise InvalidAllocationError(
+            f"spilled variables must not hold a register, but got one: {spilled_assigned}"
+        )
+    graph = problem.graph
+    for vertex in allocated:
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in allocated and assignment[vertex] == assignment[neighbor] and str(vertex) < str(neighbor):
+                raise InvalidAllocationError(
+                    f"interfering variables {vertex} and {neighbor} share register "
+                    f"{assignment[vertex]!r}"
+                )
+    used = {assignment[v] for v in allocated}
+    if len(used) > problem.num_registers:
+        raise InvalidAllocationError(
+            f"assignment uses {len(used)} distinct registers for R={problem.num_registers}"
+        )
+    if target is not None:
+        # The register file the target exposes for this problem: its own
+        # names, truncated to the problem's register count when the sweep
+        # restricts R below the physical file (the paper's R sweeps).
+        budget = min(problem.num_registers, target.num_registers)
+        valid = set(list(target.register_names().values())[:budget])
+        foreign = sorted(used - valid)
+        if foreign:
+            raise InvalidAllocationError(
+                f"assignment uses register(s) {foreign} outside target "
+                f"{target.name!r}'s file of {budget} allocatable registers"
+            )
 
 
 def check_allocation(problem: AllocationProblem, result: AllocationResult, strict: bool = True) -> FeasibilityReport:

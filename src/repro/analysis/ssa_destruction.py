@@ -95,46 +95,80 @@ def destruct_ssa(function: Function, coalesce_phi_webs: bool = True) -> Function
 
 
 def coalesce_copies(function: Function) -> Function:
-    """Aggressively coalesce register-to-register copies (JIT-style).
+    """Coalesce register-to-register copies where it is provably safe.
 
-    Every ``x = copy y`` with both sides in registers merges ``x`` and ``y``
-    into one name (the union-find web keyed on the copy source's base name).
-    This models the move coalescing a JIT performs before allocation and is
-    the second mechanism — besides φ-web merging — that makes non-SSA
-    interference graphs non-chordal in practice.  The function is copied, the
-    input is left untouched.
+    Every ``x = copy y`` with both sides in registers merges the webs of
+    ``x`` and ``y`` into one name — *unless* the two webs interfere.  This
+    models the move coalescing a JIT performs before allocation and is the
+    second mechanism — besides φ-web merging — that makes non-SSA
+    interference graphs non-chordal in practice.  The function is copied,
+    the input is left untouched.
+
+    The interference guard is what makes the pass meaning-preserving (the
+    differential oracle caught the unconditional variant merging two
+    variables copied from the same source and then updating one of them):
+    webs are merged only when no member of one is live at a definition of
+    the other, per the Chaitin interference graph of the lowered function.
+    Copy-related pairs whose source stays live across the copy keep that
+    edge, so the guard is conservative — never merging is always safe.
     """
-    result = _clone(function)
-    parent: Dict[VirtualRegister, VirtualRegister] = {}
+    from repro.analysis.interference import build_interference_graph
+    from repro.analysis.liveness import liveness
 
-    def find(reg: VirtualRegister) -> VirtualRegister:
-        root = reg
+    result = _clone(function)
+    info = liveness(result)
+    graph = build_interference_graph(result, info=info)
+
+    parent: Dict[str, str] = {}
+
+    def find(name: str) -> str:
+        root = name
         while parent.get(root, root) != root:
             root = parent[root]
-        while parent.get(reg, reg) != reg:
-            parent[reg], reg = root, parent[reg]
+        while parent.get(name, name) != name:
+            parent[name], name = root, parent[name]
         return root
 
-    def union(a: VirtualRegister, b: VirtualRegister) -> None:
-        ra, rb = find(a), find(b)
-        if ra != rb:
-            parent[rb] = ra
+    neighbors: Dict[str, set] = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    members: Dict[str, set] = {}
 
-    members: set = set()
     for block in result:
         for instruction in block.instructions:
-            if instruction.opcode is Opcode.COPY and instruction.defs:
-                source = instruction.uses[0]
-                if isinstance(source, VirtualRegister):
-                    union(instruction.defs[0], source)
-                    members.add(instruction.defs[0])
-                    members.add(source)
+            if instruction.opcode is not Opcode.COPY or not instruction.defs:
+                continue
+            source = instruction.uses[0]
+            if not isinstance(source, VirtualRegister):
+                continue
+            dest_root = find(instruction.defs[0].name)
+            source_root = find(source.name)
+            if dest_root == source_root:
+                continue
+            # The interference guard: merged webs must be interference-free.
+            if source_root in {find(n) for n in neighbors.get(dest_root, ())}:
+                continue
+            parent[source_root] = dest_root
+            neighbors[dest_root] = neighbors.get(dest_root, set()) | neighbors.get(
+                source_root, set()
+            )
+            web = members.setdefault(dest_root, {dest_root})
+            web.update(members.pop(source_root, {source_root}))
 
+    # Stable, collision-free web names: one ``<base>.cw`` (or ``.cwN``) per
+    # merged web; singleton webs keep their original name.
+    taken = {reg.name for reg in result.virtual_registers()}
     rename: Dict[VirtualRegister, VirtualRegister] = {}
-    for reg in members:
-        root = find(reg)
-        base = root.name.split(".")[0]
-        rename[reg] = VirtualRegister(f"{base}.cw")
+    for root in sorted(members):
+        web = members[root]
+        if len(web) < 2:
+            continue
+        base = find(root).split(".")[0]
+        candidate, suffix = f"{base}.cw", 1
+        while candidate in taken and candidate not in web:
+            suffix += 1
+            candidate = f"{base}.cw{suffix}"
+        taken.add(candidate)
+        for name in web:
+            rename[VirtualRegister(name)] = VirtualRegister(candidate)
 
     for block in result:
         for phi in block.phis:

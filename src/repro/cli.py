@@ -30,6 +30,13 @@ read the store without re-running any allocator::
 Inspect a generated corpus::
 
     repro-alloc corpus --suite eembc --seed 7
+
+Fuzz the whole pipeline with the differential correctness oracle (every
+failure is delta-debugged into a minimal reproducer under
+``tests/oracle/regressions/``), or replay that corpus::
+
+    repro-alloc oracle --seed 0 --count 500 --jobs 4
+    repro-alloc oracle --replay
 """
 
 from __future__ import annotations
@@ -202,6 +209,59 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--suite", default="eembc", choices=sorted(SUITES))
     corpus.add_argument("--seed", type=int, default=2013)
     corpus.add_argument("--scale", type=float, default=1.0)
+
+    oracle = subparsers.add_parser(
+        "oracle",
+        help="differential correctness fuzzing: execute programs before/after the spill pipeline",
+    )
+    oracle.add_argument("--seed", type=int, default=0, help="campaign seed (programs derive from it)")
+    oracle.add_argument("--count", type=int, default=100, help="number of generated programs")
+    oracle.add_argument(
+        "--size",
+        default="small",
+        help="program size profile (tiny/small/medium/large)",
+    )
+    oracle.add_argument(
+        "--allocators",
+        default=None,
+        help="comma-separated allocator names (default: every registered allocator, deduplicated)",
+    )
+    oracle.add_argument(
+        "--targets",
+        default=None,
+        help=f"comma-separated targets (default: all of {sorted(ALL_TARGETS)})",
+    )
+    oracle.add_argument(
+        "--registers",
+        default=None,
+        help="comma-separated register counts (default: 4, small enough to force spilling)",
+    )
+    oracle.add_argument(
+        "--non-ssa",
+        action="store_true",
+        help="check the non-SSA lowering path (general graphs) instead of SSA",
+    )
+    oracle.add_argument("--jobs", type=int, default=1, help="worker processes for the fuzz batch")
+    oracle.add_argument(
+        "--store",
+        default=None,
+        help="experiment store path; the campaign manifest is recorded in it",
+    )
+    oracle.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="report failures without delta-debugging them into reproducers",
+    )
+    oracle.add_argument(
+        "--regressions",
+        default="tests/oracle/regressions",
+        help="directory for minimized reproducers (and for --replay)",
+    )
+    oracle.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the regression corpus instead of fuzzing fresh programs",
+    )
 
     subparsers.add_parser("list", help="list allocators, suites and targets")
     return parser
@@ -523,6 +583,73 @@ def _command_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_oracle(args: argparse.Namespace) -> int:
+    """Run a differential fuzz campaign (or replay the regression corpus)."""
+    from repro.oracle import (
+        CampaignConfig,
+        check_function,
+        load_regressions,
+        run_campaign,
+    )
+
+    regressions = Path(args.regressions)
+    if args.replay:
+        cases = load_regressions(regressions)
+        if not cases:
+            print(f"no regression cases under {regressions}")
+            return 0
+        failed = 0
+        for case in cases:
+            check = check_function(
+                case.function,
+                case.allocator or "NL",
+                case.target or DEFAULT_TARGET,
+                case.registers or 4,
+                ssa=case.ssa,
+            )
+            print(f"{case.path.name}: {check.status}")
+            if check.failed:
+                failed += 1
+                print(f"  {check.detail}")
+        print(f"replayed {len(cases)} regression case(s), {failed} failing")
+        return 1 if failed else 0
+
+    try:
+        config = CampaignConfig(
+            seed=args.seed,
+            count=args.count,
+            size=args.size,
+            allocators=tuple(_csv_names(args.allocators)) if args.allocators else (),
+            targets=tuple(_csv_names(args.targets)) if args.targets else (),
+            register_counts=(
+                tuple(_csv_ints(args.registers)) if args.registers else (4,)
+            ),
+            ssa=not args.non_ssa,
+            jobs=args.jobs,
+            minimize_failures=not args.no_minimize,
+        ).validate()
+    except ValueError as error:
+        return _error(str(error))
+
+    try:
+        if args.store is not None:
+            with open_store(args.store) as store:
+                result = run_campaign(config, store=store, regressions_dir=regressions)
+        else:
+            result = run_campaign(config, regressions_dir=regressions)
+    except ReproError as error:
+        return _error(str(error))
+    except sqlite3.Error as error:
+        return _error(f"cannot use store {args.store}: {error}")
+    except OSError as error:
+        # Either the store file or the regressions directory is unusable.
+        return _error(
+            f"campaign I/O failed (store={args.store}, regressions={regressions}): {error}"
+        )
+    print("\n".join(result.summary_lines()))
+    return 0 if result.passed else 1
+
+
 def _command_list() -> int:
     """List the registered allocators, suites and targets."""
     print("allocators:", ", ".join(available_allocators()))
@@ -547,6 +674,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_report(args)
     if args.command == "corpus":
         return _command_corpus(args)
+    if args.command == "oracle":
+        return _command_oracle(args)
     if args.command == "list":
         return _command_list()
     parser.error(f"unknown command {args.command!r}")

@@ -53,3 +53,16 @@ class InvalidAllocationError(AllocationError):
 
 class SolverUnavailableError(AllocationError):
     """The optional ILP solver backend (scipy) is not installed."""
+
+
+class SearchBudgetError(AllocationError):
+    """An exact solver exceeded its search budget on a too-hard instance.
+
+    A documented capacity limit, not a wrong answer: callers (and the
+    correctness oracle) treat it as "this backend cannot decide the
+    instance", distinct from a genuine allocation bug."""
+
+
+class OracleError(ReproError):
+    """The differential correctness oracle observed a semantic difference
+    between a program and its spill-rewritten form (a miscompile)."""

@@ -122,6 +122,30 @@ class Function:
         """Return all φ-functions of the function."""
         return [phi for block in self for phi in block.phis]
 
+    def clone(self) -> "Function":
+        """Deep copy of this function (blocks, φs, instructions).
+
+        Values (registers, constants) are immutable and shared; blocks,
+        instruction objects and their operand lists are fresh, so rewriting
+        passes and the oracle's minimizer can mutate the copy freely.
+        """
+        clone = Function(self.name, list(self.parameters))
+        for block in self:
+            new_block = clone.add_block(block.label)
+            for phi in block.phis:
+                new_block.phis.append(Phi(phi.target, dict(phi.incoming)))
+            for instruction in block.instructions:
+                new_block.append(
+                    Instruction(
+                        instruction.opcode,
+                        defs=list(instruction.defs),
+                        uses=list(instruction.uses),
+                        targets=list(instruction.targets),
+                    )
+                )
+        clone.entry_label = self.entry_label
+        return clone
+
     def num_instructions(self) -> int:
         """Total instruction count (φs included)."""
         return sum(len(block) for block in self)

@@ -22,13 +22,24 @@ The interpreter is deliberately simple:
 * φ-functions are evaluated with parallel-copy semantics using the
   dynamically recorded predecessor block;
 * a step budget bounds runaway loops (generated programs may mutate their own
-  loop counters), reporting whether execution finished normally.
+  loop counters), reporting whether execution finished normally;
+* with ``record_trace=True`` every executed ``store`` is appended to
+  :attr:`ExecutionResult.trace`, giving the correctness oracle
+  (:mod:`repro.oracle`) an ordered side-effect log to diff across program
+  rewrites.
+
+Every :class:`~repro.ir.instructions.Opcode` is dispatched (the
+:data:`SUPPORTED_OPCODES` set is checked against the enum by the test suite);
+an instruction that still cannot be executed raises :class:`IRError` with the
+function, block and instruction spelled out, plus the pipeline pass it came
+from when the operands carry spill-code fingerprints — so an oracle run never
+aborts on legal pipeline output with a blanket "unsupported opcode".
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import IRError
 from repro.ir.function import Function
@@ -36,6 +47,56 @@ from repro.ir.instructions import Instruction, Opcode, Phi
 from repro.ir.values import Constant, Value, VirtualRegister
 
 _MASK = (1 << 64) - 1
+
+#: opcodes the scalar dispatch of :meth:`Interpreter._execute` actually
+#: implements — an explicit literal, NOT ``frozenset(Opcode)``, so the test
+#: asserting it equals the enum genuinely fails when someone adds an opcode
+#: without a dispatch arm (instead of that opcode aborting a fuzz campaign
+#: at runtime).
+SUPPORTED_OPCODES = frozenset(
+    {
+        Opcode.BR,
+        Opcode.CBR,
+        Opcode.RET,
+        Opcode.STORE,
+        Opcode.LOAD,
+        Opcode.COPY,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.CMP,
+        Opcode.NEG,
+        Opcode.NOT,
+        Opcode.CALL,
+        Opcode.PHI,
+    }
+)
+
+
+def _origin_hint(instruction: Instruction) -> str:
+    """Attribute an instruction to the pipeline pass that emitted it.
+
+    Spill code is recognizable from its fingerprints: reload temporaries are
+    named ``<var>.reloadN`` and spill slots are constant addresses at or above
+    :data:`repro.alloc.spill_code.SPILL_SLOT_BASE`.  Anything else is input
+    IR (front-end or generator output).
+    """
+    from repro.alloc.spill_code import SPILL_SLOT_BASE
+
+    registers = instruction.defined_registers() + instruction.used_registers()
+    if any(".reload" in reg.name for reg in registers):
+        return "emitted by alloc/spill_code.py (reload insertion)"
+    if instruction.opcode in (Opcode.LOAD, Opcode.STORE) and instruction.uses:
+        address = instruction.uses[0]
+        if isinstance(address, Constant) and address.value >= SPILL_SLOT_BASE:
+            return "emitted by alloc/spill_code.py (spill slot access)"
+    return "input IR (front-end or program generator)"
 
 
 @dataclass
@@ -56,6 +117,10 @@ class ExecutionResult:
     stores: int = 0
     #: final memory state (address -> value).
     memory: Dict[int, int] = field(default_factory=dict)
+    #: ordered side-effect log of executed stores, as ``(address, value)``
+    #: pairs — only populated when the interpreter ran with
+    #: ``record_trace=True`` (the correctness oracle's observable trace).
+    trace: List[Tuple[int, int]] = field(default_factory=list)
 
     def frequency(self, label: str) -> int:
         """Execution count of ``label`` (0 if never executed)."""
@@ -77,11 +142,18 @@ class Interpreter:
     max_steps:
         Budget of executed instructions; when exhausted, execution stops and
         the result is flagged as not terminated.
+    record_trace:
+        When true, every executed ``store`` appends ``(address, value)`` to
+        :attr:`ExecutionResult.trace`.  Off by default: profiling runs do not
+        pay for the log, only the oracle turns it on.
     """
 
-    def __init__(self, function: Function, max_steps: int = 200_000) -> None:
+    def __init__(
+        self, function: Function, max_steps: int = 200_000, record_trace: bool = False
+    ) -> None:
         self.function = function
         self.max_steps = max_steps
+        self.record_trace = record_trace
 
     # ------------------------------------------------------------------ #
     def run(self, arguments: Sequence[int] = (), memory: Optional[Dict[int, int]] = None) -> ExecutionResult:
@@ -108,7 +180,11 @@ class Interpreter:
             if current.phis:
                 if previous_label is None and any(current.phis):
                     # φs in the entry block can only be products of broken IR.
-                    raise IRError(f"phi in entry block {current.label!r} cannot be evaluated")
+                    raise IRError(
+                        f"phi in entry block {current.label!r} of function "
+                        f"{self.function.name!r} cannot be evaluated (no incoming edge; "
+                        "broken IR from SSA construction or CFG surgery)"
+                    )
                 incoming_values = {
                     phi.target: self._value(phi.incoming_from(previous_label), environment)
                     for phi in current.phis
@@ -121,7 +197,7 @@ class Interpreter:
                 if result.steps > self.max_steps:
                     result.block_counts = block_counts
                     return result
-                outcome = self._execute(instruction, environment, result)
+                outcome = self._execute(instruction, environment, result, current.label)
                 if instruction.opcode is Opcode.RET:
                     result.return_value = outcome
                     result.terminated = True
@@ -133,7 +209,10 @@ class Interpreter:
 
             if next_label is None:
                 # Fell off the end of a block without a terminator: broken IR.
-                raise IRError(f"block {current.label!r} ended without a terminator during execution")
+                raise IRError(
+                    f"block {current.label!r} of function {self.function.name!r} "
+                    "ended without a terminator during execution"
+                )
             previous_label = current.label
             current = self.function.block(next_label)
 
@@ -154,6 +233,7 @@ class Interpreter:
         instruction: Instruction,
         environment: Dict[VirtualRegister, int],
         result: ExecutionResult,
+        block_label: str = "?",
     ) -> Optional[int]:
         """Execute one non-φ instruction; return branch target or ret value."""
         opcode = instruction.opcode
@@ -170,6 +250,8 @@ class Interpreter:
             address, value = values
             result.memory[address] = value
             result.stores += 1
+            if self.record_trace:
+                result.trace.append((address, value))
             return None
 
         computed: int
@@ -209,9 +291,21 @@ class Interpreter:
                 accumulator = (accumulator ^ (value & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
             computed = accumulator >> 17
         elif opcode is Opcode.PHI:  # pragma: no cover - φs handled by run()
-            raise IRError("phi reached the scalar execution path")
-        else:  # pragma: no cover - defensive
-            raise IRError(f"unsupported opcode {opcode!r} in interpreter")
+            raise IRError(
+                f"phi {instruction.defs[0]} in block {block_label!r} of function "
+                f"{self.function.name!r} reached the scalar execution path "
+                "(phis must live in BasicBlock.phis, not .instructions)"
+            )
+        else:  # pragma: no cover - unreachable while SUPPORTED_OPCODES == Opcode
+            from repro.ir.printer import format_instruction
+
+            raise IRError(
+                f"cannot execute `{format_instruction(instruction)}` in block "
+                f"{block_label!r} of function {self.function.name!r}: opcode "
+                f"{opcode.value!r} has no interpreter dispatch "
+                f"({_origin_hint(instruction)}); supported opcodes: "
+                f"{sorted(op.value for op in SUPPORTED_OPCODES)}"
+            )
 
         computed &= _MASK
         for register in instruction.defs:
@@ -219,9 +313,14 @@ class Interpreter:
         return None
 
 
-def interpret(function: Function, arguments: Sequence[int] = (), max_steps: int = 200_000) -> ExecutionResult:
+def interpret(
+    function: Function,
+    arguments: Sequence[int] = (),
+    max_steps: int = 200_000,
+    record_trace: bool = False,
+) -> ExecutionResult:
     """Convenience wrapper: run ``function`` on ``arguments``."""
-    return Interpreter(function, max_steps=max_steps).run(arguments)
+    return Interpreter(function, max_steps=max_steps, record_trace=record_trace).run(arguments)
 
 
 def run_with_argument_sets(

@@ -1,0 +1,71 @@
+"""The differential correctness oracle (execute-before/execute-after).
+
+The paper's central claim is that layered allocation spills near-optimally
+*without changing program semantics*.  This package proves the second half
+of that claim on every run: it executes a program before and after the full
+spill pipeline and diffs everything observable, fuzzes the pipeline with
+seeded random programs, shrinks any counterexample to a minimal reproducer,
+and files it in the permanent regression corpus.
+
+Layout
+------
+:mod:`~repro.oracle.differential`
+    Observation capture and diffing (imports only :mod:`repro.ir`).
+:mod:`~repro.oracle.generator`
+    Seeded, size-parameterized random program generation.
+:mod:`~repro.oracle.harness`
+    One program × allocator × target × R check through the pipeline.
+:mod:`~repro.oracle.minimizer`
+    Delta-debugging shrinkage of failing programs.
+:mod:`~repro.oracle.campaign`
+    Process-pool fuzz campaigns with experiment-store manifests.
+:mod:`~repro.oracle.regressions`
+    The minimized-counterexample corpus under ``tests/oracle/regressions/``.
+
+Entry points: ``repro-alloc oracle`` on the command line, the opt-in
+``oracle`` pipeline stage, or :func:`run_campaign` from Python.
+"""
+
+from repro.oracle.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    DEFAULT_REGISTER_COUNTS,
+    run_campaign,
+)
+from repro.oracle.differential import (
+    DEFAULT_ARGUMENT_SETS,
+    DifferentialReport,
+    Mismatch,
+    Observation,
+    compare_observations,
+    diff_functions,
+    observe,
+)
+from repro.oracle.generator import SIZE_PROFILES, generate_program, iter_programs
+from repro.oracle.harness import OracleCheck, check_function, make_failure_predicate
+from repro.oracle.minimizer import minimize
+from repro.oracle.regressions import RegressionCase, load_regressions, save_regression
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "DEFAULT_ARGUMENT_SETS",
+    "DEFAULT_REGISTER_COUNTS",
+    "DifferentialReport",
+    "Mismatch",
+    "Observation",
+    "OracleCheck",
+    "RegressionCase",
+    "SIZE_PROFILES",
+    "check_function",
+    "compare_observations",
+    "diff_functions",
+    "generate_program",
+    "iter_programs",
+    "load_regressions",
+    "make_failure_predicate",
+    "minimize",
+    "observe",
+    "run_campaign",
+    "save_regression",
+]

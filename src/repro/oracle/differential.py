@@ -1,0 +1,234 @@
+"""Differential execution: observe a function before and after rewriting.
+
+The paper's layered allocators claim to spill *without changing program
+semantics*.  This module makes that claim checkable: it executes a function
+on concrete inputs with :class:`repro.ir.interpreter.Interpreter`, collapses
+the run into an :class:`Observation` of everything a caller could notice —
+return value, termination, the ordered store trace and the final memory image
+restricted to *visible* addresses (below
+:data:`repro.alloc.spill_code.SPILL_SLOT_BASE`, so spill-slot traffic is
+invisible exactly like real stack frames are) — and diffs the observations of
+the original and the rewritten function.
+
+Step, load and store counts are also recorded, but as *overhead* (spill code
+legitimately executes more memory operations), never as a mismatch.
+
+This module deliberately imports nothing from :mod:`repro.pipeline`; the
+pipeline's ``oracle`` pass and the campaign harness build on it without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.alloc.spill_code import SPILL_SLOT_BASE
+from repro.errors import OracleError
+from repro.ir.function import Function
+from repro.ir.interpreter import Interpreter
+
+#: default concrete inputs each check runs on: all-zero, small distinct
+#: values, and large values that exercise wrap-around — enough to distinguish
+#: the rewrite bugs the fuzzer has found so far, cheap enough to run tens of
+#: thousands of times.
+DEFAULT_ARGUMENT_SETS: Tuple[Tuple[int, ...], ...] = (
+    (0, 0, 0, 0),
+    (1, 2, 3, 5),
+    (7, 11, 254, 3),
+    ((1 << 63) + 12345, 255, 1, 9),
+)
+
+#: default executed-instruction budget.  Oracle programs are generated to
+#: terminate within a few thousand steps (protected loop counters, small
+#: trip counts); spill code multiplies the dynamic instruction count, so the
+#: *after* run gets a scaled budget (see :func:`diff_functions`).
+DEFAULT_MAX_STEPS = 20_000
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Everything observable about one execution of one function."""
+
+    arguments: Tuple[int, ...]
+    return_value: Optional[int]
+    terminated: bool
+    #: ordered ``(address, value)`` store events at visible addresses.
+    trace: Tuple[Tuple[int, int], ...]
+    #: final memory restricted to visible addresses.
+    memory: Tuple[Tuple[int, int], ...]
+    #: overhead metrics — recorded, never diffed.
+    steps: int = 0
+    loads: int = 0
+    stores: int = 0
+
+
+def observe(
+    function: Function,
+    arguments: Sequence[int],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    visible_limit: int = SPILL_SLOT_BASE,
+) -> Observation:
+    """Execute ``function`` and collapse the run into an :class:`Observation`.
+
+    ``visible_limit`` bounds the observable address space: stores at or above
+    it (the spill slots) are program-internal and excluded from the trace and
+    the final-memory image.
+    """
+    result = Interpreter(function, max_steps=max_steps, record_trace=True).run(arguments)
+    return Observation(
+        arguments=tuple(int(a) for a in arguments),
+        return_value=result.return_value,
+        terminated=result.terminated,
+        trace=tuple((a, v) for a, v in result.trace if a < visible_limit),
+        memory=tuple(sorted((a, v) for a, v in result.memory.items() if a < visible_limit)),
+        steps=result.steps,
+        loads=result.loads,
+        stores=result.stores,
+    )
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One observable difference between a before/after pair."""
+
+    #: which observable differed: ``return_value``, ``termination``,
+    #: ``trace`` or ``memory``.
+    kind: str
+    arguments: Tuple[int, ...]
+    before: object
+    after: object
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.kind} differs on arguments {list(self.arguments)}: "
+            f"before={self.before!r} after={self.after!r}"
+        )
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of diffing one function against its rewritten form."""
+
+    #: per-argument-set before/after observation pairs.
+    pairs: Tuple[Tuple[Observation, Observation], ...]
+    mismatches: Tuple[Mismatch, ...] = ()
+    #: argument sets whose *before* run exhausted the step budget; those
+    #: pairs are recorded but carry no verdict (``after`` only has to match
+    #: on runs the original actually finished).
+    budget_exhausted: Tuple[Tuple[int, ...], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every finished run observed identical behaviour."""
+        return not self.mismatches
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        """Sorted distinct mismatch kinds (minimizer compatibility key)."""
+        return tuple(sorted({m.kind for m in self.mismatches}))
+
+    @property
+    def spill_overhead(self) -> Dict[str, int]:
+        """Total extra steps/loads/stores the rewritten form executed."""
+        overhead = {"steps": 0, "loads": 0, "stores": 0}
+        for before, after in self.pairs:
+            overhead["steps"] += after.steps - before.steps
+            overhead["loads"] += after.loads - before.loads
+            overhead["stores"] += after.stores - before.stores
+        return overhead
+
+    def describe(self, limit: int = 5) -> str:
+        """Multi-line summary of the first ``limit`` mismatches."""
+        if self.ok:
+            return "no observable differences"
+        lines = [m.describe() for m in self.mismatches[:limit]]
+        hidden = len(self.mismatches) - limit
+        if hidden > 0:
+            lines.append(f"... and {hidden} more mismatch(es)")
+        return "\n".join(lines)
+
+
+def compare_observations(before: Observation, after: Observation) -> List[Mismatch]:
+    """Diff two observations of the same argument set."""
+    mismatches: List[Mismatch] = []
+    if before.terminated != after.terminated:
+        mismatches.append(
+            Mismatch("termination", before.arguments, before.terminated, after.terminated)
+        )
+        # Without termination parity the remaining observables are noise.
+        return mismatches
+    if before.return_value != after.return_value:
+        mismatches.append(
+            Mismatch("return_value", before.arguments, before.return_value, after.return_value)
+        )
+    if before.trace != after.trace:
+        mismatches.append(Mismatch("trace", before.arguments, before.trace, after.trace))
+    if before.memory != after.memory:
+        mismatches.append(Mismatch("memory", before.arguments, before.memory, after.memory))
+    return mismatches
+
+
+def observe_many(
+    function: Function,
+    argument_sets: Sequence[Sequence[int]] = DEFAULT_ARGUMENT_SETS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> List[Observation]:
+    """Observe ``function`` on every argument set.
+
+    Campaigns call this once per program and reuse the result against every
+    allocator × target × R rewrite — the *before* side never changes.
+    """
+    return [observe(function, arguments, max_steps=max_steps) for arguments in argument_sets]
+
+
+def diff_functions(
+    original: Function,
+    rewritten: Function,
+    argument_sets: Sequence[Sequence[int]] = DEFAULT_ARGUMENT_SETS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    after_budget_factor: int = 8,
+    before: Optional[Sequence[Observation]] = None,
+) -> DifferentialReport:
+    """Execute ``original`` and ``rewritten`` on every argument set and diff.
+
+    The rewritten function's step budget is ``after_budget_factor`` times the
+    original's: spill-everywhere code legitimately executes several dynamic
+    instructions per original one, and a too-small *after* budget would
+    report a phantom termination mismatch.  A precomputed ``before``
+    observation list (one per argument set, from :func:`observe_many`) skips
+    re-executing the original; argument sets whose original run exhausted
+    the budget skip the rewritten run entirely — they carry no verdict.
+    """
+    if before is None:
+        before = observe_many(original, argument_sets, max_steps=max_steps)
+    elif len(before) != len(argument_sets):
+        raise ValueError(
+            f"{len(before)} precomputed observations for {len(argument_sets)} argument sets"
+        )
+    pairs: List[Tuple[Observation, Observation]] = []
+    mismatches: List[Mismatch] = []
+    exhausted: List[Tuple[int, ...]] = []
+    for before_obs, arguments in zip(before, argument_sets):
+        if not before_obs.terminated:
+            exhausted.append(tuple(int(a) for a in arguments))
+            pairs.append((before_obs, before_obs))
+            continue
+        after = observe(rewritten, arguments, max_steps=max_steps * after_budget_factor)
+        pairs.append((before_obs, after))
+        mismatches.extend(compare_observations(before_obs, after))
+    return DifferentialReport(
+        pairs=tuple(pairs),
+        mismatches=tuple(mismatches),
+        budget_exhausted=tuple(exhausted),
+    )
+
+
+def raise_on_mismatch(report: DifferentialReport, name: str) -> None:
+    """Raise :class:`OracleError` if ``report`` recorded any mismatch."""
+    if not report.ok:
+        raise OracleError(
+            f"differential oracle caught a miscompile of {name!r} "
+            f"({', '.join(report.kinds)}):\n{report.describe()}"
+        )

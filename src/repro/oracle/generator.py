@@ -1,0 +1,104 @@
+"""Seeded, size-parameterized program generation for oracle campaigns.
+
+Builds on the structured generator of :mod:`repro.workloads.programs` (and
+therefore on :class:`repro.ir.builder.FunctionBuilder`), but with the
+memory/call knobs turned on and shapes chosen to stress the spill pipeline
+rather than to mimic benchmark suites:
+
+* **diamonds and loops** — branchy control flow exercises φ lowering and the
+  per-block scope of the load/store optimization;
+* **high-pressure accumulator chains** — many simultaneously-live variables
+  force real spilling at small ``R`` for every allocator;
+* **memory traffic** — constant- and register-addressed loads/stores in the
+  low visible address range interact with spill-slot tracking, which is where
+  the availability bugs live.
+
+Generation is deterministic: program ``index`` of campaign ``seed`` is
+derived from the string ``"{seed}/{index}"`` (stable across processes and
+Python versions, so campaign workers regenerate their shard instead of
+pickling functions).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.workloads.programs import GeneratorProfile, generate_function
+
+#: full opcode mix for oracle programs — unlike the workload generator's
+#: benchmark-flavoured subset, this covers every binary opcode the
+#: interpreter dispatches (division by zero and shift masking included).
+ORACLE_OPCODES: Tuple[Opcode, ...] = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.DIV,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.CMP,
+)
+
+
+def _profile(statements: int, accumulators: int, loop_depth: int) -> GeneratorProfile:
+    return GeneratorProfile(
+        statements=statements,
+        parameters=4,
+        accumulators=accumulators,
+        loop_depth=loop_depth,
+        loop_probability=0.3,
+        branch_probability=0.3,
+        reuse_probability=0.45,
+        opcodes=ORACLE_OPCODES,
+        memory_probability=0.2,
+        call_probability=0.08,
+        memory_addresses=256,
+        # Every oracle program must terminate: a run that exhausts the step
+        # budget produces no differential verdict.  Loop counters are
+        # protected from redefinition and trip counts stay small so even
+        # nested loops finish in a few thousand interpreted steps.
+        protect_loop_counters=True,
+        loop_iterations=(3, 9),
+    )
+
+
+#: named program sizes for campaigns.  ``small`` keeps per-check cost low
+#: enough for 500-program × all-allocator × all-target sweeps; ``large``
+#: exists for overnight soaks.
+SIZE_PROFILES: Dict[str, GeneratorProfile] = {
+    "tiny": _profile(statements=10, accumulators=4, loop_depth=1),
+    "small": _profile(statements=24, accumulators=6, loop_depth=2),
+    "medium": _profile(statements=60, accumulators=10, loop_depth=2),
+    "large": _profile(statements=140, accumulators=14, loop_depth=3),
+}
+
+
+def program_rng(seed: int, index: int) -> random.Random:
+    """The deterministic RNG of program ``index`` in campaign ``seed``."""
+    return random.Random(f"{seed}/{index}")
+
+
+def generate_program(seed: int, index: int, size: str = "small") -> Function:
+    """Generate oracle program ``index`` of campaign ``seed``.
+
+    The same ``(seed, index, size)`` triple always yields the same function,
+    in any process — campaign workers rely on this to regenerate their shard.
+    """
+    try:
+        profile = SIZE_PROFILES[size]
+    except KeyError:
+        raise ValueError(
+            f"unknown oracle program size {size!r}; available: {sorted(SIZE_PROFILES)}"
+        ) from None
+    return generate_function(f"fuzz_{seed}_{index}", profile, rng=program_rng(seed, index))
+
+
+def iter_programs(seed: int, count: int, size: str = "small") -> Iterator[Function]:
+    """Yield ``count`` deterministic oracle programs for campaign ``seed``."""
+    for index in range(count):
+        yield generate_program(seed, index, size=size)

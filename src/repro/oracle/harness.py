@@ -1,0 +1,313 @@
+"""Drive one program through the full pipeline and diff its semantics.
+
+:func:`check_function` is the oracle's unit of work: run *extract →
+allocate → assign → spill_code → loadstore_opt → verify* on a function with
+one allocator/target/register-count combination, execute the function before
+and after, and fold the outcome into an :class:`OracleCheck` — ``ok``,
+``mismatch`` (observable semantics differ), ``error`` (a pipeline stage or
+the interpreter raised on legal input: also a bug) or ``skipped`` (an
+optional solver backend is missing).
+
+Failures carry a *signature* (the sorted mismatch kinds, or the exception
+class) so the delta-debugging minimizer can shrink a program while chasing
+the same bug rather than whatever new one a smaller program happens to
+trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.alloc.base import get_allocator
+from repro.errors import (
+    NotChordalError,
+    ReproError,
+    SearchBudgetError,
+    SolverUnavailableError,
+)
+from repro.ir.function import Function
+from repro.oracle.differential import (
+    DEFAULT_ARGUMENT_SETS,
+    DEFAULT_MAX_STEPS,
+    DifferentialReport,
+    Observation,
+    diff_functions,
+    observe_many,
+)
+from repro.pipeline.engine import Pipeline
+from repro.pipeline.spec import PipelineSpec
+
+
+@dataclass(frozen=True)
+class OracleCheck:
+    """Outcome of one program × allocator × target × R differential check."""
+
+    program: str
+    allocator: str
+    target: str
+    registers: int
+    #: ``ok`` | ``mismatch`` | ``error`` | ``skipped``.
+    status: str
+    #: failure signature: mismatch kinds, or ``("exception:<Class>",)``.
+    kinds: Tuple[str, ...] = ()
+    detail: str = ""
+    #: variables the allocator spilled (0 means the check exercised no
+    #: spill code — campaigns report this so low-pressure runs are visible).
+    spilled: int = 0
+    overhead: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """Whether this check found a bug (mismatch or pipeline error)."""
+        return self.status in ("mismatch", "error")
+
+
+def failure_signature(report: Optional[DifferentialReport], error: Optional[BaseException]) -> Tuple[str, ...]:
+    """The signature the minimizer preserves while shrinking."""
+    if error is not None:
+        return (f"exception:{type(error).__name__}",)
+    if report is not None:
+        return report.kinds
+    return ()
+
+
+def _checked(
+    function: Function,
+    allocator: str,
+    target: str,
+    registers: int,
+    runner,
+    argument_sets: Sequence[Sequence[int]],
+    max_steps: int,
+    before: Optional[Sequence[Observation]] = None,
+) -> OracleCheck:
+    """Shared core: run ``runner`` (→ pipeline context), diff, classify."""
+    try:
+        context = runner()
+        if context.rewritten is None:
+            raise ReproError(
+                f"pipeline for {allocator!r} produced no rewritten function "
+                f"(stages run: {list(context.stages_run)})"
+            )
+        report = diff_functions(
+            function,
+            context.rewritten,
+            argument_sets=argument_sets,
+            max_steps=max_steps,
+            before=before,
+        )
+    except (SolverUnavailableError, SearchBudgetError, NotChordalError) as error:
+        # Documented limits, not wrong answers: missing scipy, the
+        # branch-and-bound node budget, or a chordal-only allocator (the
+        # paper's layered family) asked to solve a non-SSA general graph —
+        # the experiment harness partitions allocators the same way
+        # (``CHORDAL_ALLOCATORS`` vs ``GENERAL_ALLOCATORS``).
+        return OracleCheck(
+            program=function.name,
+            allocator=allocator,
+            target=target,
+            registers=registers,
+            status="skipped",
+            detail=str(error),
+        )
+    except ReproError as error:
+        return OracleCheck(
+            program=function.name,
+            allocator=allocator,
+            target=target,
+            registers=registers,
+            status="error",
+            kinds=failure_signature(None, error),
+            detail=f"{type(error).__name__}: {error}",
+        )
+    spilled = context.result.num_spilled if context.result is not None else 0
+    if report.ok:
+        return OracleCheck(
+            program=function.name,
+            allocator=allocator,
+            target=target,
+            registers=registers,
+            status="ok",
+            spilled=spilled,
+            overhead=report.spill_overhead,
+        )
+    return OracleCheck(
+        program=function.name,
+        allocator=allocator,
+        target=target,
+        registers=registers,
+        status="mismatch",
+        kinds=report.kinds,
+        detail=report.describe(),
+        spilled=spilled,
+        overhead=report.spill_overhead,
+    )
+
+
+def check_function(
+    function: Function,
+    allocator: str,
+    target: str,
+    registers: int,
+    ssa: bool = True,
+    argument_sets: Sequence[Sequence[int]] = DEFAULT_ARGUMENT_SETS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> OracleCheck:
+    """Run one full differential check; never raises for in-scope failures."""
+    spec = PipelineSpec(allocator=allocator, target=target, registers=registers, ssa=ssa)
+    return _checked(
+        function,
+        allocator,
+        target,
+        registers,
+        lambda: Pipeline(spec).run(function),
+        argument_sets,
+        max_steps,
+    )
+
+
+#: front-end stage chain shared by every combo of one program × target.
+_FRONT_STAGES = ("liveness", "interference")
+
+
+def check_program(
+    function: Function,
+    combos: Sequence[Tuple[str, str, int]],
+    ssa: bool = True,
+    argument_sets: Sequence[Sequence[int]] = DEFAULT_ARGUMENT_SETS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> List[OracleCheck]:
+    """Differentially check one program against ``(allocator, target, R)`` combos.
+
+    The fast path for campaigns: the *before* observations are computed once
+    per program, the liveness/interference front-end once per target, and
+    the packaged :class:`~repro.alloc.problem.AllocationProblem` once per
+    ``(target, R)`` — so its shared PEO/clique caches (PR 1) serve every
+    allocator.  Results are equivalent to calling :func:`check_function` per
+    combo, just without the redundant work.
+    """
+    before = observe_many(function, argument_sets, max_steps=max_steps)
+
+    by_target: Dict[str, List[Tuple[str, int]]] = {}
+    for allocator, target, registers in combos:
+        by_target.setdefault(target, []).append((allocator, registers))
+
+    checks: List[OracleCheck] = []
+    for target, pairs in by_target.items():
+        try:
+            front = Pipeline(
+                PipelineSpec(
+                    allocator=pairs[0][0], target=target, ssa=ssa, stages=_FRONT_STAGES
+                )
+            )
+            front_context = front.run(function)
+        except ReproError as error:
+            for allocator, registers in pairs:
+                checks.append(
+                    OracleCheck(
+                        program=function.name,
+                        allocator=allocator,
+                        target=target,
+                        registers=registers,
+                        status="error",
+                        kinds=failure_signature(None, error),
+                        detail=f"{type(error).__name__}: {error}",
+                    )
+                )
+            continue
+
+        extracted: Dict[int, object] = {}
+        for allocator, registers in pairs:
+            base = extracted.get(registers)
+            if base is None:
+                extract = Pipeline(
+                    PipelineSpec(
+                        allocator=allocator,
+                        target=target,
+                        registers=registers,
+                        ssa=ssa,
+                        stages=_FRONT_STAGES + ("extract",),
+                    )
+                )
+                try:
+                    base = extract.run_context(front_context.evolve(num_registers=registers))
+                except ReproError as error:
+                    checks.append(
+                        OracleCheck(
+                            program=function.name,
+                            allocator=allocator,
+                            target=target,
+                            registers=registers,
+                            status="error",
+                            kinds=failure_signature(None, error),
+                            detail=f"{type(error).__name__}: {error}",
+                        )
+                    )
+                    continue
+                extracted[registers] = base
+            spec = PipelineSpec(
+                allocator=allocator, target=target, registers=registers, ssa=ssa
+            )
+            checks.append(
+                _checked(
+                    function,
+                    allocator,
+                    target,
+                    registers,
+                    lambda spec=spec, base=base: Pipeline(spec).run_context(base),
+                    argument_sets,
+                    max_steps,
+                    before=before,
+                )
+            )
+    return checks
+
+
+def make_failure_predicate(
+    allocator: str,
+    target: str,
+    registers: int,
+    signature: Tuple[str, ...],
+    ssa: bool = True,
+    argument_sets: Sequence[Sequence[int]] = DEFAULT_ARGUMENT_SETS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+):
+    """Predicate for the minimizer: does a candidate still hit the same bug?
+
+    A candidate counts as "still failing" when its check fails *and* shares
+    at least one signature element with the original failure — shrinkage
+    must not wander off to a different bug class.
+    """
+    wanted = set(signature)
+
+    def is_failing(candidate: Function) -> bool:
+        check = check_function(
+            candidate,
+            allocator,
+            target,
+            registers,
+            ssa=ssa,
+            argument_sets=argument_sets,
+            max_steps=max_steps,
+        )
+        return check.failed and (not wanted or bool(wanted & set(check.kinds)))
+
+    return is_failing
+
+
+def canonical_allocators(names: Optional[Sequence[str]] = None) -> Dict[str, str]:
+    """Resolve allocator names to a ``canonical name -> registry name`` map.
+
+    The registry carries aliases (``layered`` → ``NL``); campaigns must run
+    each allocator once, so names are deduplicated by the allocator's own
+    ``name`` tag.  Unknown names raise through :func:`get_allocator`.
+    """
+    from repro.alloc.base import available_allocators
+
+    chosen = list(names) if names else available_allocators()
+    canonical: Dict[str, str] = {}
+    for name in chosen:
+        allocator = get_allocator(name)
+        canonical.setdefault(allocator.name, name)
+    return canonical

@@ -1,0 +1,125 @@
+"""The permanent regression corpus: minimized oracle counterexamples.
+
+Every program the fuzzer catches and the minimizer shrinks is written to
+``tests/oracle/regressions/`` as a self-describing textual IR file: comment
+headers carry the allocator/target/register combination and the failure
+signature that was observed when the case was captured.  The test suite
+replays the corpus on every run — once the underlying bug is fixed the case
+keeps guarding against its return forever.
+
+File format (``#`` lines are comments to the IR parser)::
+
+    # oracle-regression
+    # allocator: NL
+    # target: st231
+    # registers: 4
+    # signature: return_value,trace
+    # note: captured by `repro-alloc oracle --seed 0 --count 500`
+    func @fuzz_0_37(%p0, ...) { ... }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_function
+
+_HEADER_RE = re.compile(r"^#\s*([A-Za-z_][\w-]*)\s*:\s*(.*)$")
+
+
+@dataclass(frozen=True)
+class RegressionCase:
+    """One replayable corpus entry."""
+
+    path: Path
+    function: Function
+    #: the combination the failure was observed on; campaigns replay it
+    #: first, then the standard sweep.
+    allocator: Optional[str] = None
+    target: Optional[str] = None
+    registers: Optional[int] = None
+    #: lowering mode the failure was observed under (SSA vs non-SSA).
+    ssa: bool = True
+    signature: Tuple[str, ...] = ()
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+
+def regression_filename(program: str, allocator: str, target: str, registers: int) -> str:
+    """Canonical corpus filename for one captured failure."""
+    safe = re.sub(r"[^\w.-]", "_", f"{program}-{allocator}-{target}-r{registers}")
+    return f"{safe}.ir"
+
+
+def save_regression(
+    directory: Path,
+    function: Function,
+    allocator: str,
+    target: str,
+    registers: int,
+    signature: Tuple[str, ...],
+    note: str = "",
+    ssa: bool = True,
+) -> Path:
+    """Write one minimized counterexample into the corpus; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / regression_filename(function.name, allocator, target, registers)
+    lines = [
+        "# oracle-regression",
+        f"# allocator: {allocator}",
+        f"# target: {target}",
+        f"# registers: {registers}",
+        f"# ssa: {'true' if ssa else 'false'}",
+        f"# signature: {','.join(signature)}",
+    ]
+    if note:
+        lines.append(f"# note: {note}")
+    lines.append(print_function(function))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def load_regressions(directory: Path) -> List[RegressionCase]:
+    """Load every ``*.ir`` corpus entry under ``directory`` (sorted by name)."""
+    directory = Path(directory)
+    cases: List[RegressionCase] = []
+    if not directory.is_dir():
+        return cases
+    for path in sorted(directory.glob("*.ir")):
+        text = path.read_text(encoding="utf-8")
+        metadata: Dict[str, str] = {}
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped.startswith("#"):
+                if stripped:
+                    break  # headers end at the first IR line
+                continue
+            match = _HEADER_RE.match(stripped)
+            if match:
+                metadata[match.group(1).lower()] = match.group(2).strip()
+        module = parse_module(text)
+        functions = list(module)
+        if not functions:
+            continue
+        registers = metadata.get("registers")
+        signature = tuple(
+            token.strip() for token in metadata.get("signature", "").split(",") if token.strip()
+        )
+        cases.append(
+            RegressionCase(
+                path=path,
+                function=functions[0],
+                allocator=metadata.get("allocator"),
+                target=metadata.get("target"),
+                registers=int(registers) if registers else None,
+                ssa=metadata.get("ssa", "true").lower() != "false",
+                signature=signature,
+                metadata=metadata,
+            )
+        )
+    return cases

@@ -63,6 +63,10 @@ class PipelineContext:
     rewritten: Optional[Function] = None
     #: feasibility report from the ``verify`` stage.
     report: Optional[FeasibilityReport] = None
+    #: differential-execution report from the opt-in ``oracle`` stage (a
+    #: :class:`repro.oracle.differential.DifferentialReport`; typed loosely
+    #: to keep the pipeline importable without the oracle package loaded).
+    oracle: Optional[Any] = None
     #: per-stage statistics, keyed by stage name.
     stage_stats: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: per-stage wall-clock seconds, keyed by stage name (insertion order =

@@ -150,6 +150,20 @@ class Pipeline:
         """Run every function of a module, in order."""
         return [self.run(function) for function in module]
 
+    def run_context(self, context: PipelineContext) -> PipelineContext:
+        """Run the chain on a caller-built (possibly pre-populated) context.
+
+        Stages whose provides are already present skip themselves, so a
+        context carrying the front-end analyses of a previous run enters the
+        chain at ``extract``/``allocate`` directly.  The correctness oracle
+        uses this to run one function's liveness/interference once and fan
+        the result out over every allocator × register-count combination.
+        """
+        context = self._execute(context)
+        if self._store is not None:
+            self._store.flush()
+        return context
+
     # ------------------------------------------------------------------ #
     # batch entry point
     # ------------------------------------------------------------------ #

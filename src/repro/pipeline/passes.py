@@ -31,7 +31,7 @@ from repro.alloc.load_store_opt import remove_redundant_reloads
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
 from repro.alloc.spill_code import insert_spill_code
-from repro.alloc.verify import check_allocation
+from repro.alloc.verify import check_allocation, check_assignment
 from repro.analysis.interference import build_interference_graph
 from repro.analysis.live_ranges import live_intervals
 from repro.analysis.liveness import liveness
@@ -439,7 +439,13 @@ class LoadStoreOptPass(Pass):
 
 
 class VerifyPass(Pass):
-    """Validate the allocation (bookkeeping + feasibility, strict)."""
+    """Validate the allocation (bookkeeping + feasibility, strict).
+
+    When the ``assign`` stage produced a concrete assignment, it is also
+    checked against the interference graph *and* the target's register file
+    (register count and names) via
+    :func:`repro.alloc.verify.check_assignment`.
+    """
 
     name = "verify"
     requires = ("problem", "result")
@@ -448,11 +454,58 @@ class VerifyPass(Pass):
     def run(self, context, spec, store=None):
         start = time.perf_counter()
         report = check_allocation(context.problem, context.result, strict=True)
+        assignment_checked = False
+        if context.assignment is not None:
+            check_assignment(
+                context.problem, context.result, context.assignment, target=context.target
+            )
+            assignment_checked = True
         return context.with_stage(
             self.name,
             time.perf_counter() - start,
-            stats={"feasible": report.feasible, "exact": report.exact},
+            stats={
+                "feasible": report.feasible,
+                "exact": report.exact,
+                "assignment_checked": assignment_checked,
+            },
             report=report,
+        )
+
+
+class OraclePass(Pass):
+    """Differential execute-before/execute-after semantic check.
+
+    Interprets the input function and the spill-rewritten function on the
+    oracle's deterministic argument sets and raises
+    :class:`~repro.errors.OracleError` when any observable differs (return
+    value, visible memory, store trace, termination).  Opt-in: append
+    ``oracle`` to a pipeline's stage chain (``--pipeline
+    "...,spill_code,loadstore_opt,verify,oracle"``) or run campaigns through
+    :mod:`repro.oracle`.
+    """
+
+    name = "oracle"
+    requires = ("function", "rewritten")
+    provides = ("oracle",)
+    skip_without = ("function", "rewritten")
+
+    def run(self, context, spec, store=None):
+        # Imported lazily: repro.oracle depends on repro.ir only, but going
+        # through the package keeps pipeline import time free of oracle code.
+        from repro.oracle.differential import diff_functions, raise_on_mismatch
+
+        start = time.perf_counter()
+        report = diff_functions(context.function, context.rewritten)
+        raise_on_mismatch(report, context.name or context.function.name)
+        return context.with_stage(
+            self.name,
+            time.perf_counter() - start,
+            stats={
+                "checks": len(report.pairs),
+                "mismatches": len(report.mismatches),
+                "spill_overhead": report.spill_overhead,
+            },
+            oracle=report,
         )
 
 
@@ -477,5 +530,6 @@ for _cls in (
     SpillCodePass,
     LoadStoreOptPass,
     VerifyPass,
+    OraclePass,
 ):
     register_pass(_cls.name, _cls)

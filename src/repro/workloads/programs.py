@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.ir.builder import FunctionBuilder
 from repro.ir.function import Function
@@ -62,6 +62,28 @@ class GeneratorProfile:
     opcodes: Sequence[Opcode] = field(
         default_factory=lambda: (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.XOR, Opcode.AND)
     )
+    #: probability that a statement is a memory access (load or store) into
+    #: the low visible address range instead of an arithmetic operation.
+    #: Zero by default — and when both this and ``call_probability`` are zero
+    #: the generator draws exactly the same random sequence as before these
+    #: knobs existed, so existing corpora (and their store digests) are
+    #: byte-identical.  The correctness oracle turns them on.
+    memory_probability: float = 0.0
+    #: probability that a statement is a (pure, deterministic) call.
+    call_probability: float = 0.0
+    #: size of the visible address space memory accesses are masked into.
+    #: Must stay at or below :data:`repro.alloc.spill_code.SPILL_SLOT_BASE`
+    #: so program traffic can never alias spill slots; a power of two, used
+    #: as an AND mask for register-computed addresses.
+    memory_addresses: int = 256
+    #: when true, active loop counters are never picked as destinations, so
+    #: every generated loop provably terminates.  Off by default (the
+    #: benchmark-suite corpora keep their historical shapes *and* random
+    #: sequences); the oracle turns it on because a program that exhausts
+    #: the step budget yields no differential verdict.
+    protect_loop_counters: bool = False
+    #: inclusive range loop trip counts are drawn from.
+    loop_iterations: Tuple[int, int] = (4, 64)
 
 
 class _ProgramGenerator:
@@ -74,6 +96,9 @@ class _ProgramGenerator:
         self.block_counter = 0
         self.temp_counter = 0
         self.statements_left = profile.statements
+        #: counters of loops currently being emitted; with
+        #: ``protect_loop_counters`` these are never redefined.
+        self.active_counters: List[str] = []
 
     # ------------------------------------------------------------------ #
     def new_label(self, hint: str) -> str:
@@ -97,17 +122,68 @@ class _ProgramGenerator:
     def pick_destination(self, available: List[str]) -> str:
         """Pick a destination name, sometimes reusing an existing variable."""
         if available and self.rng.random() < self.profile.reuse_probability:
+            if self.profile.protect_loop_counters and self.active_counters:
+                candidates = [n for n in available if n not in self.active_counters]
+                if candidates:
+                    return self.rng.choice(candidates)
+                return self.fresh_name()
             return self.rng.choice(available)
         return self.fresh_name()
 
     # ------------------------------------------------------------------ #
     def emit_statement(self, available: List[str]) -> None:
-        """Emit one arithmetic statement using the available variables."""
-        opcode = self.rng.choice(list(self.profile.opcodes))
+        """Emit one statement (arithmetic, memory or call) using ``available``."""
+        profile = self.profile
+        if profile.memory_probability or profile.call_probability:
+            # Extra draws happen only when the knobs are on, so profiles with
+            # both at zero reproduce the pre-knob random sequence exactly.
+            roll = self.rng.random()
+            if roll < profile.memory_probability:
+                self.emit_memory_op(available)
+                return
+            if roll < profile.memory_probability + profile.call_probability:
+                self.emit_call(available)
+                return
+        opcode = self.rng.choice(list(profile.opcodes))
         dest = self.pick_destination(available)
         lhs = self.pick_operand(available)
         rhs = self.pick_operand(available)
         self.builder.binary(opcode, dest, lhs, rhs)
+        if dest not in available:
+            available.append(dest)
+        self.statements_left -= 1
+
+    def emit_memory_op(self, available: List[str]) -> None:
+        """Emit a load or store at a visible (non-spill-slot) address.
+
+        Half the accesses use a constant address — exercising exactly the
+        constant-address availability tracking of
+        :mod:`repro.alloc.load_store_opt` — and half compute the address in a
+        register, masked into ``memory_addresses`` so program traffic can
+        never alias a spill slot.
+        """
+        mask = self.profile.memory_addresses - 1
+        if self.rng.random() < 0.5:
+            address: object = self.rng.randint(0, mask)
+        else:
+            address = self.fresh_name()
+            self.builder.binary(Opcode.AND, address, self.pick_operand(available), mask)
+            self.statements_left -= 1
+        if self.rng.random() < 0.5:
+            self.builder.store(address, self.pick_operand(available))
+        else:
+            dest = self.pick_destination(available)
+            self.builder.load(dest, address)
+            if dest not in available:
+                available.append(dest)
+        self.statements_left -= 1
+
+    def emit_call(self, available: List[str]) -> None:
+        """Emit a call (pure and deterministic under the interpreter)."""
+        arity = self.rng.randint(1, 3)
+        args = [self.pick_operand(available) for _ in range(arity)]
+        dest = self.pick_destination(available)
+        self.builder.call(dest, args)
         if dest not in available:
             available.append(dest)
         self.statements_left -= 1
@@ -172,7 +248,8 @@ class _ProgramGenerator:
     def emit_loop(self, available: List[str], depth: int) -> List[str]:
         """Emit a while-style loop and return the post-exit available set."""
         counter = self.fresh_name()
-        self.builder.copy(counter, self.rng.randint(4, 64))
+        self.active_counters.append(counter)
+        self.builder.copy(counter, self.rng.randint(*self.profile.loop_iterations))
         header_label = self.new_label("loop")
         body_label = self.new_label("body")
         exit_label = self.new_label("exit")
@@ -191,13 +268,17 @@ class _ProgramGenerator:
         self.builder.set_block(body_label)
         body_available = self.emit_region(list(header_available), depth + 1)
         # Touch a few long-lived variables so their cost concentrates in loops.
-        for name in self.rng.sample(available, k=min(len(available), 2)):
+        touchable = available
+        if self.profile.protect_loop_counters:
+            touchable = [n for n in available if n not in self.active_counters]
+        for name in self.rng.sample(touchable, k=min(len(touchable), 2)):
             self.builder.add(name, name, self.pick_operand(body_available))
             self.statements_left -= 1
         self.builder.sub(counter, counter, 1)
         self.builder.br(header_label)
 
         self.builder.set_block(exit_label)
+        self.active_counters.pop()
         # The body may execute zero times: only pre-loop and header variables
         # are guaranteed to be defined afterwards.
         return header_available

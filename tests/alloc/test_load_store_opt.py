@@ -132,3 +132,145 @@ def test_dynamic_overhead_drops_after_optimization(loop_function):
     # Keep the measured-overhead API exercised end to end.
     overhead = measure_spill_overhead(ssa, spilled, argument_sets=[arguments])
     assert overhead.extra_memory_operations >= 0
+
+
+# ---------------------------------------------------------------------- #
+# availability-tracking soundness (bugs caught by the differential oracle;
+# minimized pipeline-level reproducers live in tests/oracle/regressions/)
+# ---------------------------------------------------------------------- #
+def _semantics_preserved(text, arguments_sets=((0,), (3,), (9,))):
+    fn = parse_function(text)
+    optimized, removed = remove_redundant_reloads(fn)
+    verify_function(optimized)
+    for arguments in arguments_sets:
+        assert (
+            interpret(optimized, arguments).return_value
+            == interpret(fn, arguments).return_value
+        )
+    return removed
+
+
+def test_reload_into_redefined_destination_is_not_forwarded():
+    # The destination of the first tracked load is redefined by a second
+    # load before the would-be-redundant reload: forwarding %x would read
+    # slot 6's value instead of slot 5's.
+    removed = _semantics_preserved(
+        """
+func @doubleload(%p) {
+entry:
+  store 5, 111
+  store 6, 222
+  %x = load 5
+  %x = load 6
+  %y = load 5
+  ret %y
+}
+"""
+    )
+    assert removed == 0
+
+
+def test_store_through_register_address_invalidates_availability():
+    # `store %a, 999` may alias slot 5 at runtime (it does for %p == 5), so
+    # the later reload must stay.
+    removed = _semantics_preserved(
+        """
+func @aliasstore(%p) {
+entry:
+  store 5, 111
+  %x = load 5
+  %a = add %p, 0
+  store %a, 999
+  %y = load 5
+  ret %y
+}
+""",
+        arguments_sets=((0,), (5,), (6,)),
+    )
+    assert removed == 0
+
+
+def test_holder_redefinition_between_reload_and_use_blocks_removal():
+    # %v holds slot 1000's value at the reload, but is redefined before the
+    # reload's result is used: rewriting %y to %v would read the new value.
+    removed = _semantics_preserved(
+        """
+func @holderredef(%p) {
+entry:
+  %v = add %p, 7
+  store 1000, %v
+  %y = load 1000
+  %v = add %v, 1
+  %z = add %y, 0
+  ret %z
+}
+"""
+    )
+    assert removed == 0
+
+
+def test_stable_holder_still_forwards():
+    # The safety conditions must not kill the legitimate case: single-def
+    # destination, same-block use, holder untouched.
+    fn = parse_function(
+        """
+func @stable(%p) {
+entry:
+  %v = add %p, 7
+  store 1000, %v
+  %y = load 1000
+  %z = add %y, 0
+  ret %z
+}
+"""
+    )
+    optimized, removed = remove_redundant_reloads(fn)
+    verify_function(optimized)
+    assert removed == 1
+    assert interpret(optimized, [3]).return_value == interpret(fn, [3]).return_value
+
+
+def test_phi_used_reload_is_never_removed():
+    # A reload whose destination feeds a φ is used on a CFG edge: removal
+    # would leak availability across the block boundary.
+    fn = parse_function(
+        """
+func @phifeed(%p) {
+entry:
+  %v = add %p, 1
+  store 1000, %v
+  %r = load 1000
+  %c = cmp %p, 0
+  cbr %c, left, join
+left:
+  %w = add %v, 10
+  br join
+join:
+  %m = phi [%r, entry], [%w, left]
+  ret %m
+}
+"""
+    )
+    optimized, removed = remove_redundant_reloads(fn)
+    verify_function(optimized)
+    assert removed == 0
+    for n in (0, 5):
+        assert interpret(optimized, [n]).return_value == interpret(fn, [n]).return_value
+
+
+def test_dead_reload_is_dropped():
+    fn = parse_function(
+        """
+func @dead(%p) {
+entry:
+  %v = add %p, 1
+  store 1000, %v
+  %unused = load 1000
+  ret %v
+}
+"""
+    )
+    optimized, removed = remove_redundant_reloads(fn)
+    verify_function(optimized)
+    assert removed == 1
+    assert count_loads(optimized) == 0

@@ -192,3 +192,144 @@ def test_feasibility_of_complete_graph_allocation():
     graph = complete_graph(4)
     assert is_allocation_feasible(graph, graph.vertices(), 4).feasible
     assert not is_allocation_feasible(graph, graph.vertices(), 3).feasible
+
+
+# ---------------------------------------------------------------------- #
+# concrete-assignment verification against the target register file
+# ---------------------------------------------------------------------- #
+def _tiny_problem():
+    from repro.graphs.graph import Graph
+
+    graph = Graph()
+    for name in ("a", "b", "c"):
+        graph.add_vertex(name, 1.0)
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    return AllocationProblem(graph=graph, num_registers=2, name="tiny")
+
+
+def _result_all_allocated(problem):
+    return AllocationResult.from_sets(
+        allocator="test",
+        num_registers=problem.num_registers,
+        allocated=list(problem.graph.vertices()),
+        spilled=[],
+        spill_cost=0.0,
+    )
+
+
+def test_check_assignment_accepts_valid_assignment():
+    from repro.alloc.verify import check_assignment
+    from repro.targets import get_target
+
+    problem = _tiny_problem()
+    result = _result_all_allocated(problem)
+    assignment = {"a": "r0", "b": "r1", "c": "r0"}
+    check_assignment(problem, result, assignment, target=get_target("st231"))
+
+
+def test_check_assignment_rejects_interfering_shared_register():
+    from repro.alloc.verify import check_assignment
+
+    problem = _tiny_problem()
+    result = _result_all_allocated(problem)
+    with pytest.raises(InvalidAllocationError, match="share register"):
+        check_assignment(problem, result, {"a": "r0", "b": "r0", "c": "r1"})
+
+
+def test_check_assignment_rejects_missing_variable():
+    from repro.alloc.verify import check_assignment
+
+    problem = _tiny_problem()
+    result = _result_all_allocated(problem)
+    with pytest.raises(InvalidAllocationError, match="missing from the register assignment"):
+        check_assignment(problem, result, {"a": "r0", "b": "r1"})
+
+
+def test_check_assignment_rejects_assigned_spilled_variable():
+    from repro.alloc.verify import check_assignment
+
+    problem = _tiny_problem()
+    vertices = list(problem.graph.vertices())
+    result = AllocationResult.from_sets(
+        allocator="test",
+        num_registers=problem.num_registers,
+        allocated=vertices[:2],
+        spilled=vertices[2:],
+        spill_cost=1.0,
+    )
+    assignment = {v: f"r{i}" for i, v in enumerate(vertices)}
+    with pytest.raises(InvalidAllocationError, match="spilled variables must not"):
+        check_assignment(problem, result, assignment)
+
+
+def test_check_assignment_rejects_register_outside_target_file():
+    from repro.alloc.verify import check_assignment
+    from repro.targets import get_target
+
+    problem = _tiny_problem()
+    result = _result_all_allocated(problem)
+    # jikesrvm-ia32 has 6 registers; r9 does not exist in its file.
+    with pytest.raises(InvalidAllocationError, match="outside target"):
+        check_assignment(
+            problem, result, {"a": "r0", "b": "r9", "c": "r0"},
+            target=get_target("jikesrvm-ia32"),
+        )
+
+
+def test_check_assignment_respects_register_count_budget():
+    from repro.alloc.verify import check_assignment
+    from repro.targets import get_target
+
+    problem = _tiny_problem()  # R = 2
+    result = _result_all_allocated(problem)
+    # r2 is a valid st231 name but outside the problem's R=2 budget (the
+    # sweep restricted the file to r0/r1).
+    with pytest.raises(InvalidAllocationError, match="outside target"):
+        check_assignment(
+            problem, result, {"a": "r2", "b": "r1", "c": "r2"},
+            target=get_target("st231"),
+        )
+
+
+def test_pipeline_verify_stage_checks_assignment_on_all_targets():
+    from repro.pipeline import Pipeline, PipelineSpec
+    from repro.workloads.programs import GeneratorProfile, generate_function
+
+    profile = GeneratorProfile(statements=20, accumulators=5, loop_depth=1)
+    function = generate_function("verify_targets", profile, rng=7)
+    for target in ("st231", "armv7-a8", "jikesrvm-ia32"):
+        context = Pipeline(PipelineSpec(allocator="NL", target=target, registers=4)).run(function)
+        assert context.stage_stats["verify"]["assignment_checked"] is True
+        assert set(context.assignment.values()) <= {"r0", "r1", "r2", "r3"}
+
+
+def test_spill_slots_never_collide_with_program_addresses():
+    # A program that itself addresses memory at SPILL_SLOT_BASE must get its
+    # slots placed above its highest constant address — otherwise a spill
+    # store silently clobbers visible program memory and the oracle, which
+    # masks slot traffic, would certify the miscompile as 'ok'.
+    from repro.alloc.spill_code import SPILL_SLOT_BASE
+    from repro.ir.interpreter import interpret
+    from repro.ir.parser import parse_function
+
+    fn = parse_function(
+        f"""
+func @hi_addr(%p) {{
+entry:
+  store {SPILL_SLOT_BASE}, %p
+  %v = add %p, 1
+  %u = add %v, 2
+  ret %u
+}}
+"""
+    )
+    rewritten, stats = insert_spill_code(fn, ["v"])
+    assert stats["stores"] == 1
+    for arguments in ([3], [9]):
+        before = interpret(fn, arguments)
+        after = interpret(rewritten, arguments)
+        assert after.return_value == before.return_value
+        assert after.memory[SPILL_SLOT_BASE] == before.memory[SPILL_SLOT_BASE], (
+            "spill slot clobbered visible program memory"
+        )

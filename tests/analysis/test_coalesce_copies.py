@@ -80,3 +80,77 @@ def test_coalescing_reduces_copy_related_names(loop_function):
     names_before = {reg.name for reg in lowered.virtual_registers()}
     names_after = {reg.name for reg in coalesced.virtual_registers()}
     assert len(names_after) <= len(names_before)
+
+
+def test_interfering_webs_are_not_merged():
+    # Two variables copied from the same source, one updated afterwards: the
+    # unconditional union used to merge all three (caught by the
+    # differential oracle — see tests/oracle/regressions/), silently turning
+    # the untouched copy into the updated one.
+    fn = parse_function(
+        """
+func @siblings(%p) {
+entry:
+  %keep = copy %p
+  %bump = copy %p
+  %bump = add %bump, 5
+  %r = add %keep, %bump
+  ret %r
+}
+"""
+    )
+    coalesced = coalesce_copies(fn)
+    verify_function(coalesced)
+    for value in (0, 3, 10):
+        assert interpret(coalesced, [value]).return_value == interpret(fn, [value]).return_value
+
+
+def test_loop_carried_web_does_not_swallow_initial_value():
+    # %acc0 must keep p's original value while %acc1 accumulates in a loop.
+    fn = parse_function(
+        """
+func @loopweb(%p) {
+entry:
+  %acc0 = copy %p
+  %acc1 = copy %p
+  %i = copy 3
+  br loop
+loop:
+  %c = cmp %i, 0
+  cbr %c, body, exit
+body:
+  %acc1 = add %acc1, %i
+  %i = sub %i, 1
+  br loop
+exit:
+  %r = add %acc0, %acc1
+  ret %r
+}
+"""
+    )
+    lowered = coalesce_copies(destruct_ssa(construct_ssa(fn)))
+    verify_function(lowered)
+    for value in (0, 4, 11):
+        assert interpret(lowered, [value]).return_value == interpret(fn, [value]).return_value
+
+
+def test_distinct_webs_with_same_base_name_stay_distinct():
+    # Interference can split copy-related SSA versions of one source name
+    # into several webs; the renamer must not fuse them by accident.
+    fn = parse_function(
+        """
+func @samebase(%p) {
+entry:
+  %v = copy %p
+  %a = copy %v
+  %v = add %a, 1
+  %b = copy %v
+  %r = add %a, %b
+  ret %r
+}
+"""
+    )
+    coalesced = coalesce_copies(fn)
+    verify_function(coalesced)
+    for value in (0, 2, 9):
+        assert interpret(coalesced, [value]).return_value == interpret(fn, [value]).return_value

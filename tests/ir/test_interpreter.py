@@ -181,3 +181,68 @@ def test_generated_programs_execute_within_budget():
         assert result.steps <= 100_000 + 1
         # Whether or not it terminated, the counts must be self-consistent.
         assert sum(result.block_counts.values()) >= 1
+
+
+# ---------------------------------------------------------------------- #
+# opcode coverage, diagnostics and the side-effect trace (oracle substrate)
+# ---------------------------------------------------------------------- #
+def test_interpreter_dispatches_every_opcode():
+    # The correctness oracle interprets arbitrary pipeline output; a new
+    # opcode without a dispatch arm must fail THIS test, not abort a fuzz
+    # campaign with a vague error.
+    from repro.ir.instructions import Opcode
+    from repro.ir.interpreter import SUPPORTED_OPCODES
+
+    assert SUPPORTED_OPCODES == frozenset(Opcode)
+
+
+def test_store_trace_records_ordered_visible_stores():
+    fn = parse_function(
+        """
+func @traced(%p) {
+entry:
+  store 3, %p
+  store 3, 9
+  store 7, %p
+  ret %p
+}
+"""
+    )
+    result = interpret(fn, [5], record_trace=True)
+    assert result.trace == [(3, 5), (3, 9), (7, 5)]
+    # Off by default: profiling runs do not pay for the log.
+    assert interpret(fn, [5]).trace == []
+
+
+def test_phi_in_entry_block_diagnostic_names_the_function():
+    from repro.ir.instructions import Phi
+    from repro.ir.values import VirtualRegister
+
+    builder = FunctionBuilder("brokenphi", params=["p"])
+    builder.set_block(builder.new_block("entry"))
+    builder.current_block.phis.append(Phi(VirtualRegister("x"), {"entry": VirtualRegister("p")}))
+    builder.ret("x")
+    with pytest.raises(IRError, match="brokenphi"):
+        interpret(builder.function, [1])
+
+
+def test_missing_terminator_diagnostic_names_the_function():
+    builder = FunctionBuilder("noend")
+    builder.set_block(builder.new_block("entry"))
+    builder.copy("x", 1)
+    with pytest.raises(IRError, match="noend"):
+        interpret(builder.function, [])
+
+
+def test_origin_hint_attributes_spill_code():
+    from repro.alloc.spill_code import SPILL_SLOT_BASE
+    from repro.ir.instructions import make_load, make_store
+    from repro.ir.interpreter import _origin_hint
+    from repro.ir.values import Constant, VirtualRegister
+
+    reload_load = make_load(VirtualRegister("v.reload3"), Constant(SPILL_SLOT_BASE))
+    assert "spill_code" in _origin_hint(reload_load)
+    slot_store = make_store(Constant(SPILL_SLOT_BASE + 2), VirtualRegister("v"))
+    assert "spill_code" in _origin_hint(slot_store)
+    plain = make_store(Constant(5), VirtualRegister("v"))
+    assert "input IR" in _origin_hint(plain)

@@ -1,0 +1,113 @@
+"""Tests for the campaign runner, the harness fast path and the CLI."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.oracle.campaign import CampaignConfig, run_campaign
+from repro.oracle.generator import generate_program
+from repro.oracle.harness import canonical_allocators, check_function, check_program
+from repro.store import open_store
+
+FAST = dict(allocators=("NL", "GC"), targets=("st231",), register_counts=(3,))
+
+
+def test_check_program_matches_check_function():
+    function = generate_program(2, 0, "small")
+    combos = [("NL", "st231", 3), ("GC", "st231", 3), ("LS", "armv7-a8", 4)]
+    fast = check_program(function, combos)
+    slow = [check_function(function, *combo) for combo in combos]
+    by_key = lambda c: (c.allocator, c.target, c.registers)
+    assert sorted((by_key(c), c.status, c.spilled) for c in fast) == sorted(
+        (by_key(c), c.status, c.spilled) for c in slow
+    )
+
+
+def test_campaign_serial_parallel_parity(tmp_path):
+    serial = run_campaign(CampaignConfig(seed=1, count=4, jobs=1, **FAST))
+    parallel = run_campaign(CampaignConfig(seed=1, count=4, jobs=2, **FAST))
+    assert serial.checks == parallel.checks
+    assert serial.ok == parallel.ok
+    assert serial.skipped == parallel.skipped
+    assert serial.spilled_total == parallel.spilled_total
+    assert [f.program for f in serial.failures] == [f.program for f in parallel.failures]
+
+
+def test_campaign_records_manifest_in_store(tmp_path):
+    store_path = tmp_path / "oracle.sqlite"
+    with open_store(store_path) as store:
+        result = run_campaign(CampaignConfig(seed=0, count=2, **FAST), store=store)
+        manifests = store.manifests()
+    assert len(manifests) == 1
+    manifest = manifests[0]
+    assert manifest.suite == "oracle/small"
+    assert manifest.run_id == result.run_id
+    assert manifest.instances == 2
+    assert manifest.cells_total == result.checks
+    assert manifest.config["kind"] == "oracle-campaign"
+
+
+def test_campaign_config_validation():
+    with pytest.raises(ValueError, match="unknown program size"):
+        CampaignConfig(size="giant").validate()
+    with pytest.raises(ValueError, match="unknown target"):
+        CampaignConfig(targets=("vax",)).validate()
+    with pytest.raises(ValueError, match="jobs"):
+        CampaignConfig(jobs=0).validate()
+    with pytest.raises(ValueError, match="register counts"):
+        CampaignConfig(register_counts=(0,)).validate()
+
+
+def test_canonical_allocators_deduplicates_aliases():
+    canonical = canonical_allocators(["NL", "layered", "GC", "chaitin", "graph-coloring"])
+    assert set(canonical) == {"NL", "GC"}
+    # Every registered allocator resolves to a unique canonical name.
+    everything = canonical_allocators()
+    assert len(everything) == len(set(everything))
+    assert "NL" in everything and "Optimal" in everything
+
+
+def test_cli_oracle_campaign_and_exit_codes(tmp_path, capsys):
+    code = main(
+        [
+            "oracle",
+            "--seed",
+            "0",
+            "--count",
+            "2",
+            "--allocators",
+            "NL",
+            "--targets",
+            "st231",
+            "--registers",
+            "3",
+            "--regressions",
+            str(tmp_path / "regressions"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "oracle campaign" in out
+    assert "failures=0" in out
+
+
+def test_cli_oracle_unknown_allocator_is_clean_error(capsys):
+    code = main(["oracle", "--count", "1", "--allocators", "NOPE"])
+    assert code == 1
+    assert "unknown allocator" in capsys.readouterr().err
+
+
+def test_cli_oracle_replay_corpus(capsys):
+    # The shipped regression corpus must replay green from the repo root.
+    corpus = Path(__file__).parent / "regressions"
+    code = main(["oracle", "--replay", "--regressions", str(corpus)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 failing" in out
+
+
+def test_cli_oracle_replay_empty_dir(tmp_path, capsys):
+    code = main(["oracle", "--replay", "--regressions", str(tmp_path / "none")])
+    assert code == 0
+    assert "no regression cases" in capsys.readouterr().out

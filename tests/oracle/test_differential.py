@@ -1,0 +1,124 @@
+"""Tests for observation capture and differential comparison."""
+
+import pytest
+
+from repro.alloc.spill_code import SPILL_SLOT_BASE, insert_spill_code
+from repro.errors import OracleError
+from repro.ir.parser import parse_function
+from repro.oracle.differential import (
+    compare_observations,
+    diff_functions,
+    observe,
+    observe_many,
+    raise_on_mismatch,
+)
+
+SIMPLE = """
+func @simple(%p) {
+entry:
+  %a = add %p, 1
+  store 10, %a
+  store 2000, 99
+  ret %a
+}
+"""
+
+
+def test_observe_filters_spill_slot_traffic():
+    function = parse_function(SIMPLE)
+    observation = observe(function, [4])
+    assert observation.return_value == 5
+    assert observation.trace == ((10, 5),)
+    assert observation.memory == ((10, 5),)
+    assert all(address < SPILL_SLOT_BASE for address, _ in observation.memory)
+    # The raw counters still see both stores — they are overhead metrics.
+    assert observation.stores == 2
+
+
+def test_identical_functions_diff_clean():
+    function = parse_function(SIMPLE)
+    report = diff_functions(function, function.clone())
+    assert report.ok
+    assert report.kinds == ()
+    raise_on_mismatch(report, "simple")  # must not raise
+
+
+def test_spill_code_is_invisible_to_the_oracle():
+    function = parse_function(SIMPLE)
+    rewritten, _ = insert_spill_code(function, ["a"])
+    report = diff_functions(function, rewritten)
+    assert report.ok
+    overhead = report.spill_overhead
+    assert overhead["stores"] > 0 or overhead["loads"] > 0
+
+
+def test_return_value_mismatch_detected():
+    before = parse_function(SIMPLE)
+    after = parse_function(SIMPLE.replace("add %p, 1", "add %p, 2"))
+    report = diff_functions(before, after)
+    assert not report.ok
+    assert "return_value" in report.kinds
+    with pytest.raises(OracleError, match="miscompile"):
+        raise_on_mismatch(report, "simple")
+
+
+def test_visible_store_mismatch_detected():
+    before = parse_function(SIMPLE)
+    after = parse_function(SIMPLE.replace("store 10, %a", "store 11, %a"))
+    report = diff_functions(before, after)
+    assert {"trace", "memory"} <= set(report.kinds)
+
+
+def test_termination_mismatch_detected():
+    before = parse_function(SIMPLE)
+    after = parse_function(
+        """
+func @simple(%p) {
+entry:
+  %a = add %p, 1
+  br entry2
+entry2:
+  br entry2
+}
+"""
+    )
+    report = diff_functions(before, after)
+    assert report.kinds == ("termination",)
+
+
+def test_budget_exhausted_before_run_gives_no_verdict():
+    spin = parse_function(
+        """
+func @spin(%p) {
+entry:
+  br entry
+}
+"""
+    )
+    report = diff_functions(spin, parse_function(SIMPLE), max_steps=50)
+    assert report.ok, "a non-terminating original must not produce a verdict"
+    assert len(report.budget_exhausted) == len(report.pairs)
+
+
+def test_precomputed_before_observations_match_inline_diff():
+    function = parse_function(SIMPLE)
+    mutated = parse_function(SIMPLE.replace("add %p, 1", "add %p, 3"))
+    before = observe_many(function)
+    cached = diff_functions(function, mutated, before=before)
+    fresh = diff_functions(function, mutated)
+    assert cached.kinds == fresh.kinds
+    assert [m.kind for m in cached.mismatches] == [m.kind for m in fresh.mismatches]
+
+
+def test_precomputed_before_length_mismatch_raises():
+    function = parse_function(SIMPLE)
+    with pytest.raises(ValueError, match="precomputed observations"):
+        diff_functions(function, function, argument_sets=[(1,), (2,)], before=[observe(function, [1])])
+
+
+def test_compare_observations_orders_termination_first():
+    function = parse_function(SIMPLE)
+    finished = observe(function, [1])
+    spun = observe(parse_function("func @s(%p) {\nentry:\n  br entry\n}"), [1], max_steps=10)
+    mismatches = compare_observations(finished, spun)
+    assert [m.kind for m in mismatches] == ["termination"]

@@ -1,0 +1,74 @@
+"""The permanent regression corpus: every shipped case must replay green.
+
+Each ``.ir`` file under ``regressions/`` is a delta-debugged counterexample
+the oracle once caught (load/store-optimization availability bugs, unsound
+copy coalescing).  Replaying them on every test run keeps those bugs fixed
+forever — and failing here means a rewrite pass regressed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.oracle.harness import check_function
+from repro.oracle.regressions import load_regressions, save_regression
+
+CORPUS_DIR = Path(__file__).parent / "regressions"
+CASES = load_regressions(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert len(CASES) >= 4, "the shipped regression corpus went missing"
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.path.name for c in CASES])
+def test_regression_case_replays_green(case):
+    check = check_function(
+        case.function,
+        case.allocator or "NL",
+        case.target or "st231",
+        case.registers or 4,
+        ssa=case.ssa,
+    )
+    assert check.status == "ok", f"{case.path.name} regressed: {check.detail}"
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.path.name for c in CASES])
+def test_regression_case_metadata_is_complete(case):
+    assert case.allocator, "corpus entries must pin the allocator"
+    assert case.target, "corpus entries must pin the target"
+    assert case.registers, "corpus entries must pin the register count"
+    assert case.signature, "corpus entries must carry the observed signature"
+
+
+def test_corpus_cases_are_minimized():
+    for case in CASES:
+        assert case.function.num_instructions() <= 20, (
+            f"{case.path.name} has {case.function.num_instructions()} instructions; "
+            "corpus entries should be delta-debugged reproducers"
+        )
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    case = CASES[0]
+    path = save_regression(
+        tmp_path,
+        case.function,
+        "GC",
+        "armv7-a8",
+        6,
+        ("trace",),
+        note="roundtrip",
+        ssa=False,
+    )
+    loaded = load_regressions(tmp_path)
+    assert len(loaded) == 1
+    entry = loaded[0]
+    assert entry.path == path
+    assert entry.allocator == "GC"
+    assert entry.target == "armv7-a8"
+    assert entry.registers == 6
+    assert entry.ssa is False
+    assert entry.signature == ("trace",)
+    assert entry.metadata["note"] == "roundtrip"
+    assert entry.function.num_instructions() == case.function.num_instructions()

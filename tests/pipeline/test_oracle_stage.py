@@ -1,0 +1,73 @@
+"""Tests for the opt-in ``oracle`` pipeline stage."""
+
+import pytest
+
+import repro.pipeline.passes as passes
+from repro.errors import OracleError
+from repro.pipeline import Pipeline, PipelineSpec
+from repro.pipeline.passes import DEFAULT_STAGES, available_passes
+from repro.workloads.programs import GeneratorProfile, generate_function
+
+ORACLE_CHAIN = DEFAULT_STAGES + ("oracle",)
+
+
+def _program(seed=3):
+    profile = GeneratorProfile(
+        statements=18,
+        accumulators=5,
+        loop_depth=1,
+        protect_loop_counters=True,
+        loop_iterations=(3, 6),
+    )
+    return generate_function("oracle_stage", profile, rng=seed)
+
+
+def test_oracle_is_a_registered_stage():
+    assert "oracle" in available_passes()
+    assert "oracle" not in DEFAULT_STAGES, "the oracle stage is opt-in"
+
+
+def test_oracle_stage_records_report_on_clean_pipeline():
+    spec = PipelineSpec(allocator="NL", target="st231", registers=3, stages=ORACLE_CHAIN)
+    context = Pipeline(spec).run(_program())
+    assert context.oracle is not None
+    assert context.oracle.ok
+    stats = context.stage_stats["oracle"]
+    assert stats["mismatches"] == 0
+    assert stats["checks"] == len(context.oracle.pairs)
+    assert stats["spill_overhead"]["loads"] >= 0
+
+
+def test_oracle_stage_skips_without_rewritten_function():
+    # A graph-only chain produces no rewritten IR; the stage must skip, not
+    # fail.
+    chain = ("liveness", "interference", "extract", "allocate", "oracle")
+    spec = PipelineSpec(allocator="NL", target="st231", registers=3, stages=chain)
+    context = Pipeline(spec).run(_program())
+    assert "skipped" in context.stage_stats["oracle"]
+
+
+def test_oracle_stage_raises_on_corrupted_rewrite(monkeypatch):
+    from repro.alloc.spill_code import SPILL_SLOT_BASE
+    from repro.ir.instructions import Opcode
+    from repro.ir.values import Constant
+
+    real = passes.remove_redundant_reloads
+
+    def corrupted(function):
+        rewritten, removed = real(function)
+        for block in rewritten:
+            for instruction in block.instructions:
+                if (
+                    instruction.opcode is Opcode.LOAD
+                    and isinstance(instruction.uses[0], Constant)
+                    and instruction.uses[0].value >= SPILL_SLOT_BASE
+                ):
+                    instruction.uses[0] = Constant(instruction.uses[0].value + 1)
+                    return rewritten, removed
+        return rewritten, removed
+
+    monkeypatch.setattr(passes, "remove_redundant_reloads", corrupted)
+    spec = PipelineSpec(allocator="NL", target="st231", registers=2, stages=ORACLE_CHAIN)
+    with pytest.raises(OracleError, match="miscompile"):
+        Pipeline(spec).run(_program())
