@@ -6,9 +6,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.live_ranges import LiveInterval
-from repro.errors import AllocationError
-from repro.graphs.chordal import is_chordal, perfect_elimination_order
-from repro.graphs.cliques import Clique, maximal_cliques
+from repro.errors import AllocationError, NotChordalError
+from repro.graphs.chordal import (
+    is_perfect_elimination_order,
+    maximum_cardinality_search,
+)
+from repro.graphs.cliques import Clique, maximal_cliques_chordal, maximal_cliques_general
 from repro.graphs.graph import Graph, Vertex
 
 
@@ -106,12 +109,27 @@ class AllocationProblem:
             self._derived_cache[self._DERIVED_STAMP_KEY] = stamp
         return coherent
 
+    def _elimination_order(self) -> List[Vertex]:
+        """The reversed-MCS candidate elimination order, computed once.
+
+        ``is_chordal``, ``peo`` and ``cliques`` all start from the same
+        deterministic maximum-cardinality search of the same graph; caching
+        the order in the shared ``derived`` dict means one MCS per instance
+        (and per register-count sweep) instead of one per property.  The
+        per-property results are unchanged — each used to run its own MCS
+        and got this exact order every time.
+        """
+        return self.derived(
+            "mcs_elimination_order",
+            lambda: list(reversed(maximum_cardinality_search(self.graph))),
+        )
+
     @property
     def is_chordal(self) -> bool:
         """Whether the interference graph is chordal (cached)."""
         self.ensure_cache_coherent()
         if self._chordal is None:
-            self._chordal = is_chordal(self.graph)
+            self._chordal = is_perfect_elimination_order(self.graph, self._elimination_order())
         return self._chordal
 
     @property
@@ -119,7 +137,11 @@ class AllocationProblem:
         """A perfect elimination order of the graph (chordal instances only)."""
         self.ensure_cache_coherent()
         if self._peo is None:
-            self._peo = perfect_elimination_order(self.graph)
+            if not self.is_chordal:
+                raise NotChordalError(
+                    "graph is not chordal: no perfect elimination order exists"
+                )
+            self._peo = self._elimination_order()
         return self._peo
 
     @property
@@ -127,7 +149,10 @@ class AllocationProblem:
         """The maximal cliques of the interference graph (cached)."""
         self.ensure_cache_coherent()
         if self._cliques is None:
-            self._cliques = maximal_cliques(self.graph)
+            if self.is_chordal:
+                self._cliques = maximal_cliques_chordal(self.graph, self._elimination_order())
+            else:
+                self._cliques = maximal_cliques_general(self.graph)
         return self._cliques
 
     @property

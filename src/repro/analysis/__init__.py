@@ -13,7 +13,11 @@ backend the paper's allocators depend on:
 * :mod:`repro.analysis.frequency` — static basic-block frequency estimation
   (the ``10^depth`` model used for spill costs);
 * :mod:`repro.analysis.liveness` — live-in/live-out sets, per-point liveness
-  and MaxLive;
+  and MaxLive (the set-based reference);
+* :mod:`repro.analysis.vr_index` / :mod:`repro.analysis.dense` — the dense
+  bitset kernel: a stable register↔bit mapping per function, worklist
+  liveness over int masks, and single-pass bitmask interference
+  construction, byte-equivalent to the reference analyses;
 * :mod:`repro.analysis.live_ranges` — linearised live intervals for the
   linear-scan allocators;
 * :mod:`repro.analysis.ssa_construction` / :mod:`repro.analysis.ssa_destruction`
@@ -32,7 +36,16 @@ from repro.analysis.profile import (
     profile_block_frequencies,
     profiled_spill_costs,
 )
-from repro.analysis.liveness import LivenessInfo, liveness, max_live
+from repro.analysis.liveness import LivenessInfo, liveness, max_live, validate_phi_edges
+from repro.analysis.vr_index import VRIndex
+from repro.analysis.dense import (
+    DenseLivenessInfo,
+    build_interference_graph_dense,
+    dense_live_intervals,
+    dense_live_sets_per_instruction,
+    dense_liveness,
+    dense_max_live,
+)
 from repro.analysis.live_ranges import LiveInterval, live_intervals, number_instructions
 from repro.analysis.ssa_construction import construct_ssa
 from repro.analysis.ssa_destruction import destruct_ssa
@@ -55,6 +68,14 @@ __all__ = [
     "LivenessInfo",
     "liveness",
     "max_live",
+    "validate_phi_edges",
+    "VRIndex",
+    "DenseLivenessInfo",
+    "dense_liveness",
+    "dense_live_intervals",
+    "dense_live_sets_per_instruction",
+    "dense_max_live",
+    "build_interference_graph_dense",
     "LiveInterval",
     "live_intervals",
     "number_instructions",

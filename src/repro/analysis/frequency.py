@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.analysis.cfg import ControlFlowGraph
 from repro.analysis.loops import loop_depths
 from repro.ir.function import Function
 
@@ -21,16 +22,31 @@ def block_frequencies(
     function: Function,
     loop_weight: float = DEFAULT_LOOP_WEIGHT,
     depths: Dict[str, int] | None = None,
+    reachable: "set[str] | None" = None,
 ) -> Dict[str, float]:
     """Estimate execution frequency per block as ``loop_weight ** depth``.
 
-    ``depths`` may be supplied when the caller already ran loop analysis.
-    Unreachable blocks get frequency 0.
+    ``depths`` and ``reachable`` may be supplied when the caller already ran
+    loop/CFG analysis (both are recomputed otherwise).  Unreachable blocks
+    get frequency 0: they never execute, so accesses in them must not
+    contribute to spill costs as if they were straight-line code.
+    (:func:`repro.analysis.spill_costs.spill_costs` keeps the cost of
+    registers accessed *only* in dead code at a small positive epsilon so
+    they still order deterministically below every reachable-use register.)
     """
     if depths is None:
         depths = loop_depths(function)
+    if reachable is None:
+        reachable = (
+            ControlFlowGraph(function).reachable_blocks()
+            if function.entry_label is not None
+            else set()
+        )
     frequencies: Dict[str, float] = {}
     for label in function.block_labels():
         depth = depths.get(label)
-        frequencies[label] = float(loop_weight) ** depth if depth is not None else 0.0
+        if depth is None or label not in reachable:
+            frequencies[label] = 0.0
+        else:
+            frequencies[label] = float(loop_weight) ** depth
     return frequencies

@@ -16,11 +16,39 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
 from repro.analysis.cfg import ControlFlowGraph
+from repro.errors import PhiEdgeError
 from repro.ir.function import Function
 from repro.ir.instructions import Phi
 from repro.ir.values import VirtualRegister
 
 RegisterSet = Set[VirtualRegister]
+
+
+def validate_phi_edges(function: Function, cfg: ControlFlowGraph | None = None) -> ControlFlowGraph:
+    """Check that every φ incoming label is an actual CFG predecessor.
+
+    A φ edge naming a block that does not branch to the φ's block (stale
+    after CFG surgery, or a plain typo) must be rejected: treating it as a
+    use would extend live ranges along a non-existent edge, and ignoring it
+    would silently drop a live-in value.  Raises
+    :class:`~repro.errors.PhiEdgeError`; returns the (possibly freshly
+    built) :class:`ControlFlowGraph` so callers can reuse it.
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph(function)
+    predecessors = cfg.predecessors
+    for block in function:
+        allowed = predecessors[block.label]
+        for phi in block.phis:
+            for pred_label in phi.incoming:
+                if pred_label not in allowed:
+                    raise PhiEdgeError(
+                        f"phi {phi.target} in block {block.label!r} of function "
+                        f"{function.name!r} has incoming edge from {pred_label!r}, "
+                        f"which is not a CFG predecessor "
+                        f"(predecessors: {sorted(allowed)})"
+                    )
+    return cfg
 
 
 @dataclass
@@ -33,6 +61,11 @@ class LivenessInfo:
     #: from ``uses``; φ results included in ``defs``).
     defs: Dict[str, RegisterSet] = field(default_factory=dict)
     upward_exposed: Dict[str, RegisterSet] = field(default_factory=dict)
+    #: the dense bitmask analysis this info was converted from, when the
+    #: dense kernel produced it (a :class:`repro.analysis.dense.DenseLivenessInfo`);
+    #: ``None`` for the set-based reference analysis.  Downstream stages use
+    #: it to stay on the bitmask fast path.
+    dense: object | None = field(default=None, repr=False, compare=False)
 
     def pressure_at_block_boundaries(self) -> Dict[str, int]:
         """Register pressure at each block entry (``len(live_in)``)."""
@@ -61,22 +94,35 @@ def _block_local_sets(function: Function) -> Tuple[Dict[str, RegisterSet], Dict[
     return upward, defs
 
 
-def _phi_uses_per_predecessor(function: Function) -> Dict[str, RegisterSet]:
-    """Map predecessor label -> registers used by φs along that edge."""
+def _phi_uses_per_predecessor(
+    function: Function, cfg: ControlFlowGraph | None = None
+) -> Dict[str, RegisterSet]:
+    """Map predecessor label -> registers used by φs along that edge.
+
+    Incoming labels are validated against the actual CFG predecessors of
+    each φ's block (:func:`validate_phi_edges`): a stale label would
+    otherwise be silently recorded under a non-predecessor (or an unknown
+    block) and never flow anywhere, corrupting liveness.
+    """
+    validate_phi_edges(function, cfg)
     uses: Dict[str, RegisterSet] = {label: set() for label in function.block_labels()}
     for block in function:
         for phi in block.phis:
             for pred_label, value in phi.incoming.items():
                 if isinstance(value, VirtualRegister):
-                    uses.setdefault(pred_label, set()).add(value)
+                    uses[pred_label].add(value)
     return uses
 
 
 def liveness(function: Function) -> LivenessInfo:
-    """Compute live-in/live-out sets for every block of ``function``."""
+    """Compute live-in/live-out sets for every block of ``function``.
+
+    Raises :class:`~repro.errors.PhiEdgeError` when a φ names an incoming
+    label that is not a CFG predecessor of its block.
+    """
     cfg = ControlFlowGraph(function)
     upward, defs = _block_local_sets(function)
-    phi_uses = _phi_uses_per_predecessor(function)
+    phi_uses = _phi_uses_per_predecessor(function, cfg)
     phi_defs: Dict[str, RegisterSet] = {
         block.label: {phi.target for phi in block.phis} for block in function
     }

@@ -20,6 +20,16 @@ from repro.analysis.frequency import block_frequencies
 from repro.ir.function import Function
 from repro.ir.values import VirtualRegister
 
+#: Cost floor for registers whose every access sits in never-executing code
+#: (unreachable blocks under the static model, never-run blocks under the
+#: profiled one, which both report frequency 0).  Exactly 0 would make such
+#: registers indistinguishable from each other to every allocator and turn
+#: tie-breaking into a load-bearing mechanism; the epsilon keeps them
+#: strictly cheaper to spill than any genuinely accessed register (real
+#: access costs are ``>= min(store, load) * min positive frequency``, orders
+#: of magnitude above) while preserving a deterministic, positive ordering.
+DEAD_ACCESS_EPSILON = 1e-9
+
 
 def spill_costs(
     function: Function,
@@ -32,13 +42,21 @@ def spill_costs(
     ``store_cost`` / ``load_cost`` model the target's memory latencies (see
     :mod:`repro.targets`); the default of 1 each reduces to pure access
     counting weighted by block frequency.
+
+    Accesses in blocks with frequency 0 (unreachable code) contribute
+    nothing, so a register living only in dead code costs
+    :data:`DEAD_ACCESS_EPSILON` — not 0, and crucially not the straight-line
+    cost a naive model would charge, which made allocators keep dead-code
+    registers over genuinely accessed ones.
     """
     if frequencies is None:
         frequencies = block_frequencies(function)
 
     costs: Dict[VirtualRegister, float] = {}
+    accessed = set()
 
     def charge(reg: VirtualRegister, amount: float) -> None:
+        accessed.add(reg)
         costs[reg] = costs.get(reg, 0.0) + amount
 
     entry_frequency = frequencies.get(function.entry_label or "", 1.0)
@@ -59,6 +77,12 @@ def spill_costs(
             for reg in instruction.used_registers():
                 charge(reg, load_cost * frequency)
 
+    # Registers accessed only in never-executing code accumulated exactly 0;
+    # floor them at the documented epsilon so they stay strictly below every
+    # reachable-use register without collapsing into one tie-broken bucket.
+    for reg in accessed:
+        if costs[reg] == 0.0:
+            costs[reg] = DEAD_ACCESS_EPSILON
     # Registers that appear but are never charged (e.g. dead parameters) get
     # a zero cost entry so downstream maps are total.
     for reg in function.virtual_registers():

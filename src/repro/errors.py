@@ -30,6 +30,15 @@ class VerificationError(IRError):
     """The IR verifier found a structural violation (e.g. use before def)."""
 
 
+class PhiEdgeError(IRError):
+    """A φ-function names an incoming label that is not an actual CFG
+    predecessor of its block (a stale edge left behind by CFG surgery).
+
+    Raised by the liveness analyses instead of silently recording (or
+    silently dropping) the φ operand, which would corrupt live sets and
+    spill costs downstream."""
+
+
 class GraphError(ReproError):
     """Invalid operation on a graph (unknown vertex, duplicate edge, ...)."""
 

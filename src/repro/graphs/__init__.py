@@ -5,6 +5,10 @@ provides:
 
 * :class:`~repro.graphs.graph.Graph` — a small, dependency-free weighted
   undirected graph with adjacency sets;
+* :class:`~repro.graphs.dense.DenseGraph` — the adjacency-bitmask twin used
+  by the dense analysis/allocation kernels; a ``Graph`` subclass whose
+  chordality, clique and stable-set queries dispatch to mask arithmetic
+  with byte-identical results (:mod:`repro.graphs.dense`);
 * chordality machinery — maximum cardinality search, lexicographic BFS,
   perfect elimination orders and a chordality test
   (:mod:`repro.graphs.chordal`);
@@ -20,6 +24,7 @@ provides:
 """
 
 from repro.graphs.graph import Graph
+from repro.graphs.dense import DenseGraph, bit_indices
 from repro.graphs.chordal import (
     is_chordal,
     is_perfect_elimination_order,
@@ -49,6 +54,8 @@ from repro.graphs.io import graph_to_dict, graph_from_dict, dump_graph, load_gra
 
 __all__ = [
     "Graph",
+    "DenseGraph",
+    "bit_indices",
     "is_chordal",
     "is_perfect_elimination_order",
     "maximum_cardinality_search",

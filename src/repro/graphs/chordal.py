@@ -34,10 +34,17 @@ def maximum_cardinality_search(graph: Graph, start: Optional[Vertex] = None) -> 
 
     The implementation uses a lazy max-heap keyed by the visited-neighbour
     count, which keeps the complexity at ``O((|V|+|E|) log |V|)`` — effectively
-    linear for interference graphs.
+    linear for interference graphs.  A live
+    :class:`~repro.graphs.dense.DenseGraph` takes the bitmask kernel
+    (:func:`~repro.graphs.dense.dense_mcs`), which returns the identical
+    visit order without materializing adjacency sets.
     """
     if len(graph) == 0:
         return []
+    from repro.graphs.dense import dense_mcs, dense_rows_of
+
+    if dense_rows_of(graph) is not None:
+        return dense_mcs(graph, start=start)
     if start is not None and start not in graph:
         raise GraphError(f"unknown start vertex {start!r}")
 
@@ -164,8 +171,14 @@ def is_perfect_elimination_order(graph: Graph, order: Sequence[Vertex]) -> bool:
     Uses the standard trick: for each vertex ``v`` it suffices to check that
     the *earliest* later neighbour ``u`` of ``v`` is adjacent to every other
     later neighbour of ``v`` (Golumbic 2004, Thm. 4.5), which is ``O(|V|+|E|)``
-    amortized instead of checking full cliques.
+    amortized instead of checking full cliques.  Live
+    :class:`~repro.graphs.dense.DenseGraph` inputs run the equivalent check
+    on bitmask rows.
     """
+    from repro.graphs.dense import dense_is_peo, dense_rows_of
+
+    if dense_rows_of(graph) is not None:
+        return dense_is_peo(graph, order)
     if set(order) != set(graph.vertices()) or len(order) != len(graph):
         return False
     position = {v: i for i, v in enumerate(order)}

@@ -34,11 +34,23 @@ def maximal_cliques_chordal(graph: Graph, peo: Sequence[Vertex] | None = None) -
         return []
     if peo is None:
         peo = list(reversed(maximum_cardinality_search(graph)))
-    position = {v: i for i, v in enumerate(peo)}
-    candidates: List[Set[Vertex]] = []
-    for v in peo:
-        later = {u for u in graph.neighbors(v) if position[u] > position[v]}
-        candidates.append({v} | later)
+    from repro.graphs.dense import bit_indices, dense_chordal_clique_masks, dense_rows_of
+
+    if dense_rows_of(graph) is not None:
+        # Candidate generation on bitmask rows; the containment filter below
+        # is shared (the masks convert to the same vertex sets the set-based
+        # path builds, so the filtered list is identical).
+        order = graph.vertex_order()
+        candidates = [
+            {order[i] for i in bit_indices(mask)}
+            for mask in dense_chordal_clique_masks(graph, peo)
+        ]
+    else:
+        position = {v: i for i, v in enumerate(peo)}
+        candidates = []
+        for v in peo:
+            later = {u for u in graph.neighbors(v) if position[u] > position[v]}
+            candidates.append({v} | later)
     # Keep only candidates not strictly contained in another candidate.
     candidates.sort(key=len, reverse=True)
     maximal: List[Clique] = []

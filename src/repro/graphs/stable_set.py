@@ -91,6 +91,14 @@ def maximum_weighted_stable_set(
         if missing:
             raise GraphError(f"weights missing for vertices: {missing!r}")
 
+    from repro.graphs.dense import dense_frank, dense_rows_of
+
+    if dense_rows_of(graph) is not None:
+        # Bitmask fast path: identical marking order, residual updates and
+        # reverse-marking selection, so the result (and its order) matches
+        # the set-based walk below exactly.
+        return dense_frank(graph, weights, peo, graph.mask_of(cand))
+
     position: Dict[Vertex, int] = {}
     for v in peo:
         if v in cand:

@@ -32,6 +32,11 @@ from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
 from repro.alloc.spill_code import insert_spill_code
 from repro.alloc.verify import check_allocation, check_assignment
+from repro.analysis.dense import (
+    build_interference_graph_dense,
+    dense_live_intervals,
+    dense_liveness,
+)
 from repro.analysis.interference import build_interference_graph
 from repro.analysis.live_ranges import live_intervals
 from repro.analysis.liveness import liveness
@@ -198,7 +203,10 @@ class LivenessPass(Pass):
 
     The SSA (or non-SSA) lowering happens here because liveness is the first
     analysis that needs the lowered function; the pre-lowering input stays
-    available as ``context.function``.
+    available as ``context.function``.  With ``spec.dense`` (the default)
+    liveness runs on the bitset kernel — the produced
+    :class:`~repro.analysis.liveness.LivenessInfo` is identical either way
+    and additionally carries the dense masks for the interference stage.
     """
 
     name = "liveness"
@@ -215,7 +223,10 @@ class LivenessPass(Pass):
             lowered = destruct_ssa(ssa, coalesce_phi_webs=spec.coalesce_phi_webs)
             if spec.coalesce_moves:
                 lowered = coalesce_copies(lowered)
-        info = liveness(lowered)
+        if spec.dense:
+            info = dense_liveness(lowered).to_info(include_locals=False)
+        else:
+            info = liveness(lowered)
         target = context.target
         costs = spill_costs(
             lowered, store_cost=target.store_cost, load_cost=target.load_cost
@@ -223,7 +234,11 @@ class LivenessPass(Pass):
         return context.with_stage(
             self.name,
             time.perf_counter() - start,
-            stats={"mode": "ssa" if spec.ssa else "non-ssa", "blocks": len(lowered)},
+            stats={
+                "mode": "ssa" if spec.ssa else "non-ssa",
+                "kernel": "dense" if spec.dense else "sets",
+                "blocks": len(lowered),
+            },
             lowered=lowered,
             liveness=info,
             costs=costs,
@@ -231,7 +246,13 @@ class LivenessPass(Pass):
 
 
 class InterferencePass(Pass):
-    """Build the weighted interference graph and the live intervals."""
+    """Build the weighted interference graph and the live intervals.
+
+    When the liveness stage ran on the dense kernel, the graph is built as
+    :class:`~repro.graphs.dense.DenseGraph` bitmask rows (identical
+    vertices/edges/weights; allocator and digest consumers dispatch on the
+    representation transparently).
+    """
 
     name = "interference"
     requires = ("lowered", "liveness", "costs")
@@ -240,10 +261,17 @@ class InterferencePass(Pass):
 
     def run(self, context, spec, store=None):
         start = time.perf_counter()
-        graph = build_interference_graph(
-            context.lowered, info=context.liveness, weights=context.costs
-        )
-        intervals = live_intervals(context.lowered, info=context.liveness)
+        dense_info = getattr(context.liveness, "dense", None)
+        if spec.dense and dense_info is not None:
+            graph = build_interference_graph_dense(
+                context.lowered, info=dense_info, weights=context.costs
+            )
+            intervals = dense_live_intervals(context.lowered, info=dense_info)
+        else:
+            graph = build_interference_graph(
+                context.lowered, info=context.liveness, weights=context.costs
+            )
+            intervals = live_intervals(context.lowered, info=context.liveness)
         return context.with_stage(
             self.name,
             time.perf_counter() - start,

@@ -45,6 +45,12 @@ class PipelineSpec:
     registers: Optional[int] = None
     #: SSA lowering (chordal graphs) vs non-SSA (general graphs).
     ssa: bool = True
+    #: run the front-end analyses on the dense bitset kernel
+    #: (:mod:`repro.analysis.dense`), producing a
+    #: :class:`~repro.graphs.dense.DenseGraph`; ``False`` selects the
+    #: set-based reference kernel.  Results are byte-identical either way —
+    #: this knob exists for the differential oracle and the perf-smoke gate.
+    dense: bool = True
     #: run the ``loadstore_opt`` stage after spill-code insertion.
     opt: bool = True
     #: run the final ``verify`` stage.
@@ -115,6 +121,7 @@ class PipelineSpec:
         "target",
         "registers",
         "ssa",
+        "dense",
         "opt",
         "verify",
         "coalesce_phi_webs",

@@ -180,3 +180,57 @@ def test_spill_costs_phi_operands_charged_on_predecessor_edge(loop_function):
 def test_spill_costs_cover_every_register(diamond_function):
     costs = spill_costs(diamond_function)
     assert set(costs) == set(diamond_function.virtual_registers())
+
+
+def test_dead_block_register_no_longer_outbids_reachable_use_register():
+    """Regression for the dead-code cost bug.
+
+    %hot is defined and genuinely used on the reachable path.  %dead is
+    defined right next to it (so the two interfere) but its three uses all
+    sit in an unreachable block.  Under the old model the dead block was
+    billed at frequency 1.0, making %dead (cost 4) more expensive to spill
+    than %hot (cost 2) — with one register every allocator kept %dead and
+    spilled the genuinely used %hot.  Dead accesses now cost nothing, so the
+    reachable-use register wins the contested register.
+    """
+    from repro.alloc.layered import LayeredOptimalAllocator
+    from repro.alloc.problem import AllocationProblem
+    from repro.analysis.spill_costs import DEAD_ACCESS_EPSILON
+
+    fn = parse_function(
+        """
+func @deadcost() {
+entry:
+  %hot = add 1, 2
+  %dead = mul 3, 4
+  br live
+unreachable:
+  %ghost = add %dead, 1
+  store %dead, %dead
+  store %dead, %ghost
+  store %dead, %dead
+  br live
+live:
+  %r = add %hot, 1
+  ret %r
+}
+"""
+    )
+    costs = spill_costs(fn)
+    hot = costs[VirtualRegister("hot")]
+    dead = costs[VirtualRegister("dead")]
+    ghost = costs[VirtualRegister("ghost")]
+    # ghost is defined and used only in dead code: floored at the epsilon.
+    assert ghost == DEAD_ACCESS_EPSILON
+    assert hot > dead  # old model: dead (1 store + 6 dead loads = 7.0) > hot (2.0)
+
+    graph = build_interference_graph(fn)
+    assert graph.has_edge("hot", "dead")
+    problem = AllocationProblem(graph=graph, num_registers=1, name="deadcost")
+    result = LayeredOptimalAllocator().allocate(problem)
+    allocated = {str(v) for v in result.allocated}
+    spilled = {str(v) for v in result.spilled}
+    # The reachable-use register must not lose the register file to a
+    # register whose accesses sit in dead code.
+    assert "hot" in allocated
+    assert "dead" in spilled

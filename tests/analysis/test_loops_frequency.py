@@ -85,3 +85,34 @@ def test_block_frequencies_custom_base(loop_function):
 def test_block_frequencies_with_precomputed_depths(loop_function):
     freq = block_frequencies(loop_function, depths={"entry": 0, "header": 1, "body": 1, "exit": 0})
     assert freq["header"] == 10.0
+
+
+DEAD_BLOCK = """
+func @dead(%a) {
+entry:
+  %x = add %a, 1
+  br exit
+dead:
+  %y = mul %a, 7
+  br exit
+exit:
+  ret %x
+}
+"""
+
+
+def test_unreachable_blocks_get_frequency_zero():
+    fn = parse_function(DEAD_BLOCK)
+    freq = block_frequencies(fn)
+    assert freq["entry"] == 1.0
+    assert freq["exit"] == 1.0
+    # Regression: dead blocks used to be billed like straight-line code
+    # (frequency 1.0), inflating the spill costs of dead-only registers.
+    assert freq["dead"] == 0.0
+
+
+def test_explicit_depths_still_respect_reachability():
+    fn = parse_function(DEAD_BLOCK)
+    freq = block_frequencies(fn, depths={"entry": 0, "dead": 2, "exit": 0})
+    assert freq["dead"] == 0.0
+    assert freq["entry"] == 1.0

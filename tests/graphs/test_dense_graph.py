@@ -1,0 +1,235 @@
+"""DenseGraph: bitmask rows, Graph-API compatibility, dispatch identity."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError, NotChordalError
+from repro.graphs.chordal import (
+    is_chordal,
+    is_perfect_elimination_order,
+    maximum_cardinality_search,
+    perfect_elimination_order,
+)
+from repro.graphs.cliques import maximal_cliques
+from repro.graphs.dense import DenseGraph, bit_indices, dense_rows_of
+from repro.graphs.generators import random_chordal_graph, random_general_graph
+from repro.graphs.graph import Graph
+from repro.graphs.stable_set import maximum_weighted_stable_set
+
+
+def test_bit_indices_matches_naive_enumeration():
+    rng = random.Random(0)
+    for _ in range(50):
+        width = rng.randint(1, 2000)
+        mask = rng.getrandbits(width)
+        naive = [i for i in range(mask.bit_length()) if (mask >> i) & 1]
+        assert bit_indices(mask) == naive
+    assert bit_indices(0) == []
+    assert bit_indices(1 << 1500) == [1500]
+
+
+# ---------------------------------------------------------------------- #
+# Graph-API equivalence of the representation itself
+# ---------------------------------------------------------------------- #
+def test_from_graph_round_trip_preserves_everything():
+    g = random_chordal_graph(40, rng=3, extra_edge_prob=0.3)
+    d = DenseGraph.from_graph(g)
+    assert isinstance(d, Graph)
+    assert len(d) == len(g)
+    assert d.vertices() == g.vertices()
+    assert list(d) == list(g)
+    assert d.weights() == g.weights()
+    assert d.num_edges() == g.num_edges()
+    assert sorted(map(tuple, map(sorted, d.edges()))) == sorted(
+        map(tuple, map(sorted, g.edges()))
+    )
+    for v in g.vertices():
+        assert v in d
+        assert d.degree(v) == g.degree(v)
+        assert d.neighbors(v) == g.neighbors(v)
+        for u in g.vertices():
+            assert d.has_edge(u, v) == g.has_edge(u, v)
+
+
+def test_mask_queries_answer_without_materializing_sets():
+    g = random_chordal_graph(30, rng=5)
+    d = DenseGraph.from_graph(g)
+    assert d.has_edge(*g.edges()[0])
+    assert d.num_edges() == g.num_edges()
+    assert [d.degree(v) for v in g] == [g.degree(v) for v in g]
+    assert d.edges()  # dense edge enumeration
+    # none of the above is allowed to build adjacency sets
+    assert not d._adj
+    d.neighbors(g.vertices()[0])
+    assert d._adj  # neighbors() materializes
+
+
+def test_from_rows_validation():
+    with pytest.raises(GraphError):
+        DenseGraph.from_rows(["a", "b"], [0], [1.0, 1.0])
+    with pytest.raises(GraphError):
+        DenseGraph.from_rows(["a", "a"], [0, 0], [1.0, 1.0])
+    with pytest.raises(GraphError):
+        DenseGraph.from_rows(["a"], [0], [-1.0])
+
+
+def test_empty_dense_graph():
+    d = DenseGraph.from_rows([], [], [])
+    assert len(d) == 0
+    assert d.vertices() == []
+    assert d.num_edges() == 0
+    assert maximum_cardinality_search(d) == []
+    assert maximal_cliques(d) == []
+    assert maximum_weighted_stable_set(d) == []
+
+
+def test_unknown_vertex_queries_raise():
+    d = DenseGraph.from_rows(["a"], [0], [1.0])
+    with pytest.raises(GraphError):
+        d.index_of("nope")
+    with pytest.raises(GraphError):
+        d.neighbors("nope")
+    assert "nope" not in d
+
+
+def test_mask_helpers():
+    g = random_chordal_graph(10, rng=1)
+    d = DenseGraph.from_graph(g)
+    vs = d.vertices()
+    mask = d.mask_of([vs[0], vs[3], "unknown-ignored"])
+    assert d.vertices_in(mask) == [vs[0], vs[3]]
+    assert d.mask_of([]) == 0
+
+
+# ---------------------------------------------------------------------- #
+# degradation on mutation
+# ---------------------------------------------------------------------- #
+def test_structural_mutation_degrades_to_set_backed_graph():
+    g = random_chordal_graph(12, rng=2)
+    d = DenseGraph.from_graph(g)
+    stamp = d.mutation_stamp
+    d.add_edge("x1", "x2")
+    assert d.dense_rows() is None
+    assert dense_rows_of(d) is None
+    assert d.mutation_stamp > stamp
+    assert d.has_edge("x1", "x2")
+    assert len(d) == len(g) + 2
+    # the degraded graph still answers everything through the set API
+    assert maximum_cardinality_search(d)
+    d.remove_edge("x1", "x2")
+    d.remove_vertex("x1")
+    assert "x1" not in d
+
+
+def test_weight_update_keeps_dense_rows_valid():
+    g = random_chordal_graph(12, rng=2)
+    d = DenseGraph.from_graph(g)
+    v = d.vertices()[0]
+    stamp = d.mutation_stamp
+    d.set_weight(v, 99.0)
+    d.add_vertex(v, 123.0)  # existing vertex: weight-only update
+    assert d.dense_rows() is not None
+    assert d.weight(v) == 123.0
+    assert d.mutation_stamp > stamp  # caches downstream still invalidate
+
+
+def test_copy_returns_mutable_plain_graph():
+    d = DenseGraph.from_graph(random_chordal_graph(8, rng=4))
+    c = d.copy()
+    assert type(c) is Graph
+    c.add_edge("zz", d.vertices()[0])
+    assert "zz" in c and "zz" not in d
+
+
+def test_without_matches_reference_before_materialization():
+    # Regression: the inherited Graph.without captured an iterator over the
+    # not-yet-materialized (empty) adjacency dict and silently returned an
+    # empty graph.
+    g = random_chordal_graph(15, rng=7)
+    d = DenseGraph.from_graph(g)
+    drop = g.vertices()[:3]
+    pruned = d.without(drop)
+    ref = g.without(drop)
+    assert pruned.vertices() == ref.vertices()
+    assert {frozenset(e) for e in pruned.edges()} == {frozenset(e) for e in ref.edges()}
+
+
+def test_subgraph_and_induced_view_match_reference():
+    g = random_chordal_graph(20, rng=6, extra_edge_prob=0.2)
+    d = DenseGraph.from_graph(g)
+    keep = g.vertices()[::2]
+    sub_ref = g.subgraph(keep)
+    sub = d.subgraph(keep)
+    assert sub.vertices() == sub_ref.vertices()
+    assert {frozenset(e) for e in sub.edges()} == {frozenset(e) for e in sub_ref.edges()}
+    view = d.induced_view(keep)
+    assert view.vertices() == g.induced_view(keep).vertices()
+
+
+# ---------------------------------------------------------------------- #
+# dispatch identity: the dense kernels return exactly what the set-based
+# reference algorithms return
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(8))
+def test_mcs_and_peo_dispatch_identical(seed):
+    g = random_chordal_graph(50, rng=seed, extra_edge_prob=0.35)
+    d = DenseGraph.from_graph(g)
+    assert maximum_cardinality_search(d) == maximum_cardinality_search(g)
+    start = g.vertices()[seed % len(g)]
+    assert maximum_cardinality_search(d, start=start) == maximum_cardinality_search(
+        g, start=start
+    )
+    peo = perfect_elimination_order(g)
+    assert perfect_elimination_order(d) == peo
+    assert is_perfect_elimination_order(d, peo)
+    assert is_perfect_elimination_order(d, list(reversed(peo))) == \
+        is_perfect_elimination_order(g, list(reversed(peo)))
+    assert is_chordal(d) is True
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_clique_enumeration_dispatch_identical(seed):
+    g = random_chordal_graph(50, rng=seed, extra_edge_prob=0.35)
+    assert maximal_cliques(DenseGraph.from_graph(g)) == maximal_cliques(g)
+    ng = random_general_graph(30, edge_prob=0.25, rng=seed)
+    assert maximal_cliques(DenseGraph.from_graph(ng)) == maximal_cliques(ng)
+    assert is_chordal(DenseGraph.from_graph(ng)) == is_chordal(ng)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_franks_algorithm_dispatch_identical(seed):
+    rng = random.Random(seed)
+    g = random_chordal_graph(50, rng=seed, extra_edge_prob=0.35)
+    d = DenseGraph.from_graph(g)
+    peo = perfect_elimination_order(g)
+    assert maximum_weighted_stable_set(d) == maximum_weighted_stable_set(g)
+    cands = set(rng.sample(g.vertices(), 25))
+    assert maximum_weighted_stable_set(d, peo=peo, candidates=cands) == \
+        maximum_weighted_stable_set(g, peo=peo, candidates=cands)
+    # integer (tie-heavy) and zero weights exercise the tie-breaking and the
+    # never-pick-zero-weight rule
+    weights = {v: float(rng.randint(0, 3)) for v in g.vertices()}
+    assert maximum_weighted_stable_set(d, weights=weights, peo=peo) == \
+        maximum_weighted_stable_set(g, weights=weights, peo=peo)
+    assert maximum_weighted_stable_set(d, weights=weights, peo=peo, candidates=cands) == \
+        maximum_weighted_stable_set(g, weights=weights, peo=peo, candidates=cands)
+
+
+def test_franks_algorithm_dense_error_paths_match():
+    g = random_chordal_graph(10, rng=9)
+    d = DenseGraph.from_graph(g)
+    peo = perfect_elimination_order(g)
+    bad_weights = {v: 1.0 for v in g.vertices()[:-1]}
+    with pytest.raises(GraphError):
+        maximum_weighted_stable_set(d, weights=bad_weights, peo=peo)
+    with pytest.raises(GraphError):
+        maximum_weighted_stable_set(d, peo=peo[:-1])
+
+
+def test_non_chordal_dense_graph_raises_like_reference():
+    cycle = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+    dense_cycle = DenseGraph.from_graph(cycle)
+    with pytest.raises(NotChordalError):
+        perfect_elimination_order(dense_cycle)
+    assert not is_chordal(dense_cycle)

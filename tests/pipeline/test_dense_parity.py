@@ -1,0 +1,92 @@
+"""The dense front-end kernel must be indistinguishable from the set-based
+reference through every pipeline observable: results, stats, rewritten IR,
+problem digests and store cells."""
+
+import pytest
+
+from repro.graphs.dense import DenseGraph
+from repro.graphs.graph import Graph
+from repro.oracle.generator import generate_program
+from repro.pipeline import Pipeline
+from repro.pipeline.spec import PipelineSpec
+from repro.store.keys import problem_digest
+from repro.workloads.programs import GeneratorProfile, generate_function
+
+
+def _functions():
+    fns = [generate_program(11, i, size="small") for i in range(4)]
+    fns.append(
+        generate_function(
+            "parity_med", GeneratorProfile(statements=80, accumulators=12, loop_depth=2), rng=3
+        )
+    )
+    return fns
+
+
+def _run(fn, allocator, ssa, dense, store=None):
+    spec = PipelineSpec(allocator=allocator, target="st231", registers=4, ssa=ssa, dense=dense)
+    with Pipeline(spec, store=store) as pipe:
+        return pipe.run(fn)
+
+
+@pytest.mark.parametrize("allocator", ["NL", "BFPL"])
+@pytest.mark.parametrize("ssa", [True, False])
+def test_dense_and_reference_pipelines_are_byte_identical(allocator, ssa):
+    from repro.errors import NotChordalError
+
+    for fn in _functions():
+        try:
+            dense_ctx = _run(fn, allocator, ssa, dense=True)
+        except NotChordalError:
+            with pytest.raises(NotChordalError):
+                _run(fn, allocator, ssa, dense=False)
+            continue
+        ref_ctx = _run(fn, allocator, ssa, dense=False)
+        assert isinstance(dense_ctx.graph, DenseGraph)
+        assert not isinstance(ref_ctx.graph, DenseGraph) and isinstance(ref_ctx.graph, Graph)
+        assert dense_ctx.result.spilled == ref_ctx.result.spilled
+        assert dense_ctx.result.allocated == ref_ctx.result.allocated
+        assert dense_ctx.result.spill_cost == ref_ctx.result.spill_cost
+        assert dense_ctx.result.stats == ref_ctx.result.stats
+        assert dense_ctx.assignment == ref_ctx.assignment
+        assert dense_ctx.rewritten_ir() == ref_ctx.rewritten_ir()
+        assert dense_ctx.intervals == ref_ctx.intervals
+        assert dense_ctx.problem.cliques == ref_ctx.problem.cliques
+        assert dense_ctx.problem.max_pressure == ref_ctx.problem.max_pressure
+        assert problem_digest(dense_ctx.problem, target="st231") == problem_digest(
+            ref_ctx.problem, target="st231"
+        )
+
+
+def test_liveness_stage_records_which_kernel_ran():
+    fn = _functions()[0]
+    dense_ctx = _run(fn, "NL", True, dense=True)
+    ref_ctx = _run(fn, "NL", True, dense=False)
+    assert dense_ctx.stage_stats["liveness"]["kernel"] == "dense"
+    assert ref_ctx.stage_stats["liveness"]["kernel"] == "sets"
+
+
+def test_reference_pipeline_hits_cells_warmed_by_the_dense_kernel(tmp_path):
+    """Digest parity, end to end: a store warmed by the dense kernel serves
+    the set-based reference (and vice versa) without an allocator call."""
+    store = str(tmp_path / "cross.sqlite")
+    fn = _functions()[0]
+    warm = _run(fn, "NL", True, dense=True, store=store)
+    assert warm.stage_stats["allocate"]["cache"] == "miss"
+    served = _run(fn, "NL", True, dense=False, store=store)
+    assert served.stage_stats["allocate"]["cache"] == "hit"
+    assert served.result.spilled == warm.result.spilled
+    # and the reverse direction
+    fn2 = _functions()[1]
+    warm2 = _run(fn2, "NL", True, dense=False, store=store)
+    assert warm2.stage_stats["allocate"]["cache"] == "miss"
+    served2 = _run(fn2, "NL", True, dense=True, store=store)
+    assert served2.stage_stats["allocate"]["cache"] == "hit"
+
+
+def test_dense_spec_forms_parse():
+    assert PipelineSpec().dense is True
+    assert PipelineSpec.parse('{"dense": false}').dense is False
+    assert PipelineSpec.parse(None, dense=False).dense is False
+    assert PipelineSpec.from_config({"dense": False, "allocator": "NL"}).dense is False
+    assert PipelineSpec.parse("NL").dense is True
