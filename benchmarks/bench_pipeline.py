@@ -282,6 +282,84 @@ def test_dense_front_end_speedup_at_large_scale(capsys):
         )
 
 
+# ---------------------------------------------------------------------- #
+# machine-verifier overhead: check="off" must stay free, check="each" is
+# the measured price of per-pass contract enforcement
+# ---------------------------------------------------------------------- #
+def measure_check_overhead(statements=240, seed=FIXED_SEED, repeat=3):
+    """Best-of-``repeat`` full-pipeline seconds under each check mode.
+
+    Returns ``{"off": s, "boundaries": s, "each": s, "each_overhead": ratio}``
+    for one fixed-seed function through the full NL pipeline.
+    """
+    from repro.pipeline.spec import PipelineSpec
+
+    profile = GeneratorProfile(statements=statements, accumulators=16, loop_depth=3)
+    function = generate_function("check_overhead", profile, rng=seed)
+    # One untimed warm-up run so the first measured mode does not pay the
+    # process-wide warm-up (imports, code caches) the later ones skip.
+    Pipeline(
+        PipelineSpec(allocator="NL", target="st231", registers=6, check="each")
+    ).run(function)
+    import time
+
+    results = {}
+    for mode in ("off", "boundaries", "each"):
+        pipe = Pipeline(
+            PipelineSpec(allocator="NL", target="st231", registers=6, check=mode)
+        )
+        best = float("inf")
+        for _ in range(repeat):
+            # Wall-clock, not the sum of stage timings: the contract
+            # enforcement runs *between* stages and must be part of the price.
+            started = time.perf_counter()
+            pipe.run(function)
+            best = min(best, time.perf_counter() - started)
+        results[mode] = best
+    results["each_overhead"] = results["each"] / results["off"] if results["off"] else float("inf")
+    return results
+
+
+def test_check_mode_off_invokes_no_checkers(medium_function, monkeypatch):
+    """The default ``check="off"`` pipeline must never enter the verifier.
+
+    This is the non-flaky form of "default throughput is unchanged": the only
+    new work the machine-verifier wiring could add to an ``off`` run is a
+    checker invocation, so zero invocations means zero added cost beyond two
+    string comparisons per run.
+    """
+    import repro.pipeline.engine as engine_module
+
+    calls = []
+    real = engine_module.check_pipeline_context
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(engine_module, "check_pipeline_context", counting)
+    pipe = Pipeline.from_spec("NL", target="st231", registers=8)
+    context = pipe.run(medium_function)
+    assert context.report is not None
+    assert calls == [], f"check='off' run invoked checkers {len(calls)} time(s)"
+
+    each = Pipeline.from_spec("NL", target="st231", registers=8, check="each")
+    each.run(medium_function)
+    assert calls, "check='each' run never invoked the verifier"
+
+
+def test_check_each_overhead_measured(capsys):
+    """Report the measured per-pass enforcement price (not a timing assert)."""
+    results = measure_check_overhead(statements=120, repeat=2)
+    with capsys.disabled():
+        print(
+            f"\ncheck-mode overhead (NL @ st231): off {results['off'] * 1e3:.1f} ms, "
+            f"boundaries {results['boundaries'] * 1e3:.1f} ms, "
+            f"each {results['each'] * 1e3:.1f} ms ({results['each_overhead']:.2f}x)"
+        )
+    assert results["each"] >= 0.0 and results["off"] >= 0.0
+
+
 def main(argv=None):
     """The ``--stages`` CLI used by the CI perf-smoke job."""
     import argparse
@@ -300,6 +378,16 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=FIXED_SEED)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "additionally write the stage timings (checker off) and the "
+            "measured check='each' overhead to PATH (the committed perf "
+            "trajectory, BENCH_pipeline.json)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     stages = tuple(s.strip() for s in args.stages.split(",") if s.strip())
@@ -316,6 +404,51 @@ def main(argv=None):
         f"({speedup:.2f}x, floor {args.min_speedup:.1f}x)"
     )
     print("digest parity: ok; warm-store cells interchangeable across kernels: ok")
+
+    if args.json:
+        import json
+
+        from repro.pipeline.spec import PipelineSpec
+        from repro.workloads.programs import GeneratorProfile
+
+        # Per-stage breakdown of one full run with the checker off (the
+        # committed baseline), plus the measured check="each" price.
+        profile = GeneratorProfile(
+            statements=args.statements,
+            accumulators=max(8, args.statements * LARGE_PROFILE["accumulators"] // LARGE_PROFILE["statements"]),
+            loop_depth=LARGE_PROFILE["loop_depth"],
+        )
+        function = generate_function("dense_smoke", profile, rng=args.seed)
+        baseline = Pipeline(
+            PipelineSpec(allocator="NL", target="st231", registers=8, check="off")
+        ).run(function)
+        overhead = measure_check_overhead(
+            statements=min(args.statements, 240), seed=args.seed, repeat=args.repeat
+        )
+        payload = {
+            "statements": args.statements,
+            "seed": args.seed,
+            "dense_front_end": {
+                "stages": list(stages),
+                "dense_seconds": round(dense_seconds, 6),
+                "reference_seconds": round(ref_seconds, 6),
+                "speedup": round(speedup, 3),
+            },
+            "pipeline_stage_seconds_check_off": {
+                stage: round(seconds, 6) for stage, seconds in baseline.timings.items()
+            },
+            "check_overhead": {
+                "statements": min(args.statements, 240),
+                "off_seconds": round(overhead["off"], 6),
+                "boundaries_seconds": round(overhead["boundaries"], 6),
+                "each_seconds": round(overhead["each"], 6),
+                "each_overhead_ratio": round(overhead["each_overhead"], 3),
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     if speedup < args.min_speedup:
         print(
             f"FAIL: dense kernel below the {args.min_speedup:.1f}x floor", file=sys.stderr

@@ -82,6 +82,12 @@ def check_assignment(
 ) -> None:
     """Validate a concrete register assignment against problem and target.
 
+    .. deprecated:: this is a shim over
+       :func:`repro.check.assignment_diagnostics` (codes
+       ``ALLOC005``–``ALLOC008``), kept for its historical
+       raise-on-first-violation contract; new code should consume the typed
+       diagnostics directly.
+
     Raises :class:`InvalidAllocationError` when:
 
     * an allocated variable is missing from the assignment, or a spilled
@@ -92,62 +98,33 @@ def check_assignment(
       file (the names :meth:`TargetMachine.register_names` provides for the
       problem's register count).
     """
-    allocated = set(result.allocated)
-    missing = sorted(str(v) for v in allocated if v not in assignment)
-    if missing:
-        raise InvalidAllocationError(
-            f"allocated variables missing from the register assignment: {missing}"
-        )
-    spilled_assigned = sorted(str(v) for v in result.spilled if v in assignment)
-    if spilled_assigned:
-        raise InvalidAllocationError(
-            f"spilled variables must not hold a register, but got one: {spilled_assigned}"
-        )
-    graph = problem.graph
-    for vertex in allocated:
-        for neighbor in graph.neighbors(vertex):
-            if neighbor in allocated and assignment[vertex] == assignment[neighbor] and str(vertex) < str(neighbor):
-                raise InvalidAllocationError(
-                    f"interfering variables {vertex} and {neighbor} share register "
-                    f"{assignment[vertex]!r}"
-                )
-    used = {assignment[v] for v in allocated}
-    if len(used) > problem.num_registers:
-        raise InvalidAllocationError(
-            f"assignment uses {len(used)} distinct registers for R={problem.num_registers}"
-        )
-    if target is not None:
-        # The register file the target exposes for this problem: its own
-        # names, truncated to the problem's register count when the sweep
-        # restricts R below the physical file (the paper's R sweeps).
-        budget = min(problem.num_registers, target.num_registers)
-        valid = set(list(target.register_names().values())[:budget])
-        foreign = sorted(used - valid)
-        if foreign:
-            raise InvalidAllocationError(
-                f"assignment uses register(s) {foreign} outside target "
-                f"{target.name!r}'s file of {budget} allocatable registers"
-            )
+    from repro.check.allocation import assignment_diagnostics
+
+    for diagnostic in assignment_diagnostics(problem, result, assignment, target=target):
+        if diagnostic.is_error:
+            raise InvalidAllocationError(diagnostic.message)
 
 
 def check_allocation(problem: AllocationProblem, result: AllocationResult, strict: bool = True) -> FeasibilityReport:
     """Validate a result against its problem.
 
+    .. deprecated:: this is a shim over
+       :func:`repro.check.allocation_diagnostics` (codes
+       ``ALLOC001``–``ALLOC004``), kept for its historical
+       raise-on-first-violation contract; new code should consume the typed
+       diagnostics directly.
+
     Raises :class:`InvalidAllocationError` when the result's bookkeeping is
     inconsistent or (with ``strict=True``) when the allocation is provably
     infeasible.
     """
-    vertices = set(problem.graph.vertices())
-    if set(result.allocated) | set(result.spilled) != vertices:
-        raise InvalidAllocationError("allocated ∪ spilled does not cover all variables")
-    if set(result.allocated) & set(result.spilled):
-        raise InvalidAllocationError("allocated and spilled sets overlap")
-    expected_cost = problem.spill_cost_of(list(result.spilled))
-    if abs(expected_cost - result.spill_cost) > 1e-6 * max(1.0, expected_cost):
-        raise InvalidAllocationError(
-            f"spill cost mismatch: result says {result.spill_cost}, recomputed {expected_cost}"
-        )
-    report = is_allocation_feasible(problem.graph, result.allocated, result.num_registers)
-    if strict and report.exact and not report.feasible:
-        raise InvalidAllocationError(f"infeasible allocation from {result.allocator}: {report.reason}")
+    from repro.check.allocation import allocation_report_and_diagnostics
+
+    report, diagnostics = allocation_report_and_diagnostics(
+        problem, result, strict=strict
+    )
+    for diagnostic in diagnostics:
+        if diagnostic.is_error:
+            raise InvalidAllocationError(diagnostic.message)
+    assert report is not None  # bookkeeping errors raised above
     return report

@@ -1,0 +1,110 @@
+"""The machine-verifier: static invariant checking with typed diagnostics.
+
+Modeled on LLVM's MachineVerifier (``-verify-machineinstrs`` /
+``-verify-each``): a registry of static analyses over the pipeline's
+intermediate forms — CFG integrity, SSA/dominance, opcode sanity, liveness
+consistency, interference-graph lint, allocation postconditions and the
+spill-code audit — each reporting typed :class:`Diagnostic` values with
+stable error codes (see the README's "Static verification" reference table).
+
+Three consumption surfaces share this package:
+
+* ``repro-alloc check`` — the standalone CLI (module/function input, text or
+  JSON rendering, ``--select``/``--ignore`` code filters);
+* ``PipelineSpec(check="boundaries"|"each")`` — per-pass contract
+  enforcement inside :class:`repro.pipeline.engine.Pipeline`, raising
+  :class:`CheckError` diagnostics that name the offending pass;
+* the oracle harness — a cheap pre-execution filter rejecting malformed
+  generated programs and statically triaging miscompiles.
+"""
+
+from repro.check.allocation import (
+    AllocationChecker,
+    AssignmentChecker,
+    SpillChecker,
+    allocation_diagnostics,
+    allocation_report_and_diagnostics,
+    assignment_diagnostics,
+    spill_diagnostics,
+)
+from repro.check.api import (
+    ALL_CHECKERS,
+    IR_CHECKERS,
+    check_ir_function,
+    check_ir_module,
+    check_pipeline_context,
+    static_errors,
+)
+from repro.check.cfg import CFGChecker, cfg_diagnostics, has_structural_errors
+from repro.check.dataflow import LivenessChecker, liveness_diagnostics
+from repro.check.diagnostics import (
+    CheckError,
+    Diagnostic,
+    Location,
+    Severity,
+    diagnostics_to_json,
+    errors_of,
+    filter_diagnostics,
+    match_codes,
+    render_diagnostics,
+)
+from repro.check.graphlint import InterferenceChecker, interference_diagnostics
+from repro.check.ops import OpcodeChecker, opcode_diagnostics
+from repro.check.registry import (
+    Checker,
+    CheckRequest,
+    available_checkers,
+    get_checker,
+    is_registered_checker,
+    register_checker,
+    run_checkers,
+)
+from repro.check.ssa import SSAChecker, ssa_diagnostics
+
+for _cls in (
+    CFGChecker,
+    SSAChecker,
+    OpcodeChecker,
+    LivenessChecker,
+    InterferenceChecker,
+    AllocationChecker,
+    AssignmentChecker,
+    SpillChecker,
+):
+    if not is_registered_checker(_cls.name):
+        register_checker(_cls.name, _cls)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "IR_CHECKERS",
+    "CheckError",
+    "CheckRequest",
+    "Checker",
+    "Diagnostic",
+    "Location",
+    "Severity",
+    "allocation_diagnostics",
+    "allocation_report_and_diagnostics",
+    "assignment_diagnostics",
+    "available_checkers",
+    "cfg_diagnostics",
+    "check_ir_function",
+    "check_ir_module",
+    "check_pipeline_context",
+    "diagnostics_to_json",
+    "errors_of",
+    "filter_diagnostics",
+    "get_checker",
+    "has_structural_errors",
+    "interference_diagnostics",
+    "is_registered_checker",
+    "liveness_diagnostics",
+    "match_codes",
+    "opcode_diagnostics",
+    "register_checker",
+    "render_diagnostics",
+    "run_checkers",
+    "spill_diagnostics",
+    "ssa_diagnostics",
+    "static_errors",
+]

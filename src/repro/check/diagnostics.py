@@ -1,0 +1,208 @@
+"""Typed diagnostics: the machine-verifier's currency.
+
+Every static checker (:mod:`repro.check`) reports violations as
+:class:`Diagnostic` values rather than bare exception strings: a stable
+error *code* (``SSA001``, ``CFG003``, ``ALLOC007``, ...), a
+:class:`Severity`, a precise :class:`Location` down to the operand, the
+human message, and an optional fix-it hint.  Diagnostics render both as
+single text lines (``error[SSA003] @f/join: use of %x ...``) and as JSON
+objects, so the ``repro-alloc check`` CLI, the pipeline contract enforcement
+and the test suite all consume the same payload.
+
+:class:`CheckError` is the typed exception the pipeline engine raises when a
+stage violates its contract (``PipelineSpec(check="each")``); it carries the
+diagnostics, each naming the offending pass via :attr:`Diagnostic.stage`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` invalidates the artifact (the CLI exits 1, the pipeline's
+    contract enforcement raises); ``WARNING`` is suspicious but not provably
+    wrong; ``NOTE`` is informational (e.g. a critical edge) and never affects
+    exit codes or contract enforcement.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points: function / block / instruction / operand.
+
+    Fields are filled to whatever precision the checker has; ``instr`` is the
+    0-based index into the block's program order (φs first, like
+    :meth:`repro.ir.basic_block.BasicBlock.all_instructions`).
+    """
+
+    function: Optional[str] = None
+    block: Optional[str] = None
+    instr: Optional[int] = None
+    operand: Optional[str] = None
+
+    def render(self) -> str:
+        """Compact ``@function/block/#instr (operand)`` form; '' when empty."""
+        parts: List[str] = []
+        if self.function is not None:
+            parts.append(f"@{self.function}")
+        if self.block is not None:
+            parts.append(self.block)
+        if self.instr is not None:
+            parts.append(f"#{self.instr}")
+        text = "/".join(parts)
+        if self.operand is not None:
+            text = f"{text} ({self.operand})" if text else f"({self.operand})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form with ``None`` fields omitted."""
+        data: Dict[str, Any] = {}
+        for key in ("function", "block", "instr", "operand"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        return data
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One typed finding of a static checker."""
+
+    #: stable error code, e.g. ``SSA001`` (see the README reference table).
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    location: Location = field(default_factory=Location)
+    #: optional fix-it hint (imperative, e.g. "add a terminator").
+    hint: Optional[str] = None
+    #: the checker that produced the diagnostic (registry name).
+    checker: Optional[str] = None
+    #: the pipeline pass the violation was detected after, when contract
+    #: enforcement (``check="each"``/``"boundaries"``) produced it.
+    stage: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        """Whether this diagnostic invalidates the artifact."""
+        return self.severity is Severity.ERROR
+
+    def render(self) -> str:
+        """One-line human form: ``severity[CODE] @loc: message; hint: ...``."""
+        where = self.location.render()
+        head = f"{self.severity}[{self.code}]"
+        if where:
+            head = f"{head} {where}"
+        text = f"{head}: {self.message}"
+        if self.stage is not None:
+            text = f"{text} [after pass {self.stage!r}]"
+        if self.hint is not None:
+            text = f"{text}; hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (stable keys; optional ones omitted)."""
+        data: Dict[str, Any] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+        if self.hint is not None:
+            data["hint"] = self.hint
+        if self.checker is not None:
+            data["checker"] = self.checker
+        if self.stage is not None:
+            data["stage"] = self.stage
+        return data
+
+    def with_stage(self, stage: str) -> "Diagnostic":
+        """Copy of this diagnostic tagged with the offending pipeline pass."""
+        if self.stage == stage:
+            return self
+        return Diagnostic(
+            code=self.code,
+            message=self.message,
+            severity=self.severity,
+            location=self.location,
+            hint=self.hint,
+            checker=self.checker,
+            stage=stage,
+        )
+
+
+def errors_of(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """The error-severity subset, in order."""
+    return [d for d in diagnostics if d.is_error]
+
+
+def render_diagnostics(diagnostics: Sequence[Diagnostic]) -> str:
+    """Multi-line text rendering (one diagnostic per line)."""
+    return "\n".join(d.render() for d in diagnostics)
+
+
+def diagnostics_to_json(diagnostics: Sequence[Diagnostic]) -> List[Dict[str, Any]]:
+    """JSON payload for a batch of diagnostics."""
+    return [d.to_dict() for d in diagnostics]
+
+
+def match_codes(code: str, patterns: Sequence[str]) -> bool:
+    """Whether ``code`` matches any of ``patterns`` (exact or prefix).
+
+    A pattern matches when it equals the code or is a prefix of it, so
+    ``--select SSA`` selects every SSA-family code and ``--ignore CFG006``
+    drops exactly one.  Matching is case-insensitive.
+    """
+    upper = code.upper()
+    return any(upper.startswith(p.strip().upper()) for p in patterns if p.strip())
+
+
+def filter_diagnostics(
+    diagnostics: Sequence[Diagnostic],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Apply ``--select`` / ``--ignore`` code filters (prefix semantics)."""
+    kept = list(diagnostics)
+    if select:
+        kept = [d for d in kept if match_codes(d.code, select)]
+    if ignore:
+        kept = [d for d in kept if not match_codes(d.code, ignore)]
+    return kept
+
+
+class CheckError(ReproError):
+    """A static invariant was violated (contract enforcement, strict checks).
+
+    Carries the typed :attr:`diagnostics`; when the pipeline's per-pass
+    contract enforcement raised it, each diagnostic's ``stage`` names the
+    pass after which the violation was detected and :attr:`stage` holds the
+    same name for convenience.
+    """
+
+    def __init__(
+        self,
+        diagnostics: Sequence[Diagnostic],
+        stage: Optional[str] = None,
+    ) -> None:
+        self.diagnostics: Tuple[Diagnostic, ...] = tuple(diagnostics)
+        self.stage = stage
+        count = len(errors_of(self.diagnostics))
+        head = f"{count} static invariant violation(s)"
+        if stage is not None:
+            head = f"{head} after pass {stage!r}"
+        detail = render_diagnostics(self.diagnostics)
+        super().__init__(f"{head}:\n{detail}" if detail else head)

@@ -1,0 +1,104 @@
+"""Interference-graph lint (codes ``IGR001``–``IGR004``).
+
+The interference graph is the contract between the front-end and every
+allocator, so the lint re-checks the representation invariants the
+:class:`repro.graphs.graph.Graph` API normally enforces (they can be broken
+by direct adjacency surgery) plus the paper's structural expectation:
+
+* ``IGR001`` — asymmetric adjacency (``u`` lists ``v`` but not vice versa);
+* ``IGR002`` — a self-loop (a variable cannot interfere with itself);
+* ``IGR003`` (warning) — the graph of an SSA-form program is not chordal,
+  contradicting the paper's central premise (Diouf et al., CGO 2013 §2);
+* ``IGR004`` (warning) — a negative spill-cost weight.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.check.diagnostics import Diagnostic, Location, Severity
+from repro.check.registry import Checker, CheckRequest
+from repro.graphs.chordal import is_chordal
+from repro.graphs.graph import Graph
+
+
+def interference_diagnostics(
+    graph: Graph,
+    expect_chordal: bool = False,
+    function_name: str | None = None,
+) -> List[Diagnostic]:
+    """Lint one interference graph; ``expect_chordal`` for SSA-form inputs."""
+    diagnostics: List[Diagnostic] = []
+    for vertex in graph.vertices():
+        neighbors = graph.neighbors(vertex)
+        if vertex in neighbors:
+            diagnostics.append(
+                Diagnostic(
+                    code="IGR002",
+                    message=f"self-loop on interference vertex {vertex!r}",
+                    location=Location(function=function_name, operand=str(vertex)),
+                    hint="a variable never interferes with itself",
+                )
+            )
+        for neighbor in neighbors:
+            if neighbor not in graph or vertex not in graph.neighbors(neighbor):
+                diagnostics.append(
+                    Diagnostic(
+                        code="IGR001",
+                        message=(
+                            f"asymmetric adjacency: {vertex!r} lists {neighbor!r} "
+                            "but not the reverse"
+                        ),
+                        location=Location(function=function_name, operand=str(vertex)),
+                        hint="interference is symmetric; fix the edge insertion",
+                    )
+                )
+        weight = graph.weight(vertex)
+        if weight < 0:
+            diagnostics.append(
+                Diagnostic(
+                    code="IGR004",
+                    message=f"vertex {vertex!r} has negative spill cost {weight}",
+                    severity=Severity.WARNING,
+                    location=Location(function=function_name, operand=str(vertex)),
+                    hint="spill costs are access frequencies and must be >= 0",
+                )
+            )
+    if (
+        expect_chordal
+        and not any(d.code in ("IGR001", "IGR002") for d in diagnostics)
+        and len(graph) > 0
+        and not is_chordal(graph)
+    ):
+        diagnostics.append(
+            Diagnostic(
+                code="IGR003",
+                message=(
+                    "interference graph of an SSA-form program is not chordal"
+                ),
+                severity=Severity.WARNING,
+                location=Location(function=function_name),
+                hint="SSA interference graphs are chordal; the builder is buggy",
+            )
+        )
+    return diagnostics
+
+
+class InterferenceChecker(Checker):
+    """Registry wrapper linting the context's interference graph."""
+
+    name = "interference"
+    codes = ("IGR001", "IGR002", "IGR003", "IGR004")
+    requires = ("graph",)
+
+    def run(self, request: CheckRequest) -> List[Diagnostic]:
+        context = request.context
+        assert context.graph is not None
+        name = None
+        if context.lowered is not None:
+            name = context.lowered.name
+        elif context.function is not None:
+            name = context.function.name
+        return interference_diagnostics(
+            context.graph, expect_chordal=request.ssa, function_name=name
+        )

@@ -1,0 +1,164 @@
+"""Opcode/operand sanity checks (codes ``OP001``–``OP005``).
+
+The IR constructors (:mod:`repro.ir.instructions`) enforce most arities at
+build time, but instructions can be mutated afterwards (the spill rewriter,
+the minimizer and tests all edit ``defs``/``uses``/``targets`` lists in
+place), so the verifier re-checks what each opcode may carry:
+
+* ``OP001`` — wrong number of used operands for the opcode;
+* ``OP002`` — wrong number of defined registers for the opcode;
+* ``OP003`` — wrong number of branch targets for the opcode;
+* ``OP004`` — a φ with no incoming values;
+* ``OP005`` — an operand that is not an IR :class:`~repro.ir.values.Value`
+  (or a def that is not a register).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.diagnostics import Diagnostic, Location
+from repro.check.registry import Checker, CheckRequest
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BINARY_OPCODES,
+    UNARY_OPCODES,
+    Opcode,
+    Phi,
+)
+from repro.ir.values import Value, VirtualRegister
+
+#: per-opcode (uses, defs, targets) arity; ``None`` means "any count".
+_ARITY: Dict[Opcode, Tuple[Optional[int], Optional[int], int]] = {}
+for _op in BINARY_OPCODES:
+    _ARITY[_op] = (2, 1, 0)
+for _op in UNARY_OPCODES:
+    _ARITY[_op] = (1, 1, 0)
+_ARITY[Opcode.LOAD] = (1, 1, 0)
+_ARITY[Opcode.STORE] = (2, 0, 0)
+_ARITY[Opcode.CALL] = (None, None, 0)  # any args; 0 or 1 results
+_ARITY[Opcode.PHI] = (None, 1, 0)
+_ARITY[Opcode.BR] = (0, 0, 1)
+_ARITY[Opcode.CBR] = (1, 0, 2)
+_ARITY[Opcode.RET] = (None, 0, 0)  # 0 or 1 values
+
+
+def opcode_diagnostics(function: Function) -> List[Diagnostic]:
+    """Arity and operand-kind diagnostics for every instruction."""
+    diagnostics: List[Diagnostic] = []
+    for block in function:
+        for index, instruction in enumerate(block.all_instructions()):
+            where = Location(function=function.name, block=block.label, instr=index)
+            opcode = instruction.opcode
+            expected = _ARITY.get(opcode)
+            if expected is None:
+                continue
+            want_uses, want_defs, want_targets = expected
+            if want_uses is not None and len(instruction.uses) != want_uses:
+                diagnostics.append(
+                    Diagnostic(
+                        code="OP001",
+                        message=(
+                            f"{opcode} expects {want_uses} operand(s) "
+                            f"but has {len(instruction.uses)}"
+                        ),
+                        location=where,
+                    )
+                )
+            if opcode is Opcode.RET and len(instruction.uses) > 1:
+                diagnostics.append(
+                    Diagnostic(
+                        code="OP001",
+                        message=f"ret carries {len(instruction.uses)} values (at most 1)",
+                        location=where,
+                    )
+                )
+            if want_defs is not None and len(instruction.defs) != want_defs:
+                diagnostics.append(
+                    Diagnostic(
+                        code="OP002",
+                        message=(
+                            f"{opcode} expects {want_defs} result(s) "
+                            f"but defines {len(instruction.defs)}"
+                        ),
+                        location=where,
+                    )
+                )
+            if opcode is Opcode.CALL and len(instruction.defs) > 1:
+                diagnostics.append(
+                    Diagnostic(
+                        code="OP002",
+                        message=f"call defines {len(instruction.defs)} results (at most 1)",
+                        location=where,
+                    )
+                )
+            if len(instruction.targets) != want_targets:
+                diagnostics.append(
+                    Diagnostic(
+                        code="OP003",
+                        message=(
+                            f"{opcode} expects {want_targets} branch target(s) "
+                            f"but has {len(instruction.targets)}"
+                        ),
+                        location=where,
+                    )
+                )
+            if isinstance(instruction, Phi) and not instruction.incoming:
+                diagnostics.append(
+                    Diagnostic(
+                        code="OP004",
+                        message=f"phi {instruction.target} has no incoming values",
+                        location=where,
+                        hint="give the phi one incoming value per predecessor",
+                    )
+                )
+            for operand in instruction.uses:
+                if not isinstance(operand, Value):
+                    diagnostics.append(
+                        Diagnostic(
+                            code="OP005",
+                            message=(
+                                f"{opcode} operand {operand!r} is not an IR value "
+                                "(register or constant)"
+                            ),
+                            location=Location(
+                                function=function.name,
+                                block=block.label,
+                                instr=index,
+                                operand=repr(operand),
+                            ),
+                        )
+                    )
+            for defined in instruction.defs:
+                if not isinstance(defined, VirtualRegister):
+                    diagnostics.append(
+                        Diagnostic(
+                            code="OP005",
+                            message=(
+                                f"{opcode} result {defined!r} is not a "
+                                "virtual register"
+                            ),
+                            location=Location(
+                                function=function.name,
+                                block=block.label,
+                                instr=index,
+                                operand=repr(defined),
+                            ),
+                        )
+                    )
+    return diagnostics
+
+
+class OpcodeChecker(Checker):
+    """Registry wrapper over :func:`opcode_diagnostics` for the subject IR."""
+
+    name = "ops"
+    codes = ("OP001", "OP002", "OP003", "OP004", "OP005")
+    requires = ()
+
+    def run(self, request: CheckRequest) -> List[Diagnostic]:
+        subject = request.subject_function()
+        if subject is None:
+            return []
+        assert isinstance(subject, Function)
+        return opcode_diagnostics(subject)

@@ -1,0 +1,146 @@
+"""The checker registry: the same ``register_*`` mechanism as allocators.
+
+A :class:`Checker` is one static analysis over a pipeline context: it
+declares which :class:`~repro.pipeline.context.PipelineContext` fields it
+``requires`` (absent fields make the checker silently inapplicable, exactly
+like pass ``skip_without`` semantics) and which diagnostic ``codes`` it can
+emit, and :meth:`Checker.run` maps a :class:`CheckRequest` to a list of
+:class:`~repro.check.diagnostics.Diagnostic`.
+
+Third-party checkers register through :func:`register_checker` and can then
+be named in pass contracts (``Pass.check_requires`` / ``check_preserves``)
+and selected by the ``repro-alloc check`` CLI — the same extension contract
+as :func:`repro.alloc.base.register_allocator` and
+:func:`repro.pipeline.passes.register_pass`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Type, Union
+
+from repro.check.diagnostics import Diagnostic
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (context imports us)
+    from repro.pipeline.context import PipelineContext
+
+
+class CheckRequest:
+    """What one checker invocation sees: the context plus checking knobs."""
+
+    def __init__(
+        self,
+        context: "PipelineContext",
+        ssa: bool = False,
+        stage: Optional[str] = None,
+    ) -> None:
+        #: the pipeline context (or a synthetic one for standalone IR checks).
+        self.context = context
+        #: whether strict-SSA invariants are expected to hold on the subject.
+        self.ssa = ssa
+        #: the pipeline stage this request follows (``None`` standalone).
+        self.stage = stage
+
+    def subject_function(self) -> Optional[object]:
+        """The function the IR-level checkers inspect.
+
+        The lowered (SSA / non-SSA) form once the front-end produced it, the
+        raw input function before that, ``None`` on graph-only runs.
+        """
+        lowered = getattr(self.context, "lowered", None)
+        if lowered is not None:
+            return lowered
+        return getattr(self.context, "function", None)
+
+
+class Checker(abc.ABC):
+    """One named static analysis.
+
+    ``requires`` lists the context fields that must be non-``None`` for the
+    checker to apply; :func:`run_checkers` skips inapplicable checkers
+    silently, so one checker set serves raw-IR, mid-pipeline and
+    post-allocation contexts alike.
+    """
+
+    name: str = "abstract"
+    #: the diagnostic codes this checker can emit (documentation + CLI).
+    codes: Tuple[str, ...] = ()
+    #: context fields that must be present for the checker to apply.
+    requires: Tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def run(self, request: CheckRequest) -> List[Diagnostic]:
+        """Check the request's context; return diagnostics (possibly empty)."""
+
+    def applicable(self, context: "PipelineContext") -> bool:
+        """Whether every required context field is present."""
+        return all(getattr(context, name, None) is not None for name in self.requires)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+_CHECKER_REGISTRY: Dict[str, Callable[[], Checker]] = {}
+
+
+def register_checker(
+    name: str, factory: Union[Callable[[], Checker], Type[Checker]]
+) -> None:
+    """Register a checker factory under ``name`` (case-insensitive)."""
+    _CHECKER_REGISTRY[name.lower()] = factory
+
+
+def get_checker(name: str) -> Checker:
+    """Instantiate the checker registered under ``name``."""
+    try:
+        factory = _CHECKER_REGISTRY[name.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown checker {name!r}; available: {available_checkers()}"
+        ) from None
+    return factory()
+
+
+def available_checkers() -> List[str]:
+    """Names of all registered checkers, sorted."""
+    return sorted(_CHECKER_REGISTRY)
+
+
+def is_registered_checker(name: str) -> bool:
+    """Whether ``name`` resolves in the checker registry."""
+    return name.lower() in _CHECKER_REGISTRY
+
+
+def run_checkers(
+    request: CheckRequest,
+    names: Optional[Tuple[str, ...]] = None,
+    tag: Optional[Checker] = None,
+) -> List[Diagnostic]:
+    """Run the named checkers (default: all registered) over ``request``.
+
+    Inapplicable checkers — a required context field is absent — are skipped
+    silently.  Diagnostics come back tagged with the emitting checker's name
+    and, when the request carries one, the pipeline stage.
+    """
+    chosen = names if names is not None else tuple(available_checkers())
+    diagnostics: List[Diagnostic] = []
+    for name in chosen:
+        checker = get_checker(name)
+        if not checker.applicable(request.context):
+            continue
+        for diagnostic in checker.run(request):
+            if diagnostic.checker is None:
+                diagnostic = Diagnostic(
+                    code=diagnostic.code,
+                    message=diagnostic.message,
+                    severity=diagnostic.severity,
+                    location=diagnostic.location,
+                    hint=diagnostic.hint,
+                    checker=checker.name,
+                    stage=diagnostic.stage,
+                )
+            if request.stage is not None and diagnostic.stage is None:
+                diagnostic = diagnostic.with_stage(request.stage)
+            diagnostics.append(diagnostic)
+    return diagnostics

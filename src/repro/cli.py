@@ -150,6 +150,45 @@ def _build_parser() -> argparse.ArgumentParser:
     allocate.add_argument(
         "--jobs", type=int, default=1, help="worker processes for multi-function modules"
     )
+    allocate.add_argument(
+        "--check",
+        choices=("off", "boundaries", "each"),
+        default=None,
+        help=(
+            "static machine-verifier enforcement: 'boundaries' checks the "
+            "input and final context, 'each' additionally enforces every "
+            "pass's requires/preserves contracts (default off)"
+        ),
+    )
+
+    check = subparsers.add_parser(
+        "check", help="statically verify a textual IR module (machine-verifier)"
+    )
+    check.add_argument("--input", required=True, help="path to a .ir module")
+    check.add_argument(
+        "--function", default=None, help="restrict the check to one function by name"
+    )
+    check.add_argument(
+        "--ssa",
+        action="store_true",
+        help="additionally require strict-SSA form (single defs, dominance)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="one line per diagnostic, or a JSON array of diagnostic objects",
+    )
+    check.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated code prefixes to keep (e.g. 'CFG,SSA001')",
+    )
+    check.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated code prefixes to drop (e.g. 'CFG006')",
+    )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=sorted(ALL_FIGURES), help="figure identifier")
@@ -284,6 +323,8 @@ def _allocate_spec(args: argparse.Namespace, is_graph: bool) -> PipelineSpec:
     )
     if spec.registers is None:
         spec = dataclasses.replace(spec, registers=8)
+    if args.check is not None:
+        spec = dataclasses.replace(spec, check=args.check)
     return spec
 
 
@@ -363,6 +404,70 @@ def _command_allocate(args: argparse.Namespace) -> int:
     except (OSError, sqlite3.Error) as error:
         return _error(f"cannot use store {args.store}: {error}")
     return _emit_contexts(contexts, args.emit)
+
+
+def _emit_diagnostics(diagnostics, fmt: str) -> int:
+    """Print diagnostics in the requested form; exit 1 on any error finding."""
+    from repro.check import diagnostics_to_json, errors_of, render_diagnostics
+
+    if fmt == "json":
+        print(json.dumps(diagnostics_to_json(diagnostics), indent=2))
+    else:
+        if diagnostics:
+            print(render_diagnostics(diagnostics))
+        errors = len(errors_of(diagnostics))
+        print(
+            f"{len(diagnostics)} diagnostic(s), {errors} error(s)"
+            if diagnostics
+            else "no diagnostics"
+        )
+    return 1 if errors_of(diagnostics) else 0
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    """Statically verify an IR module and report typed diagnostics."""
+    from repro.check import Diagnostic, Location, check_ir_function, filter_diagnostics
+    from repro.errors import ParseError
+
+    input_path = Path(args.input)
+    if not input_path.is_file():
+        return _error(f"input file not found: {args.input}")
+    select = _csv_names(args.select) if args.select else None
+    ignore = _csv_names(args.ignore) if args.ignore else None
+    try:
+        text = input_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return _error(f"cannot read {args.input}: {error}")
+    try:
+        module = parse_module(text, name=input_path.stem)
+    except ParseError as error:
+        # Surface the syntax failure through the same diagnostic pipeline as
+        # the semantic checks, so --format json consumers see one shape.
+        message = error.raw_message
+        if error.line is not None:
+            message = f"{message} (line {error.line})"
+        diagnostic = Diagnostic(
+            code="PARSE001",
+            message=message,
+            location=Location(function=error.function, block=error.block),
+            checker="parse",
+        )
+        return _emit_diagnostics(
+            filter_diagnostics([diagnostic], select=select, ignore=ignore), args.format
+        )
+
+    functions = list(module)
+    if args.function is not None:
+        functions = [f for f in functions if f.name == args.function]
+        if not functions:
+            available = sorted(f.name for f in module)
+            return _error(f"no function {args.function!r} in {args.input}; found {available}")
+    diagnostics = []
+    for function in functions:
+        diagnostics.extend(check_ir_function(function, ssa=args.ssa))
+    return _emit_diagnostics(
+        filter_diagnostics(diagnostics, select=select, ignore=ignore), args.format
+    )
 
 
 def _command_figure(args: argparse.Namespace) -> int:
@@ -664,6 +769,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "allocate":
         return _command_allocate(args)
+    if args.command == "check":
+        return _command_check(args)
     if args.command == "figure":
         return _command_figure(args)
     if args.command == "sweep":

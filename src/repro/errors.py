@@ -17,12 +17,39 @@ class IRError(ReproError):
 
 
 class ParseError(IRError):
-    """The textual IR could not be parsed."""
+    """The textual IR could not be parsed.
 
-    def __init__(self, message: str, line: int | None = None) -> None:
+    Carries the full source location of the failure: the 1-based ``line``,
+    and — when the parser has entered a function or block by the time the
+    error surfaces — the enclosing ``function`` name and ``block`` label.
+    ``raw_message`` keeps the location-free description so tools rendering
+    their own locations (e.g. the ``check`` CLI's ``PARSE001`` diagnostics)
+    need not re-parse the formatted message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        function: str | None = None,
+        block: str | None = None,
+    ) -> None:
+        self.raw_message = message
         self.line = line
+        self.function = function
+        self.block = block
+        where = []
+        if function is not None:
+            where.append(f"function {function!r}")
+        if block is not None:
+            where.append(f"block {block!r}")
         if line is not None:
-            message = f"line {line}: {message}"
+            prefix = f"line {line}"
+            if where:
+                prefix += " (" + ", ".join(where) + ")"
+            message = f"{prefix}: {message}"
+        elif where:
+            message = f"{', '.join(where)}: {message}"
         super().__init__(message)
 
 

@@ -161,6 +161,13 @@ def parse_module(text: str, name: str = "module") -> Module:
     return module
 
 
+def _located(error: ParseError, function: str, block: Optional[str]) -> ParseError:
+    """Rebuild ``error`` with the enclosing function/block location attached."""
+    if error.function is not None:
+        return error
+    return ParseError(error.raw_message, error.line, function=function, block=block)
+
+
 def _parse_function_body(
     lines: List[Tuple[int, str]], index: int, header: "re.Match[str]"
 ) -> Tuple[Function, int]:
@@ -168,7 +175,10 @@ def _parse_function_body(
     line_number, _ = lines[index]
     name = header.group(1)
     param_text = header.group(2).strip()
-    params = [_parse_register(p, line_number) for p in _split_operands(param_text)] if param_text else []
+    try:
+        params = [_parse_register(p, line_number) for p in _split_operands(param_text)] if param_text else []
+    except ParseError as error:
+        raise _located(error, name, None) from None
     function = Function(name, params)
     index += 1
     current_label: Optional[str] = None
@@ -183,10 +193,21 @@ def _parse_function_body(
             index += 1
             continue
         if current_label is None:
-            raise ParseError("instruction outside of any block", line_number)
-        function.block(current_label).append(_parse_instruction(line_text, line_number))
+            raise ParseError(
+                "instruction outside of any block", line_number, function=name
+            )
+        try:
+            instruction = _parse_instruction(line_text, line_number)
+        except ParseError as error:
+            raise _located(error, name, current_label) from None
+        function.block(current_label).append(instruction)
         index += 1
-    raise ParseError(f"unterminated function {name!r} (missing '}}')", line_number)
+    raise ParseError(
+        f"unterminated function {name!r} (missing '}}')",
+        line_number,
+        function=name,
+        block=current_label,
+    )
 
 
 def parse_function(text: str) -> Function:

@@ -1,151 +1,76 @@
-"""IR verifier.
+"""IR verifier (legacy shim over the machine-verifier).
 
-Checks the structural invariants the analyses rely on:
+.. deprecated::
+    This module is a thin compatibility layer: the checks now live in the
+    typed-diagnostic framework under :mod:`repro.check` (the ``cfg`` and
+    ``ssa`` checkers).  New code should call
+    :func:`repro.check.check_ir_function`, which returns *all* findings as
+    :class:`~repro.check.Diagnostic` values with stable codes and precise
+    locations instead of stopping at the first violation.
+
+``verify_function``/``verify_module`` keep their historical contract —
+raise :class:`~repro.errors.VerificationError` on the first violation, with
+the byte-identical message — by replaying the framework's diagnostics in
+the legacy check order:
 
 * every block ends with exactly one terminator, and no terminator appears in
-  the middle of a block;
-* branch targets exist;
-* φ-functions have exactly one incoming value per CFG predecessor;
-* every used register has a definition somewhere (or is a parameter);
-* under ``require_ssa=True``, every register has a single definition and that
-  definition dominates each use (the strict-SSA dominance property).
+  the middle of a block (``CFG002``/``CFG003``);
+* branch targets exist (``CFG004``);
+* φ-functions have exactly one incoming value per CFG predecessor
+  (``CFG007``);
+* every used register has a definition somewhere or is a parameter
+  (``SSA002``);
+* under ``require_ssa=True``, every register has a single definition
+  (``SSA001``) and that definition dominates each use (``SSA003``–``SSA005``,
+  the strict-SSA dominance property).
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 from repro.errors import VerificationError
 from repro.ir.function import Function
-from repro.ir.instructions import Phi
 from repro.ir.module import Module
-from repro.ir.values import VirtualRegister
+
+#: the codes the historical verifier checked, in its check order — newer
+#: families (opcode sanity, notes) never raise through this shim.
+_LEGACY_CODES = (
+    "CFG001",
+    "CFG002",
+    "CFG003",
+    "CFG004",
+    "CFG007",
+    "SSA001",
+    "SSA002",
+    "SSA003",
+    "SSA004",
+    "SSA005",
+)
 
 
 def verify_function(function: Function, require_ssa: bool = False) -> None:
-    """Verify ``function``; raise :class:`VerificationError` on violation."""
-    if len(function) == 0:
-        raise VerificationError(f"function {function.name!r} has no blocks")
+    """Verify ``function``; raise :class:`VerificationError` on violation.
 
-    labels = set(function.block_labels())
-    for block in function:
-        terminator = block.terminator
-        if terminator is None:
-            raise VerificationError(
-                f"block {block.label!r} of {function.name!r} does not end with a terminator"
-            )
-        for instruction in block.instructions[:-1]:
-            if instruction.is_terminator:
-                raise VerificationError(
-                    f"block {block.label!r} of {function.name!r} has a terminator in the middle"
-                )
-        for target in terminator.targets:
-            if target not in labels:
-                raise VerificationError(
-                    f"block {block.label!r} branches to unknown block {target!r}"
-                )
+    .. deprecated:: use :func:`repro.check.check_ir_function` for the full
+       typed-diagnostic report; this shim raises on the first legacy-family
+       error with the historical message.
+    """
+    # Imported here to avoid a circular import at module load time.
+    from repro.check.cfg import cfg_diagnostics
+    from repro.check.ssa import ssa_diagnostics
 
-    _verify_phis(function)
-    _verify_defs_exist(function)
-    if require_ssa:
-        _verify_single_assignment(function)
-        _verify_dominance(function)
+    for diagnostic in cfg_diagnostics(function, notes=False):
+        if diagnostic.is_error and diagnostic.code in _LEGACY_CODES:
+            raise VerificationError(diagnostic.message)
+    for diagnostic in ssa_diagnostics(function, require_ssa=require_ssa):
+        if diagnostic.is_error and diagnostic.code in _LEGACY_CODES:
+            raise VerificationError(diagnostic.message)
 
 
 def verify_module(module: Module, require_ssa: bool = False) -> None:
-    """Verify every function of ``module``."""
+    """Verify every function of ``module``.
+
+    .. deprecated:: use :func:`repro.check.check_ir_module` for the full
+       typed-diagnostic report.
+    """
     for function in module:
         verify_function(function, require_ssa=require_ssa)
-
-
-# ---------------------------------------------------------------------- #
-def _verify_phis(function: Function) -> None:
-    """φs must have exactly one incoming value per predecessor."""
-    for block in function:
-        preds = set(function.predecessors(block.label))
-        for phi in block.phis:
-            incoming = set(phi.incoming)
-            if incoming != preds:
-                raise VerificationError(
-                    f"phi {phi.target} in block {block.label!r} has incoming edges {sorted(incoming)} "
-                    f"but the block's predecessors are {sorted(preds)}"
-                )
-
-
-def _verify_defs_exist(function: Function) -> None:
-    """Every used register must be defined somewhere or be a parameter."""
-    defined = function.defined_registers()
-    for block in function:
-        for instruction in block.all_instructions():
-            for reg in instruction.used_registers():
-                if reg not in defined:
-                    raise VerificationError(
-                        f"register {reg} used in block {block.label!r} of {function.name!r} "
-                        "but never defined"
-                    )
-
-
-def _verify_single_assignment(function: Function) -> None:
-    """Under SSA, every register has exactly one textual definition."""
-    counts: Dict[VirtualRegister, int] = {}
-    for param in function.parameters:
-        counts[param] = counts.get(param, 0) + 1
-    for instruction in function.instructions():
-        for reg in instruction.defined_registers():
-            counts[reg] = counts.get(reg, 0) + 1
-    violations = sorted(str(reg) for reg, count in counts.items() if count > 1)
-    if violations:
-        raise VerificationError(
-            f"function {function.name!r} is not in SSA form: multiple definitions of {violations}"
-        )
-
-
-def _verify_dominance(function: Function) -> None:
-    """Definitions must dominate uses (uses in φs count on the incoming edge)."""
-    # Imported here to avoid a circular import at module load time.
-    from repro.analysis.dominators import dominator_tree
-
-    dominators = dominator_tree(function).dominators
-    def_block: Dict[VirtualRegister, str] = {}
-    for param in function.parameters:
-        def_block[param] = function.entry_label  # type: ignore[assignment]
-    for block in function:
-        for instruction in block.all_instructions():
-            for reg in instruction.defined_registers():
-                def_block.setdefault(reg, block.label)
-
-    def dominates(a: str, b: str) -> bool:
-        return a in dominators.get(b, set())
-
-    for block in function:
-        # Position of each register's definition inside this block, for
-        # same-block use-before-def checks.
-        local_position: Dict[VirtualRegister, int] = {}
-        for position, instruction in enumerate(block.all_instructions()):
-            for reg in instruction.defined_registers():
-                local_position.setdefault(reg, position)
-        for position, instruction in enumerate(block.all_instructions()):
-            if isinstance(instruction, Phi):
-                for pred_label, value in instruction.incoming.items():
-                    if isinstance(value, VirtualRegister):
-                        origin = def_block.get(value)
-                        if origin is None or not dominates(origin, pred_label):
-                            raise VerificationError(
-                                f"phi operand {value} (from {pred_label!r}) not dominated by its "
-                                f"definition in function {function.name!r}"
-                            )
-                continue
-            for reg in instruction.used_registers():
-                origin = def_block.get(reg)
-                if origin is None:
-                    raise VerificationError(f"register {reg} has no definition")
-                if origin == block.label:
-                    if local_position.get(reg, -1) >= position and reg not in function.parameters:
-                        raise VerificationError(
-                            f"register {reg} used before its definition in block {block.label!r}"
-                        )
-                elif not dominates(origin, block.label):
-                    raise VerificationError(
-                        f"use of {reg} in block {block.label!r} is not dominated by its definition "
-                        f"in block {origin!r}"
-                    )

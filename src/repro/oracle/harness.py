@@ -16,6 +16,7 @@ trigger.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -70,6 +71,50 @@ def failure_signature(report: Optional[DifferentialReport], error: Optional[Base
     if report is not None:
         return report.kinds
     return ()
+
+
+def _static_input_check(
+    function: Function, allocator: str, target: str, registers: int
+) -> Optional[OracleCheck]:
+    """Pre-execution filter: reject statically malformed input programs.
+
+    Runs the machine-verifier's structural IR checkers (CFG integrity,
+    defs-exist, opcode sanity — not strict-SSA, which the lowering stage
+    establishes) before paying for interpretation.  A finding means the
+    *generator* produced an illegal program, reported with a
+    ``static:<CODE>`` signature so such failures cluster apart from genuine
+    pipeline bugs.
+    """
+    from repro.check import render_diagnostics, static_errors
+
+    errors = static_errors(function)
+    if not errors:
+        return None
+    return OracleCheck(
+        program=function.name,
+        allocator=allocator,
+        target=target,
+        registers=registers,
+        status="error",
+        kinds=tuple(sorted({f"static:{d.code}" for d in errors})),
+        detail="statically invalid input program:\n" + render_diagnostics(errors),
+    )
+
+
+def _mismatch_detail(report: DifferentialReport, rewritten: Function) -> str:
+    """Triage a mismatch: append static findings on the rewritten function.
+
+    When the spill-rewritten function is itself statically broken (an
+    ALLOC/SPL-style structural violation surfaced as IR damage), saying so in
+    the detail turns "outputs differ" into an actionable lead.
+    """
+    from repro.check import render_diagnostics, static_errors
+
+    detail = report.describe()
+    static = static_errors(rewritten)
+    if static:
+        detail += "\nstatic diagnostics of the rewritten function:\n" + render_diagnostics(static)
+    return detail
 
 
 def _checked(
@@ -139,7 +184,7 @@ def _checked(
         registers=registers,
         status="mismatch",
         kinds=report.kinds,
-        detail=report.describe(),
+        detail=_mismatch_detail(report, context.rewritten),
         spilled=spilled,
         overhead=report.spill_overhead,
     )
@@ -155,6 +200,9 @@ def check_function(
     max_steps: int = DEFAULT_MAX_STEPS,
 ) -> OracleCheck:
     """Run one full differential check; never raises for in-scope failures."""
+    rejected = _static_input_check(function, allocator, target, registers)
+    if rejected is not None:
+        return rejected
     spec = PipelineSpec(allocator=allocator, target=target, registers=registers, ssa=ssa)
     return _checked(
         function,
@@ -187,6 +235,16 @@ def check_program(
     allocator.  Results are equivalent to calling :func:`check_function` per
     combo, just without the redundant work.
     """
+    if combos:
+        allocator0, target0, registers0 = combos[0]
+        rejected = _static_input_check(function, allocator0, target0, registers0)
+        if rejected is not None:
+            return [
+                dataclasses.replace(
+                    rejected, allocator=allocator, target=target, registers=registers
+                )
+                for allocator, target, registers in combos
+            ]
     before = observe_many(function, argument_sets, max_steps=max_steps)
 
     by_target: Dict[str, List[Tuple[str, int]]] = {}

@@ -67,6 +67,10 @@ class PipelineContext:
     #: :class:`repro.oracle.differential.DifferentialReport`; typed loosely
     #: to keep the pipeline importable without the oracle package loaded).
     oracle: Optional[Any] = None
+    #: non-error diagnostics accumulated by the static machine-verifier when
+    #: the spec enables it (``check="boundaries"``/``"each"``); error-severity
+    #: findings raise :class:`repro.check.CheckError` instead of landing here.
+    diagnostics: Tuple[Any, ...] = ()
     #: per-stage statistics, keyed by stage name.
     stage_stats: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: per-stage wall-clock seconds, keyed by stage name (insertion order =
@@ -145,4 +149,6 @@ class PipelineContext:
             }
         if self.rewritten is not None:
             out["rewritten_ir"] = self.rewritten_ir()
+        if self.diagnostics:
+            out["diagnostics"] = [d.to_dict() for d in self.diagnostics]
         return out

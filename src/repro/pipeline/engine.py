@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.alloc.problem import AllocationProblem
+from repro.check import IR_CHECKERS, CheckError, Severity, check_pipeline_context
 from repro.errors import PipelineError
 from repro.ir.function import Function
 from repro.ir.module import Module
@@ -294,7 +295,19 @@ class Pipeline:
     # execution core
     # ------------------------------------------------------------------ #
     def _execute(self, context: PipelineContext) -> PipelineContext:
-        """Run the pass chain over one context, skipping inapplicable stages."""
+        """Run the pass chain over one context, skipping inapplicable stages.
+
+        With ``spec.check != "off"`` the static machine-verifier runs at the
+        pipeline boundaries (and, with ``"each"``, around every executed
+        stage per the pass's ``check_requires``/``check_preserves``
+        contract); error-severity findings raise
+        :class:`repro.check.CheckError` whose diagnostics name the pass they
+        were detected after.  The default ``"off"`` never invokes a checker.
+        """
+        mode = getattr(self.spec, "check", "off")
+        last_stage = "input"
+        if mode != "off" and context.function is not None:
+            context = self._enforce(context, IR_CHECKERS, last_stage)
         for pass_ in self._passes:
             if pass_.provides and all(
                 getattr(context, field) is not None for field in pass_.provides
@@ -318,11 +331,47 @@ class Pipeline:
                     f"stage {pass_.name!r} requires {missing} but the context "
                     f"does not provide them (stages run: {list(context.timings)})"
                 )
+            if mode == "each" and pass_.check_requires:
+                # A violated precondition was introduced by whatever ran last.
+                context = self._enforce(context, pass_.check_requires, last_stage)
             started = time.perf_counter()
             context = pass_.run(context, self.spec, self._store)
             if pass_.name not in context.timings:
                 # A pass that forgot with_stage still gets an engine-side timing.
                 context = context.with_stage(pass_.name, time.perf_counter() - started)
+            last_stage = pass_.name
+            if mode == "each" and pass_.check_preserves:
+                context = self._enforce(context, pass_.check_preserves, last_stage)
+        if mode != "off":
+            context = self._enforce(context, None, last_stage)
+        return context
+
+    def _enforce(
+        self,
+        context: PipelineContext,
+        checkers: Optional[Tuple[str, ...]],
+        stage: str,
+    ) -> PipelineContext:
+        """Run ``checkers`` (``None`` = all applicable) over ``context``.
+
+        Error diagnostics raise :class:`CheckError` tagged with ``stage``;
+        warnings accumulate (deduplicated) on ``context.diagnostics``; notes
+        are informational and dropped here (the ``repro-alloc check`` CLI is
+        the surface that shows them).
+        """
+        ssa = bool(self.spec.ssa and context.lowered is not None)
+        found = check_pipeline_context(context, ssa=ssa, stage=stage, checkers=checkers)
+        errors = [d for d in found if d.is_error]
+        if errors:
+            raise CheckError(errors, stage=stage)
+        warnings = [d for d in found if d.severity is Severity.WARNING]
+        if warnings:
+            seen = {(d.code, d.message, d.location) for d in context.diagnostics}
+            fresh = tuple(
+                d for d in warnings if (d.code, d.message, d.location) not in seen
+            )
+            if fresh:
+                context = context.evolve(diagnostics=context.diagnostics + fresh)
         return context
 
 

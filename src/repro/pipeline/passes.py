@@ -136,12 +136,29 @@ class Pass(abc.ABC):
         them is absent the stage is a clean skip rather than an error (e.g.
         the IR-rewriting stages on a graph-only run).  A missing requirement
         outside this set is a wiring error and raises.
+
+    Passes additionally declare *invariant contracts* for the static
+    machine-verifier (:mod:`repro.check`) as tuples of checker-registry
+    names:
+
+    ``check_requires``
+        invariants that must hold before the stage runs;
+    ``check_preserves``
+        invariants guaranteed to hold after it ran.
+
+    With ``PipelineSpec(check="each")`` the engine runs the named checkers
+    around every executed stage and raises
+    :class:`repro.check.CheckError` — diagnostics naming the offending pass
+    — on any error-severity finding (LLVM's ``-verify-each``).  With
+    ``check="off"`` (the default) no checker is ever invoked.
     """
 
     name: str = "abstract"
     requires: Tuple[str, ...] = ()
     provides: Tuple[str, ...] = ()
     skip_without: Tuple[str, ...] = ()
+    check_requires: Tuple[str, ...] = ()
+    check_preserves: Tuple[str, ...] = ()
 
     @abc.abstractmethod
     def run(
@@ -213,6 +230,8 @@ class LivenessPass(Pass):
     requires = ("function", "target")
     provides = ("lowered", "liveness", "costs")
     skip_without = ("function", "target")
+    check_requires = ("cfg", "ops")
+    check_preserves = ("cfg", "ssa", "ops", "liveness")
 
     def run(self, context, spec, store=None):
         start = time.perf_counter()
@@ -258,6 +277,8 @@ class InterferencePass(Pass):
     requires = ("lowered", "liveness", "costs")
     provides = ("graph", "intervals")
     skip_without = ("lowered",)
+    check_requires = ("liveness",)
+    check_preserves = ("interference",)
 
     def run(self, context, spec, store=None):
         start = time.perf_counter()
@@ -326,6 +347,7 @@ class AllocatePass(Pass):
     name = "allocate"
     requires = ("problem",)
     provides = ("result",)
+    check_preserves = ("allocation",)
 
     #: per-pass-instance allocator cache (a Pipeline owns one pass instance,
     #: so a batch resolves/instantiates the allocator once, like run_cells).
@@ -399,6 +421,7 @@ class AssignPass(Pass):
     name = "assign"
     requires = ("problem", "result")
     provides = ("assignment",)
+    check_preserves = ("assignment-check",)
 
     def run(self, context, spec, store=None):
         start = time.perf_counter()
@@ -434,6 +457,7 @@ class SpillCodePass(Pass):
     requires = ("lowered", "result")
     provides = ("rewritten",)
     skip_without = ("lowered",)
+    check_preserves = ("spill",)
 
     def run(self, context, spec, store=None):
         start = time.perf_counter()
@@ -454,6 +478,8 @@ class LoadStoreOptPass(Pass):
     requires = ("rewritten",)
     provides = ()
     skip_without = ("rewritten",)
+    check_requires = ("spill",)
+    check_preserves = ("spill",)
 
     def run(self, context, spec, store=None):
         start = time.perf_counter()

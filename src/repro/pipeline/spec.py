@@ -55,6 +55,13 @@ class PipelineSpec:
     opt: bool = True
     #: run the final ``verify`` stage.
     verify: bool = True
+    #: static machine-verifier enforcement (:mod:`repro.check`):
+    #: ``"off"`` (default) never invokes a checker, ``"boundaries"`` checks
+    #: the input function and the final context, ``"each"`` additionally
+    #: enforces every pass's ``check_requires``/``check_preserves`` contract
+    #: between stages (LLVM's ``-verify-each``).  Violations raise
+    #: :class:`repro.check.CheckError` naming the offending pass.
+    check: str = "off"
     #: non-SSA lowering knobs (ignored when ``ssa`` is true).
     coalesce_phi_webs: bool = True
     coalesce_moves: bool = True
@@ -101,6 +108,11 @@ class PipelineSpec:
             )
         if self.registers is not None and self.registers < 0:
             raise PipelineError(f"negative register count {self.registers}")
+        if self.check not in ("off", "boundaries", "each"):
+            raise PipelineError(
+                f"unknown check mode {self.check!r}; "
+                "expected 'off', 'boundaries' or 'each'"
+            )
         self.resolve_target()
         return self
 
@@ -124,6 +136,7 @@ class PipelineSpec:
         "dense",
         "opt",
         "verify",
+        "check",
         "coalesce_phi_webs",
         "coalesce_moves",
         "stages",

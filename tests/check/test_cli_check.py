@@ -1,0 +1,125 @@
+"""`repro-alloc check` CLI: exit codes, JSON shape, filters, locations."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+GOOD = "func @ok(%a) {\nentry:\n  %x = add %a, 1\n  ret %x\n}\n"
+# Two defects in two functions (the SSA family deliberately goes silent on a
+# structurally broken CFG, so one function cannot carry both codes).
+BAD = (
+    "func @broken(%a) {\nentry:\n  %x = add %a, %ghost\n  ret %x\n}\n"
+    "\nfunc @unterminated(%b) {\nentry:\n  %y = add %b, 1\n}\n"
+)
+TWO = GOOD + "\nfunc @also_ok(%b) {\nentry:\n  ret %b\n}\n"
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    def write(text, name="input.ir"):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    return write
+
+
+def test_clean_module_exits_zero(ir_file, capsys):
+    assert main(["check", "--input", ir_file(GOOD)]) == 0
+    assert capsys.readouterr().out.strip() == "no diagnostics"
+
+
+def test_broken_module_exits_one_with_rendered_text(ir_file, capsys):
+    assert main(["check", "--input", ir_file(BAD)]) == 1
+    out = capsys.readouterr().out
+    assert "error[SSA002]" in out
+    assert "error[CFG002]" in out
+    assert "@broken/entry" in out
+    assert "@unterminated/entry" in out
+    assert "2 diagnostic(s), 2 error(s)" in out
+
+
+def test_json_format_is_machine_readable(ir_file, capsys):
+    assert main(["check", "--input", ir_file(BAD), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert sorted(d["code"] for d in payload) == ["CFG002", "SSA002"]
+    assert all(d["severity"] == "error" for d in payload)
+    assert {d["location"]["function"] for d in payload} == {"broken", "unterminated"}
+    assert {d["checker"] for d in payload} == {"cfg", "ssa"}
+
+
+def test_select_and_ignore_filter_by_code_prefix(ir_file, capsys):
+    path = ir_file(BAD)
+    # Selecting a family that emits nothing here turns failure into success.
+    assert main(["check", "--input", path, "--select", "ALLOC"]) == 0
+    assert main(["check", "--input", path, "--select", "CFG"]) == 1
+    assert "SSA002" not in capsys.readouterr().out
+    assert main(["check", "--input", path, "--ignore", "CFG,SSA"]) == 0
+
+
+def test_parse_error_becomes_parse001_diagnostic(ir_file, capsys):
+    path = ir_file("func @f(%a) {\nentry:\n  %x = bogus %a, 1\n  ret %x\n}\n")
+    assert main(["check", "--input", path, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    diag = payload[0]
+    assert diag["code"] == "PARSE001"
+    assert diag["checker"] == "parse"
+    assert diag["message"] == "unknown opcode 'bogus' (line 3)"
+    assert diag["location"] == {"function": "f", "block": "entry"}
+
+
+def test_function_filter_and_unknown_function_error(ir_file, capsys):
+    path = ir_file(TWO)
+    assert main(["check", "--input", path, "--function", "also_ok"]) == 0
+    assert main(["check", "--input", path, "--function", "nope"]) == 1
+    err = capsys.readouterr().err
+    assert "no function 'nope'" in err
+    assert "['also_ok', 'ok']" in err
+
+
+def test_ssa_flag_tightens_the_check(ir_file, capsys):
+    # Two definitions of %x: legal input IR, illegal once SSA is demanded.
+    text = "func @f(%a) {\nentry:\n  %x = add %a, 1\n  %x = add %x, 1\n  ret %x\n}\n"
+    path = ir_file(text)
+    assert main(["check", "--input", path]) == 0
+    capsys.readouterr()
+    assert main(["check", "--input", path, "--ssa"]) == 1
+    assert "SSA001" in capsys.readouterr().out
+
+
+def test_missing_input_file(capsys):
+    assert main(["check", "--input", "/nonexistent/x.ir"]) == 1
+    assert "input file not found" in capsys.readouterr().err
+
+
+def test_allocate_accepts_check_flag(ir_file, capsys):
+    path = ir_file(GOOD)
+    code = main(
+        [
+            "allocate",
+            "--input",
+            path,
+            "--registers",
+            "3",
+            "--check",
+            "each",
+            "--emit",
+            "summary",
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_allocate_check_gate_rejects_bad_input(ir_file, capsys):
+    path = ir_file(BAD)
+    code = main(
+        ["allocate", "--input", path, "--registers", "3", "--check", "boundaries"]
+    )
+    assert code != 0
+    err = capsys.readouterr().err
+    assert "static invariant violation" in err
+    assert "after pass 'input'" in err

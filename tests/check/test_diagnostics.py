@@ -1,0 +1,133 @@
+"""Diagnostic/Location/Severity rendering, JSON shape, filters, CheckError."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    CheckError,
+    Diagnostic,
+    Location,
+    Severity,
+    diagnostics_to_json,
+    errors_of,
+    filter_diagnostics,
+    match_codes,
+    render_diagnostics,
+)
+
+
+def test_location_render_full_precision():
+    loc = Location(function="f", block="entry", instr=3, operand="%x")
+    assert loc.render() == "@f/entry/#3 (%x)"
+
+
+def test_location_render_partial_and_empty():
+    assert Location(function="f").render() == "@f"
+    assert Location(block="entry").render() == "entry"
+    assert Location(operand="%x").render() == "(%x)"
+    assert Location().render() == ""
+
+
+def test_location_to_dict_omits_none():
+    assert Location(function="f", instr=0).to_dict() == {"function": "f", "instr": 0}
+    assert Location().to_dict() == {}
+
+
+def test_diagnostic_render_error_with_hint():
+    diag = Diagnostic(
+        code="SSA003",
+        message="use of %x not dominated",
+        location=Location(function="f", block="join"),
+        hint="insert a phi",
+    )
+    assert diag.render() == "error[SSA003] @f/join: use of %x not dominated; hint: insert a phi"
+
+
+def test_diagnostic_render_includes_stage():
+    diag = Diagnostic(code="LIV001", message="stale live-out", stage="spill_code")
+    assert diag.render() == "error[LIV001]: stale live-out [after pass 'spill_code']"
+
+
+def test_diagnostic_severity_levels():
+    assert Diagnostic(code="X001", message="m").is_error
+    assert not Diagnostic(code="X001", message="m", severity=Severity.WARNING).is_error
+    assert not Diagnostic(code="X001", message="m", severity=Severity.NOTE).is_error
+    assert str(Severity.WARNING) == "warning"
+
+
+def test_diagnostic_json_shape_is_stable_and_serializable():
+    diag = Diagnostic(
+        code="CFG004",
+        message="unknown target",
+        location=Location(function="f", block="b", instr=1, operand="ghost"),
+        hint="fix the label",
+        checker="cfg",
+        stage="liveness",
+    )
+    payload = diag.to_dict()
+    assert payload == {
+        "code": "CFG004",
+        "severity": "error",
+        "message": "unknown target",
+        "location": {"function": "f", "block": "b", "instr": 1, "operand": "ghost"},
+        "hint": "fix the label",
+        "checker": "cfg",
+        "stage": "liveness",
+    }
+    # The payload must round-trip through json as-is.
+    assert json.loads(json.dumps(diagnostics_to_json([diag]))) == [payload]
+
+
+def test_with_stage_is_idempotent():
+    diag = Diagnostic(code="X001", message="m")
+    tagged = diag.with_stage("allocate")
+    assert tagged.stage == "allocate"
+    assert tagged.with_stage("allocate") is tagged
+
+
+def test_errors_of_and_render_diagnostics():
+    error = Diagnostic(code="A001", message="bad")
+    note = Diagnostic(code="A002", message="fyi", severity=Severity.NOTE)
+    assert errors_of([note, error, note]) == [error]
+    assert render_diagnostics([error, note]) == "error[A001]: bad\nnote[A002]: fyi"
+
+
+@pytest.mark.parametrize(
+    "code,patterns,expected",
+    [
+        ("SSA003", ["SSA"], True),
+        ("SSA003", ["SSA003"], True),
+        ("SSA003", ["ssa"], True),
+        ("SSA003", ["CFG"], False),
+        ("SSA003", ["SSA0031"], False),
+        ("SSA003", [" ", ""], False),
+    ],
+)
+def test_match_codes_prefix_semantics(code, patterns, expected):
+    assert match_codes(code, patterns) is expected
+
+
+def test_filter_diagnostics_select_then_ignore():
+    diags = [
+        Diagnostic(code="CFG001", message="a"),
+        Diagnostic(code="CFG006", message="b", severity=Severity.NOTE),
+        Diagnostic(code="SSA002", message="c"),
+    ]
+    assert [d.code for d in filter_diagnostics(diags, select=["CFG"])] == ["CFG001", "CFG006"]
+    assert [d.code for d in filter_diagnostics(diags, ignore=["CFG006"])] == ["CFG001", "SSA002"]
+    assert [d.code for d in filter_diagnostics(diags, select=["CFG"], ignore=["CFG006"])] == ["CFG001"]
+    assert filter_diagnostics(diags) == diags
+
+
+def test_check_error_message_names_stage_and_renders_diagnostics():
+    diags = (
+        Diagnostic(code="LIV001", message="stale live-out", stage="spill_code"),
+        Diagnostic(code="LIV002", message="kernel disagrees", stage="spill_code"),
+    )
+    error = CheckError(diags, stage="spill_code")
+    assert error.diagnostics == diags
+    assert error.stage == "spill_code"
+    text = str(error)
+    assert text.startswith("2 static invariant violation(s) after pass 'spill_code':")
+    assert "error[LIV001]" in text and "error[LIV002]" in text

@@ -1,0 +1,38 @@
+"""Static pre-execution gate of the differential oracle harness."""
+
+from repro.ir.parser import parse_function
+from repro.oracle.harness import check_function, check_program
+
+LEGAL = "func @legal(%a, %b) {\nentry:\n  %x = add %a, %b\n  ret %x\n}"
+# Use of an undefined register: the interpreter would die inside SSA
+# construction; the static gate rejects it up front with a typed code.
+MALFORMED = "func @malformed(%a) {\nentry:\n  %x = add %a, %ghost\n  ret %x\n}"
+
+
+def test_check_function_rejects_statically_invalid_input():
+    check = check_function(parse_function(MALFORMED), "NL", "st231", 4)
+    assert check.status == "error"
+    assert check.kinds == ("static:SSA002",)
+    assert check.detail.startswith("statically invalid input program:")
+    assert "error[SSA002]" in check.detail
+    assert (check.allocator, check.target, check.registers) == ("NL", "st231", 4)
+
+
+def test_check_program_fans_rejection_out_to_every_combo():
+    combos = [("NL", "st231", 4), ("BFPL", "armv7-a8", 6)]
+    checks = check_program(parse_function(MALFORMED), combos)
+    assert len(checks) == len(combos)
+    for check, (allocator, target, registers) in zip(checks, combos):
+        assert check.status == "error"
+        assert check.kinds == ("static:SSA002",)
+        assert (check.allocator, check.target, check.registers) == (
+            allocator,
+            target,
+            registers,
+        )
+
+
+def test_legal_program_is_unaffected_by_the_gate():
+    check = check_function(parse_function(LEGAL), "NL", "st231", 4)
+    assert check.status == "ok"
+    assert not any(kind.startswith("static:") for kind in check.kinds)

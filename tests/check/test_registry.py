@@ -1,0 +1,76 @@
+"""Checker registry: registration, lookup, applicability-based skipping."""
+
+import pytest
+
+from repro.check import (
+    ALL_CHECKERS,
+    Checker,
+    CheckRequest,
+    available_checkers,
+    get_checker,
+    is_registered_checker,
+    register_checker,
+    run_checkers,
+)
+from repro.check.diagnostics import Diagnostic
+from repro.errors import ReproError
+from repro.pipeline.context import PipelineContext
+
+
+def test_all_builtin_checkers_are_registered():
+    for name in ALL_CHECKERS:
+        assert is_registered_checker(name), name
+        checker = get_checker(name)
+        assert checker.name == name
+        assert checker.codes, f"{name} declares no diagnostic codes"
+
+
+def test_available_checkers_sorted_and_case_insensitive():
+    names = available_checkers()
+    assert names == sorted(names)
+    assert is_registered_checker("CFG")
+    assert get_checker("SSA").name == "ssa"
+
+
+def test_unknown_checker_raises_with_available_list():
+    with pytest.raises(ReproError, match="unknown checker 'nope'"):
+        get_checker("nope")
+
+
+def test_inapplicable_checkers_are_skipped_silently():
+    # A bare context has no liveness/graph/problem, so only the IR checkers
+    # (which require nothing) may run; none of them emit on None subjects.
+    request = CheckRequest(PipelineContext())
+    assert run_checkers(request) == []
+
+
+def test_custom_checker_registration_and_tagging(diamond_function):
+    class AlwaysFires(Checker):
+        name = "test-always-fires"
+        codes = ("TST001",)
+        requires = ("function",)
+
+        def run(self, request):
+            return [Diagnostic(code="TST001", message="fired")]
+
+    register_checker(AlwaysFires.name, AlwaysFires)
+    try:
+        context = PipelineContext(function=diamond_function)
+        diags = run_checkers(
+            CheckRequest(context, stage="allocate"), names=("test-always-fires",)
+        )
+        assert [d.code for d in diags] == ["TST001"]
+        # run_checkers tags emissions with the checker name and request stage.
+        assert diags[0].checker == "test-always-fires"
+        assert diags[0].stage == "allocate"
+    finally:
+        from repro.check.registry import _CHECKER_REGISTRY
+
+        _CHECKER_REGISTRY.pop("test-always-fires", None)
+
+
+def test_subject_function_prefers_lowered(diamond_function, loop_function):
+    assert CheckRequest(PipelineContext(function=diamond_function)).subject_function() is diamond_function
+    both = PipelineContext(function=diamond_function, lowered=loop_function)
+    assert CheckRequest(both).subject_function() is loop_function
+    assert CheckRequest(PipelineContext()).subject_function() is None
