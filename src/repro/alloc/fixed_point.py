@@ -33,6 +33,7 @@ from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
 from repro.graphs.cliques import Clique
 from repro.graphs.graph import Vertex
+from repro.telemetry.tracer import current_tracer
 
 
 class FixedPointLayeredAllocator(LayeredOptimalAllocator):
@@ -56,15 +57,22 @@ class FixedPointLayeredAllocator(LayeredOptimalAllocator):
         # candidate masks instead of re-deriving it per round.
         peo = problem.peo if (self.shared_peo and candidates) else None
 
+        tracer = current_tracer()
+
         # ---------------- Phase 1: the plain layered allocation ---------- #
         layers = 0
-        while candidates and layers < num_registers:
-            layer = optimal_layer(graph, candidates, weights=weights, step=1, peo=peo)
-            if not layer:
-                break
-            allocated.extend(layer)
-            candidates.difference_update(layer)
-            layers += 1
+        with tracer.span("alloc:layered_phase", category="alloc", allocator=self.name) as phase:
+            while candidates and layers < num_registers:
+                layer = optimal_layer(graph, candidates, weights=weights, step=1, peo=peo)
+                if tracer.enabled:
+                    tracer.count("alloc.frank.calls")
+                    tracer.count("alloc.frank.peo_reused" if peo is not None else "alloc.frank.peo_recomputed")
+                if not layer:
+                    break
+                allocated.extend(layer)
+                candidates.difference_update(layer)
+                layers += 1
+            phase.set(layers=layers)
 
         # ---------------- Phase 2: iterate to a fixed point -------------- #
         cliques: List[Clique] = list(problem.cliques)
@@ -89,14 +97,22 @@ class FixedPointLayeredAllocator(LayeredOptimalAllocator):
         update(allocated)
 
         extra_rounds = 0
-        while candidates:
-            layer = optimal_layer(graph, candidates, weights=weights, step=1, peo=peo)
-            if not layer:
-                break
-            allocated.extend(layer)
-            candidates.difference_update(layer)
-            update(layer)
-            extra_rounds += 1
+        with tracer.span("alloc:fixed_point_phase", category="alloc", allocator=self.name) as phase:
+            while candidates:
+                layer = optimal_layer(graph, candidates, weights=weights, step=1, peo=peo)
+                if tracer.enabled:
+                    tracer.count("alloc.frank.calls")
+                    tracer.count("alloc.frank.peo_reused" if peo is not None else "alloc.frank.peo_recomputed")
+                if not layer:
+                    break
+                allocated.extend(layer)
+                candidates.difference_update(layer)
+                update(layer)
+                extra_rounds += 1
+            phase.set(rounds=extra_rounds, saturated_cliques=len(cliques) - len(allowed))
+        if tracer.enabled:
+            tracer.count("alloc.fixed_point.rounds", extra_rounds)
+            tracer.count("alloc.fixed_point.saturated_cliques", len(cliques) - len(allowed))
 
         return self._result(
             problem,

@@ -40,6 +40,7 @@ from repro.alloc.result import AllocationResult
 from repro.errors import AllocationError
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.stable_set import maximum_weighted_stable_set
+from repro.telemetry.tracer import current_tracer
 
 
 def optimal_layer(
@@ -124,6 +125,7 @@ class LayeredOptimalAllocator(Allocator):
         candidates: Set[Vertex] = set(graph.vertices())
         allocated: List[Vertex] = []
         weights = self.layer_weights(problem)
+        tracer = current_tracer()
 
         rounds = 0
         budget = problem.num_registers
@@ -134,12 +136,31 @@ class LayeredOptimalAllocator(Allocator):
                 # One PEO per problem, shared by every round (and, via the
                 # problem cache, by every register count of a sweep).
                 peo = problem.peo
-            layer = optimal_layer(graph, candidates, weights=weights, step=step, peo=peo)
+            if tracer.enabled:
+                with tracer.span(
+                    "alloc:layer",
+                    category="alloc",
+                    allocator=self.name,
+                    round=rounds,
+                    candidates=len(candidates),
+                ) as span:
+                    layer = optimal_layer(graph, candidates, weights=weights, step=step, peo=peo)
+                    span.set(layer_size=len(layer))
+                if step == 1:
+                    tracer.count("alloc.frank.calls")
+                    if peo is not None:
+                        tracer.count("alloc.frank.peo_reused")
+                    else:
+                        tracer.count("alloc.frank.peo_recomputed")
+            else:
+                layer = optimal_layer(graph, candidates, weights=weights, step=step, peo=peo)
             if not layer:
                 break
             allocated.extend(layer)
             candidates.difference_update(layer)
             rounds += 1
+        if tracer.enabled:
+            tracer.count("alloc.layered.rounds", rounds)
 
         return self._result(
             problem,

@@ -23,6 +23,7 @@ from repro.alloc.result import AllocationResult
 from repro.errors import SearchBudgetError
 from repro.graphs.cliques import Clique
 from repro.graphs.graph import Graph, Vertex
+from repro.telemetry.tracer import current_tracer
 
 
 def solve_branch_and_bound(
@@ -94,7 +95,22 @@ def solve_branch_and_bound(
 
     if num_registers <= 0:
         return set(), 0.0
-    dfs(0, 0.0)
+    tracer = current_tracer()
+    try:
+        dfs(0, 0.0)
+    except SearchBudgetError:
+        if tracer.enabled:
+            tracer.count("alloc.optimal_bb.budget_exhausted")
+        raise
+    finally:
+        # Search-effort gauges: nodes of the most recent solve and the
+        # fraction of the budget it consumed (1.0 = gave up).  Recorded on
+        # the budget-exceeded path too, where they explain the failure.
+        if tracer.enabled:
+            tracer.count("alloc.optimal_bb.solves")
+            tracer.count("alloc.optimal_bb.nodes_total", explored)
+            tracer.gauge("alloc.optimal_bb.nodes", explored)
+            tracer.gauge("alloc.optimal_bb.budget_used", explored / max_nodes if max_nodes else 1.0)
     return best_set, best_weight
 
 

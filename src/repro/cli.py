@@ -37,6 +37,14 @@ failure is delta-debugged into a minimal reproducer under
 
     repro-alloc oracle --seed 0 --count 500 --jobs 4
     repro-alloc oracle --replay
+
+Trace a run end-to-end (``allocate``/``sweep``/``oracle`` also take
+``--trace PATH``), summarize a recorded trace, or compare two bench
+payloads for regressions::
+
+    repro-alloc trace program.ir --format chrome -o trace.json
+    repro-alloc stats trace.jsonl
+    repro-alloc bench-diff BENCH_pipeline.json fresh.json --threshold 0.25
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ import dataclasses
 import json
 import sqlite3
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -54,6 +63,7 @@ from repro.alloc.problem import AllocationProblem
 from repro.errors import PipelineError, ReproError
 from repro.experiments.figures import ALL_FIGURES, FIGURE_SPECS, FigureSpec
 from repro.experiments.report import (
+    render_cache_split,
     render_figure,
     render_html_report,
     render_markdown_report,
@@ -66,6 +76,16 @@ from repro.ir.parser import parse_module
 from repro.pipeline import Pipeline, PipelineSpec
 from repro.store import open_store
 from repro.targets import ALL_TARGETS
+from repro.telemetry import (
+    Tracer,
+    read_jsonl,
+    render_text_summary,
+    snapshot_to_chrome,
+    snapshot_to_jsonl_lines,
+    use_tracer,
+    write_chrome,
+    write_jsonl,
+)
 from repro.workloads.corpus import build_corpus
 from repro.workloads.suites import SUITES
 
@@ -160,6 +180,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "pass's requires/preserves contracts (default off)"
         ),
     )
+    allocate.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace of the run (*.json Chrome trace, otherwise JSONL)",
+    )
 
     check = subparsers.add_parser(
         "check", help="statically verify a textual IR module (machine-verifier)"
@@ -223,6 +249,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-verify", action="store_true", help="skip allocation verification")
     sweep.add_argument(
         "--no-resume", action="store_true", help="recompute every cell (results still persisted)"
+    )
+    sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace of the sweep (*.json Chrome trace, otherwise JSONL)",
     )
 
     aggregate = subparsers.add_parser(
@@ -301,6 +333,65 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay the regression corpus instead of fuzzing fresh programs",
     )
+    oracle.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace of the campaign (*.json Chrome trace, otherwise JSONL)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run the pipeline on an input under a live tracer and export the trace",
+    )
+    trace.add_argument("input", help="path to a .ir module or a graph .json/.json.gz")
+    trace.add_argument("--allocator", default=None, help=f"one of {available_allocators()} (default BFPL)")
+    trace.add_argument("--registers", type=int, default=None, help="register count (default 8)")
+    trace.add_argument(
+        "--target",
+        default=None,
+        help=f"one of {sorted(ALL_TARGETS)} (default {DEFAULT_TARGET}; ignored for graph JSON inputs)",
+    )
+    trace.add_argument("--pipeline", default=None, help="pipeline spec (same forms as allocate)")
+    trace.add_argument("--no-opt", action="store_true", help="skip the loadstore_opt stage")
+    trace.add_argument(
+        "--store",
+        default=None,
+        help="experiment store path; store hit/miss counters appear in the trace",
+    )
+    trace.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (their spans merge into extra lanes)"
+    )
+    trace.add_argument(
+        "--format",
+        choices=("text", "jsonl", "chrome"),
+        default="text",
+        help="text summary, repro-trace JSONL, or a Chrome/Perfetto trace-event JSON",
+    )
+    trace.add_argument(
+        "-o", "--output", default=None, help="write to this file instead of stdout"
+    )
+
+    stats = subparsers.add_parser(
+        "stats", help="summarize a repro-trace JSONL file (spans, counters, gauges)"
+    )
+    stats.add_argument("input", help="path to a trace .jsonl written by trace/--trace")
+    stats.add_argument(
+        "--top", type=int, default=30, help="show at most this many span aggregates"
+    )
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json files (latest entries) and flag regressions",
+    )
+    bench_diff.add_argument("old", help="baseline bench file (history or flat payload)")
+    bench_diff.add_argument("new", help="candidate bench file (history or flat payload)")
+    bench_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative change in the bad direction that counts as a regression (default 0.25)",
+    )
 
     subparsers.add_parser("list", help="list allocators, suites and targets")
     return parser
@@ -323,8 +414,9 @@ def _allocate_spec(args: argparse.Namespace, is_graph: bool) -> PipelineSpec:
     )
     if spec.registers is None:
         spec = dataclasses.replace(spec, registers=8)
-    if args.check is not None:
-        spec = dataclasses.replace(spec, check=args.check)
+    check = getattr(args, "check", None)  # the trace sub-command has no --check
+    if check is not None:
+        spec = dataclasses.replace(spec, check=check)
     return spec
 
 
@@ -361,18 +453,31 @@ def _emit_contexts(contexts, emit: str) -> int:
     return 0
 
 
-def _command_allocate(args: argparse.Namespace) -> int:
-    """Run the pass pipeline on one input file and print the outcome."""
+def _export_trace(snapshot, path: str) -> None:
+    """Export a trace snapshot by suffix: ``*.json`` Chrome, otherwise JSONL."""
+    if path.endswith(".json"):
+        write_chrome(snapshot, path)
+    else:
+        write_jsonl(snapshot, path)
+
+
+def _run_input_pipeline(args: argparse.Namespace, tracer: Optional[Tracer] = None):
+    """Parse ``args.input`` and run the pipeline over it (shared by
+    ``allocate`` and ``trace``).
+
+    Returns ``(contexts, None)`` on success or ``(None, exit_code)`` after
+    printing the error.
+    """
     input_path = Path(args.input)
     if not input_path.is_file():
-        return _error(f"input file not found: {args.input}")
+        return None, _error(f"input file not found: {args.input}")
     if args.jobs < 1:
-        return _error(f"--jobs must be >= 1, got {args.jobs}")
+        return None, _error(f"--jobs must be >= 1, got {args.jobs}")
     is_graph = _is_graph_json(args.input)
     try:
         spec = _allocate_spec(args, is_graph)
     except PipelineError as error:
-        return _error(str(error))
+        return None, _error(str(error))
 
     try:
         if is_graph:
@@ -391,19 +496,85 @@ def _command_allocate(args: argparse.Namespace) -> int:
             functions = list(module)
             problems = None
     except (ReproError, json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
-        return _error(f"invalid input file {args.input}: {error}")
+        return None, _error(f"invalid input file {args.input}: {error}")
 
     try:
-        with Pipeline(spec, store=args.store) as pipeline:
+        with Pipeline(spec, store=args.store, tracer=tracer) as pipeline:
             if functions is not None:
                 contexts = pipeline.run_many(functions, jobs=args.jobs)
             else:
                 contexts = [pipeline.run_problem(problem) for problem in problems]
     except ReproError as error:
-        return _error(str(error))
+        return None, _error(str(error))
     except (OSError, sqlite3.Error) as error:
-        return _error(f"cannot use store {args.store}: {error}")
+        return None, _error(f"cannot use store {args.store}: {error}")
+    return contexts, None
+
+
+def _command_allocate(args: argparse.Namespace) -> int:
+    """Run the pass pipeline on one input file and print the outcome."""
+    tracer = Tracer() if args.trace else None
+    contexts, code = _run_input_pipeline(args, tracer)
+    if contexts is None:
+        return code
+    if tracer is not None:
+        try:
+            _export_trace(tracer.snapshot(), args.trace)
+        except OSError as error:
+            return _error(f"cannot write trace {args.trace}: {error}")
+        print(f"trace: wrote {args.trace}", file=sys.stderr)
     return _emit_contexts(contexts, args.emit)
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """Run the pipeline under a live tracer and export/print the trace."""
+    tracer = Tracer()
+    contexts, code = _run_input_pipeline(args, tracer)
+    if contexts is None:
+        return code
+    snapshot = tracer.snapshot()
+    if args.format == "text":
+        text = render_text_summary(snapshot)
+    elif args.format == "jsonl":
+        text = "\n".join(snapshot_to_jsonl_lines(snapshot))
+    else:
+        text = json.dumps(snapshot_to_chrome(snapshot), indent=2, sort_keys=True)
+    if args.output:
+        output = Path(args.output)
+        try:
+            if output.parent != Path("."):
+                output.parent.mkdir(parents=True, exist_ok=True)
+            output.write_text(text + "\n", encoding="utf-8")
+        except OSError as error:
+            return _error(f"cannot write trace {args.output}: {error}")
+        print(f"wrote {args.output} ({len(snapshot.events)} span(s))")
+    else:
+        print(text)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    """Summarize a previously-exported repro-trace JSONL file."""
+    try:
+        snapshot = read_jsonl(args.input)
+    except (ReproError, OSError) as error:
+        return _error(str(error))
+    print(render_text_summary(snapshot, top=args.top))
+    return 0
+
+
+def _command_bench_diff(args: argparse.Namespace) -> int:
+    """Compare the latest entries of two bench files; exit 1 on regressions."""
+    from repro.telemetry.bench import diff_entries, latest_entry, render_bench_diff
+
+    try:
+        old_entry = latest_entry(args.old)
+        new_entry = latest_entry(args.new)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        return _error(str(error))
+    diff = diff_entries(old_entry, new_entry, threshold=args.threshold)
+    print(render_bench_diff(diff, old_label="old", new_label="new"))
+    return 0 if diff.ok else 1
 
 
 def _emit_diagnostics(diagnostics, fmt: str) -> int:
@@ -538,17 +709,25 @@ def _command_sweep(args: argparse.Namespace) -> int:
     except ValueError as error:
         return _error(str(error))
     corpus = build_corpus(spec.suite, target=spec.target, seed=args.seed, scale=args.scale)
+    tracer = Tracer() if args.trace else None
     with open_store(args.store) as store:
-        run_experiment(
-            corpus,
-            config,
-            max_instances=args.max_instances,
-            store=store,
-            resume=not args.no_resume,
-        )
+        with use_tracer(tracer) if tracer is not None else nullcontext():
+            run_experiment(
+                corpus,
+                config,
+                max_instances=args.max_instances,
+                store=store,
+                resume=not args.no_resume,
+            )
         manifest = store.manifests()[-1]
         store_cells = len(store)
         backend = store.backend
+    if tracer is not None:
+        try:
+            _export_trace(tracer.snapshot(), args.trace)
+        except OSError as error:
+            return _error(f"cannot write trace {args.trace}: {error}")
+        print(f"trace: wrote {args.trace}", file=sys.stderr)
     print(f"sweep complete: store={args.store} backend={backend} store_cells={store_cells}")
     print(
         f"suite={manifest.suite} target={manifest.target} seed={manifest.seed} "
@@ -559,6 +738,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         f"computed={manifest.cells_computed} cached={manifest.cells_cached} "
         f"hit_rate={manifest.hit_rate:.3f} wall={manifest.wall_time_seconds:.2f}s"
     )
+    print(render_cache_split(manifest))
     return 0
 
 
@@ -736,12 +916,15 @@ def _command_oracle(args: argparse.Namespace) -> int:
     except ValueError as error:
         return _error(str(error))
 
+    tracer = Tracer() if args.trace else None
     try:
         if args.store is not None:
             with open_store(args.store) as store:
-                result = run_campaign(config, store=store, regressions_dir=regressions)
+                result = run_campaign(
+                    config, store=store, regressions_dir=regressions, tracer=tracer
+                )
         else:
-            result = run_campaign(config, regressions_dir=regressions)
+            result = run_campaign(config, regressions_dir=regressions, tracer=tracer)
     except ReproError as error:
         return _error(str(error))
     except sqlite3.Error as error:
@@ -751,6 +934,12 @@ def _command_oracle(args: argparse.Namespace) -> int:
         return _error(
             f"campaign I/O failed (store={args.store}, regressions={regressions}): {error}"
         )
+    if tracer is not None:
+        try:
+            _export_trace(tracer.snapshot(), args.trace)
+        except OSError as error:
+            return _error(f"cannot write trace {args.trace}: {error}")
+        print(f"trace: wrote {args.trace}", file=sys.stderr)
     print("\n".join(result.summary_lines()))
     return 0 if result.passed else 1
 
@@ -783,6 +972,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_corpus(args)
     if args.command == "oracle":
         return _command_oracle(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    if args.command == "stats":
+        return _command_stats(args)
+    if args.command == "bench-diff":
+        return _command_bench_diff(args)
     if args.command == "list":
         return _command_list()
     parser.error(f"unknown command {args.command!r}")

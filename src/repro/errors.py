@@ -102,3 +102,8 @@ class SearchBudgetError(AllocationError):
 class OracleError(ReproError):
     """The differential correctness oracle observed a semantic difference
     between a program and its spill-rewritten form (a miscompile)."""
+
+
+class TelemetryError(ReproError):
+    """A trace or bench-history artifact is malformed (unknown format tag,
+    corrupt JSONL record, non-numeric metric) and cannot be loaded."""

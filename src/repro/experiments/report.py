@@ -78,6 +78,30 @@ def render_key_values(values: Dict[str, float]) -> str:
     return "\n".join(f"{key.ljust(width)} : {value}" for key, value in values.items())
 
 
+def render_cache_split(manifest) -> str:
+    """Per-allocator store cache hit/miss table of one :class:`RunManifest`.
+
+    Manifests written before ``cache_by_allocator`` existed render a single
+    line falling back to the run-level totals.
+    """
+    split = getattr(manifest, "cache_by_allocator", None) or {}
+    if not split:
+        return (
+            f"cache split unavailable (pre-split manifest): "
+            f"{manifest.cells_cached}/{manifest.cells_total} cells cached"
+        )
+    width = max(len("allocator"), max(len(name) for name in split))
+    header = f"{'allocator'.ljust(width)} | {'hit':>6} {'miss':>6} {'rate':>6}"
+    lines = [header, "-" * len(header)]
+    for name in sorted(split):
+        hits = int(split[name].get("hit", 0))
+        misses = int(split[name].get("miss", 0))
+        total = hits + misses
+        rate = hits / total if total else 1.0
+        lines.append(f"{name.ljust(width)} | {hits:>6d} {misses:>6d} {rate:>6.3f}")
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------- #
 # markdown / HTML reports
 # ---------------------------------------------------------------------- #

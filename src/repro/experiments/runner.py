@@ -24,6 +24,7 @@ import dataclasses
 import time
 import uuid
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from repro.alloc.result import AllocationResult
 from repro.pipeline.passes import run_allocator
 from repro.store.base import ExperimentStore, RunManifest, current_git_rev, utc_now_iso
 from repro.store.keys import CellKey, problem_digest
+from repro.telemetry.tracer import Tracer, TraceSnapshot, current_tracer, use_tracer
 from repro.workloads.corpus import Corpus
 
 #: one sweep cell within an instance: (register count, allocator name).
@@ -141,12 +143,23 @@ def run_cells(
     """
     records: List[InstanceRecord] = []
     allocators: Dict[str, Allocator] = {}
+    tracer = current_tracer()
     for register_count, allocator_name in cells:
         allocator = allocators.get(allocator_name)
         if allocator is None:
             allocator = allocators[allocator_name] = get_allocator(allocator_name)
         instance = problem.with_registers(register_count)
-        result, elapsed = run_allocator(instance, allocator, verify=verify)
+        if tracer.enabled:
+            with tracer.span(
+                "sweep:cell",
+                category="sweep",
+                instance=problem.name,
+                allocator=allocator_name,
+                registers=register_count,
+            ):
+                result, elapsed = run_allocator(instance, allocator, verify=verify)
+        else:
+            result, elapsed = run_allocator(instance, allocator, verify=verify)
         record = InstanceRecord.from_result(
             instance,
             result,
@@ -178,19 +191,40 @@ def _run_instance_shard(
     allocator_names: Sequence[str],
     register_counts: Sequence[int],
     verify: bool,
-) -> List[Tuple[int, List[InstanceRecord]]]:
+    traced: bool = False,
+) -> Tuple[List[Tuple[int, List[InstanceRecord]]], Optional[TraceSnapshot]]:
     """Worker entry point: run one shard of (index, problem, program) triples.
 
     Module-level so it pickles for :class:`ProcessPoolExecutor`.  The
     original corpus index travels with each result so the parent can restore
-    the serial record order deterministically.
+    the serial record order deterministically.  When the parent is tracing
+    (``traced``), the worker collects spans/counters into its own tracer and
+    ships the snapshot back for the parent to merge in shard order.
     """
+    tracer = Tracer() if traced else None
     out: List[Tuple[int, List[InstanceRecord]]] = []
-    for index, problem, program in shard:
-        out.append(
-            (index, run_instance(problem, allocator_names, register_counts, program=program, verify=verify))
-        )
-    return out
+    with use_tracer(tracer) if tracer is not None else nullcontext():
+        for index, problem, program in shard:
+            out.append(
+                (index, run_instance(problem, allocator_names, register_counts, program=program, verify=verify))
+            )
+    return out, (tracer.snapshot() if tracer is not None else None)
+
+
+def _run_cells_worker(
+    problem: AllocationProblem,
+    cells: Sequence[Cell],
+    program: str,
+    verify: bool,
+    traced: bool = False,
+) -> Tuple[List[InstanceRecord], Optional[TraceSnapshot]]:
+    """Worker entry point of the store-backed parallel sweep (one instance)."""
+    if not traced:
+        return run_cells(problem, cells, program=program, verify=verify), None
+    tracer = Tracer()
+    with use_tracer(tracer):
+        records = run_cells(problem, cells, program=program, verify=verify)
+    return records, tracer.snapshot()
 
 
 def _select_instances(
@@ -269,6 +303,7 @@ def run_experiment(
     for position, item in enumerate(selected):
         shards[position % workers].append(item)
 
+    tracer = current_tracer()
     indexed: List[Tuple[int, List[InstanceRecord]]] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
@@ -278,11 +313,17 @@ def run_experiment(
                 list(config.allocators),
                 list(config.register_counts),
                 config.verify,
+                tracer.enabled,
             )
             for shard in shards
         ]
-        for future in futures:
-            indexed.extend(future.result())
+        # Futures are iterated in submission (shard) order, so worker
+        # telemetry merges deterministically for a given sharding.
+        for shard_index, future in enumerate(futures):
+            pairs, snapshot = future.result()
+            indexed.extend(pairs)
+            if snapshot is not None:
+                tracer.merge(snapshot, label=f"worker-{shard_index}")
 
     indexed.sort(key=lambda pair: pair[0])
     records = []
@@ -349,6 +390,18 @@ def _run_with_store(
     cells_total = len(selected) * len(full_cells)
     cells_cached = len(cell_records)
 
+    # Per-allocator hit/miss split (keyed by canonical name, so aliases fold
+    # into their paper name) — recorded in the manifest and in the trace.
+    cache_by_allocator: Dict[str, Dict[str, int]] = {}
+    for (index, cell), key in key_of.items():
+        split = cache_by_allocator.setdefault(canonical[cell[1]].name, {"hit": 0, "miss": 0})
+        split["hit" if key in cached else "miss"] += 1
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.count("store.hit", cells_cached)
+        tracer.count("store.miss", cells_total - cells_cached)
+
     def canonicalized(cell: Cell, record: InstanceRecord) -> InstanceRecord:
         """The persisted copy carries the canonical allocator name, so a
         sweep via an alias ("layered") fills the same cells downstream
@@ -373,17 +426,19 @@ def _run_with_store(
                 )
         else:
             workers = min(config.jobs, len(plan))
+            snapshots: Dict[int, TraceSnapshot] = {}
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(run_cells, problem, missing, program, config.verify): (
-                        index,
-                        missing,
-                    )
-                    for index, problem, program, missing in plan
+                    pool.submit(
+                        _run_cells_worker, problem, missing, program, config.verify, tracer.enabled
+                    ): (plan_position, index, missing)
+                    for plan_position, (index, problem, program, missing) in enumerate(plan)
                 }
                 for future in as_completed(futures):
-                    index, missing = futures[future]
-                    results = future.result()
+                    plan_position, index, missing = futures[future]
+                    results, snapshot = future.result()
+                    if snapshot is not None:
+                        snapshots[plan_position] = snapshot
                     store.put_many(
                         [
                             (key_of[(index, cell)], canonicalized(cell, record))
@@ -392,6 +447,10 @@ def _run_with_store(
                     )
                     for cell, record in zip(missing, results):
                         cell_records[(index, cell)] = record
+            # ``as_completed`` yields in finish order; merging sorted by plan
+            # position keeps the combined trace deterministic regardless.
+            for plan_position in sorted(snapshots):
+                tracer.merge(snapshots[plan_position], label=f"instance-{plan_position}")
     store.flush()
 
     records: List[InstanceRecord] = []
@@ -425,6 +484,7 @@ def _run_with_store(
             cells_computed=cells_total - cells_cached,
             cells_cached=cells_cached,
             wall_time_seconds=time.perf_counter() - started,
+            cache_by_allocator=cache_by_allocator,
         )
     )
     store.flush()

@@ -37,6 +37,7 @@ from repro.oracle.minimizer import minimization_summary, minimize
 from repro.oracle.regressions import save_regression
 from repro.store.base import ExperimentStore, RunManifest, current_git_rev, utc_now_iso
 from repro.targets import ALL_TARGETS
+from repro.telemetry.tracer import Tracer, TraceSnapshot, current_tracer, use_tracer
 
 #: default register counts: small enough to force spilling on every
 #: generated program, so the spill-code path is actually exercised.
@@ -134,33 +135,55 @@ def _run_shard(
     config: CampaignConfig,
     indices: Sequence[int],
     combos: Sequence[Tuple[str, str, int]],
-) -> Tuple[int, int, int, int, List[OracleCheck]]:
+    traced: bool = False,
+) -> Tuple[int, int, int, int, List[OracleCheck], Optional[TraceSnapshot]]:
     """Worker entry point: check every (program × combo) of one shard.
 
-    Returns ``(checks, ok, skipped, spilled_total, failures)`` — passing
-    checks are aggregated to counters so a large campaign ships only its
-    failures back to the parent.
+    Returns ``(checks, ok, skipped, spilled_total, failures, snapshot)`` —
+    passing checks are aggregated to counters so a large campaign ships only
+    its failures back to the parent.  In-process (serial) callers record
+    into the ambient tracer and get ``snapshot=None``; pool workers run with
+    ``traced=True`` when the parent is tracing and ship their own tracer's
+    snapshot back instead, including one ``oracle:program`` span per checked
+    program and per-failure-kind counters.
     """
+    own_tracer = Tracer() if traced else None
+    tracer = own_tracer if own_tracer is not None else current_tracer()
     checks = ok = skipped = spilled_total = 0
     failures: List[OracleCheck] = []
-    for index in indices:
-        function = generate_program(config.seed, index, size=config.size)
-        for check in check_program(
-            function,
-            combos,
-            ssa=config.ssa,
-            argument_sets=DEFAULT_ARGUMENT_SETS,
-            max_steps=config.max_steps,
-        ):
-            checks += 1
-            if check.status == "ok":
-                ok += 1
-                spilled_total += check.spilled
-            elif check.status == "skipped":
-                skipped += 1
-            else:
-                failures.append(check)
-    return checks, ok, skipped, spilled_total, failures
+    with use_tracer(tracer):
+        for index in indices:
+            function = generate_program(config.seed, index, size=config.size)
+            with tracer.span("oracle:program", category="oracle", program=function.name) as span:
+                program_failures = 0
+                for check in check_program(
+                    function,
+                    combos,
+                    ssa=config.ssa,
+                    argument_sets=DEFAULT_ARGUMENT_SETS,
+                    max_steps=config.max_steps,
+                ):
+                    checks += 1
+                    if check.status == "ok":
+                        ok += 1
+                        spilled_total += check.spilled
+                    elif check.status == "skipped":
+                        skipped += 1
+                    else:
+                        failures.append(check)
+                        program_failures += 1
+                        if tracer.enabled:
+                            for kind in check.kinds:
+                                tracer.count(f"oracle.kind.{kind}")
+                span.set(failures=program_failures)
+        if tracer.enabled:
+            tracer.count("oracle.checks", checks)
+            tracer.count("oracle.ok", ok)
+            tracer.count("oracle.skipped", skipped)
+            tracer.count("oracle.failures", len(failures))
+    return checks, ok, skipped, spilled_total, failures, (
+        own_tracer.snapshot() if own_tracer is not None else None
+    )
 
 
 def _minimize_failures(
@@ -219,9 +242,17 @@ def run_campaign(
     config: CampaignConfig,
     store: Optional[ExperimentStore] = None,
     regressions_dir: Optional[Path] = None,
+    tracer: Optional[Tracer] = None,
 ) -> CampaignResult:
-    """Run one fuzz campaign; see the module docstring for the shape."""
+    """Run one fuzz campaign; see the module docstring for the shape.
+
+    ``tracer`` (default: the ambient tracer) collects one ``oracle:program``
+    span per generated program plus ``oracle.*`` outcome counters; pool
+    workers ship snapshots back, merged in shard order.
+    """
     config.validate()
+    if tracer is None:
+        tracer = current_tracer()
     started = time.perf_counter()
     allocators = config.resolved_allocators()
     targets = config.resolved_targets()
@@ -235,24 +266,38 @@ def run_campaign(
 
     checks = ok = skipped = spilled_total = 0
     failures: List[OracleCheck] = []
-    if config.jobs <= 1 or len(indices) <= 1:
-        checks, ok, skipped, spilled_total, failures = _run_shard(config, indices, combos)
-    else:
-        workers = min(config.jobs, len(indices))
-        shards: List[List[int]] = [[] for _ in range(workers)]
-        for position, index in enumerate(indices):
-            shards[position % workers].append(index)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_shard, config, shard, combos) for shard in shards]
-            for future in futures:
-                shard_checks, shard_ok, shard_skipped, shard_spilled, shard_failures = (
-                    future.result()
-                )
-                checks += shard_checks
-                ok += shard_ok
-                skipped += shard_skipped
-                spilled_total += shard_spilled
-                failures.extend(shard_failures)
+    with use_tracer(tracer), tracer.span(
+        "oracle:campaign",
+        category="oracle",
+        seed=config.seed,
+        programs=len(indices),
+        jobs=config.jobs,
+    ):
+        if config.jobs <= 1 or len(indices) <= 1:
+            checks, ok, skipped, spilled_total, failures, _ = _run_shard(config, indices, combos)
+        else:
+            workers = min(config.jobs, len(indices))
+            shards: List[List[int]] = [[] for _ in range(workers)]
+            for position, index in enumerate(indices):
+                shards[position % workers].append(index)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_shard, config, shard, combos, tracer.enabled)
+                    for shard in shards
+                ]
+                # Futures are iterated in submission (shard) order, so worker
+                # snapshots merge deterministically for a given sharding.
+                for shard_index, future in enumerate(futures):
+                    shard_checks, shard_ok, shard_skipped, shard_spilled, shard_failures, snapshot = (
+                        future.result()
+                    )
+                    checks += shard_checks
+                    ok += shard_ok
+                    skipped += shard_skipped
+                    spilled_total += shard_spilled
+                    failures.extend(shard_failures)
+                    if snapshot is not None:
+                        tracer.merge(snapshot, label=f"worker-{shard_index}")
 
     failures.sort(key=lambda f: (f.program, f.allocator, f.target, f.registers))
     regressions, _logs = _minimize_failures(config, failures, regressions_dir)

@@ -42,15 +42,30 @@ from repro.pipeline.context import PipelineContext
 from repro.pipeline.passes import Pass, allocate_cell_key, get_pass
 from repro.pipeline.spec import PipelineSpec
 from repro.store.base import ExperimentStore, open_store
+from repro.telemetry.tracer import Tracer, current_tracer, scalar_attrs, use_tracer
 
 StoreLike = Union[ExperimentStore, str, Path, None]
 
 
 class Pipeline:
-    """A composed chain of passes plus the spec and (optional) store."""
+    """A composed chain of passes plus the spec and (optional) store.
 
-    def __init__(self, spec: Optional[PipelineSpec] = None, *, store: StoreLike = None) -> None:
+    Telemetry: pass ``tracer=`` (or bind one ambiently with
+    :func:`repro.telemetry.use_tracer`) and every run records a
+    ``pipeline:run`` span with one nested ``pass:<name>`` span per executed
+    stage — allocator internals and store cache counters nest below via the
+    ambient tracer.  The default is the no-op tracer: untraced runs skip all
+    span bookkeeping (guarded by ``tracer.enabled``)."""
+
+    def __init__(
+        self,
+        spec: Optional[PipelineSpec] = None,
+        *,
+        store: StoreLike = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
         self.spec = (spec or PipelineSpec()).validate()
+        self._explicit_tracer = tracer
         self._passes: List[Pass] = [get_pass(name) for name in self.spec.stage_chain()]
         self._store: Optional[ExperimentStore] = None
         self._store_path: Optional[Path] = None
@@ -74,6 +89,7 @@ class Pipeline:
         spec: Union[PipelineSpec, Mapping[str, Any], str, None] = None,
         *,
         store: StoreLike = None,
+        tracer: Optional[Any] = None,
         **overrides: Any,
     ) -> "Pipeline":
         """Build a pipeline from any spec surface form (see :class:`PipelineSpec`).
@@ -82,14 +98,19 @@ class Pipeline:
         allocator; strings may equally be ``"ssa"``/``"non-ssa"``, a JSON
         config object, or a comma-separated stage chain.
         """
-        return cls(PipelineSpec.parse(spec, **overrides), store=store)
+        return cls(PipelineSpec.parse(spec, **overrides), store=store, tracer=tracer)
 
     @classmethod
     def from_config(
-        cls, config: Mapping[str, Any], *, store: StoreLike = None, **overrides: Any
+        cls,
+        config: Mapping[str, Any],
+        *,
+        store: StoreLike = None,
+        tracer: Optional[Any] = None,
+        **overrides: Any,
     ) -> "Pipeline":
         """Build a pipeline from the config-dict/JSON form."""
-        return cls(PipelineSpec.from_config(config, **overrides), store=store)
+        return cls(PipelineSpec.from_config(config, **overrides), store=store, tracer=tracer)
 
     @property
     def stages(self) -> Tuple[str, ...]:
@@ -100,6 +121,14 @@ class Pipeline:
     def store(self) -> Optional[ExperimentStore]:
         """The attached experiment store, if any."""
         return self._store
+
+    def tracer(self) -> Any:
+        """The telemetry collector runs record into.
+
+        The tracer given at construction wins; otherwise the ambient tracer
+        (:func:`repro.telemetry.current_tracer`, no-op by default).
+        """
+        return self._explicit_tracer if self._explicit_tracer is not None else current_tracer()
 
     def close(self) -> None:
         """Close a store this pipeline opened itself (no-op otherwise)."""
@@ -124,7 +153,7 @@ class Pipeline:
             target=self.spec.resolve_target(),
             num_registers=self.spec.registers,
         )
-        context = self._execute(context)
+        context = self._traced_execute(context)
         if self._store is not None:
             self._store.flush()
         return context
@@ -142,7 +171,7 @@ class Pipeline:
             num_registers=problem.num_registers,
             problem=problem,
         )
-        context = self._execute(context)
+        context = self._traced_execute(context)
         if self._store is not None:
             self._store.flush()
         return context
@@ -160,7 +189,7 @@ class Pipeline:
         uses this to run one function's liveness/interference once and fan
         the result out over every allocator × register-count combination.
         """
-        context = self._execute(context)
+        context = self._traced_execute(context)
         if self._store is not None:
             self._store.flush()
         return context
@@ -205,8 +234,12 @@ class Pipeline:
             for index, function in enumerate(function_list)
         ]
 
+        tracer = self.tracer()
         if jobs <= 1 or len(items) <= 1:
-            contexts = [self.run(function, name=name) for _, function, name in items]
+            with use_tracer(tracer), tracer.span(
+                "pipeline:run_many", category="pipeline", functions=len(items), jobs=1
+            ):
+                contexts = [self.run(function, name=name) for _, function, name in items]
             if self._store is not None:
                 self._store.flush()
             return contexts
@@ -225,13 +258,23 @@ class Pipeline:
 
         spec = self.spec
         indexed: List[Tuple[int, PipelineContext]] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_shard, spec, worker_store_path, shard)
-                for shard in shards
-            ]
-            for future in futures:
-                indexed.extend(future.result())
+        # Workers cannot share the parent's tracer: when tracing, each builds
+        # its own and ships a snapshot back with its results; snapshots merge
+        # in shard order (futures are iterated in submission order), so span
+        # ordering and lane numbering are deterministic for a given sharding.
+        with use_tracer(tracer), tracer.span(
+            "pipeline:run_many", category="pipeline", functions=len(items), jobs=workers
+        ):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_shard, spec, worker_store_path, shard, tracer.enabled)
+                    for shard in shards
+                ]
+                for shard_index, future in enumerate(futures):
+                    pairs, trace_snapshot = future.result()
+                    indexed.extend(pairs)
+                    if trace_snapshot is not None:
+                        tracer.merge(trace_snapshot, label=f"worker-{shard_index}")
         indexed.sort(key=lambda pair: pair[0])
         contexts = [context for _, context in indexed]
 
@@ -294,6 +337,28 @@ class Pipeline:
     # ------------------------------------------------------------------ #
     # execution core
     # ------------------------------------------------------------------ #
+    def _traced_execute(self, context: PipelineContext) -> PipelineContext:
+        """Run :meth:`_execute` under a ``pipeline:run`` span when tracing.
+
+        The untraced path (the default no-op tracer) calls :meth:`_execute`
+        directly — no ambient rebinding, no span objects — keeping the
+        disabled-telemetry overhead to this one ``enabled`` check per run.
+        """
+        tracer = self.tracer()
+        if not tracer.enabled:
+            return self._execute(context)
+        with use_tracer(tracer), tracer.span(
+            "pipeline:run",
+            category="pipeline",
+            function=context.name or "",
+            allocator=self.spec.allocator,
+            registers=context.num_registers,
+        ) as span:
+            context = self._execute(context)
+            if context.result is not None:
+                span.set(spilled=len(context.result.spilled))
+            return context
+
     def _execute(self, context: PipelineContext) -> PipelineContext:
         """Run the pass chain over one context, skipping inapplicable stages.
 
@@ -305,6 +370,7 @@ class Pipeline:
         were detected after.  The default ``"off"`` never invokes a checker.
         """
         mode = getattr(self.spec, "check", "off")
+        tracer = current_tracer() if self._explicit_tracer is None else self._explicit_tracer
         last_stage = "input"
         if mode != "off" and context.function is not None:
             context = self._enforce(context, IR_CHECKERS, last_stage)
@@ -334,8 +400,14 @@ class Pipeline:
             if mode == "each" and pass_.check_requires:
                 # A violated precondition was introduced by whatever ran last.
                 context = self._enforce(context, pass_.check_requires, last_stage)
-            started = time.perf_counter()
-            context = pass_.run(context, self.spec, self._store)
+            if tracer.enabled:
+                with tracer.span(f"pass:{pass_.name}", category="pass") as span:
+                    started = time.perf_counter()
+                    context = pass_.run(context, self.spec, self._store)
+                    span.set(**scalar_attrs(context.stage_stats.get(pass_.name)))
+            else:
+                started = time.perf_counter()
+                context = pass_.run(context, self.spec, self._store)
             if pass_.name not in context.timings:
                 # A pass that forgot with_stage still gets an engine-side timing.
                 context = context.with_stage(pass_.name, time.perf_counter() - started)
@@ -385,19 +457,24 @@ def _run_shard(
     spec: PipelineSpec,
     store_path: Optional[str],
     shard: Sequence[Tuple[int, Function, Optional[str]]],
-) -> List[Tuple[int, PipelineContext]]:
+    traced: bool = False,
+) -> Tuple[List[Tuple[int, PipelineContext]], Optional[Any]]:
     """Worker entry point: run one shard with its own store connection.
 
     Module-level so it pickles for :class:`ProcessPoolExecutor`; the input
     index travels with each context so the parent restores input order.
+    When the parent is tracing (``traced``), the worker collects into its own
+    tracer and returns the picklable snapshot for the parent to merge.
     """
     store = open_store(store_path) if store_path is not None else None
+    tracer = Tracer() if traced else None
     try:
-        pipeline = Pipeline(spec, store=store)
-        return [
+        pipeline = Pipeline(spec, store=store, tracer=tracer)
+        pairs = [
             (index, pipeline.run(function, name=name))
             for index, function, name in shard
         ]
+        return pairs, (tracer.snapshot() if tracer is not None else None)
     finally:
         if store is not None:
             store.close()

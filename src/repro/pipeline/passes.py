@@ -46,6 +46,7 @@ from repro.analysis.ssa_destruction import coalesce_copies, destruct_ssa
 from repro.errors import AllocationError, PipelineError
 from repro.pipeline.context import PipelineContext
 from repro.store.keys import CellKey, problem_digest
+from repro.telemetry.tracer import current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard (runner imports us)
     from repro.experiments.runner import InstanceRecord
@@ -378,6 +379,15 @@ class AllocatePass(Pass):
             if record is not None:
                 result = result_from_record(record, problem)
             cache = "hit" if result is not None else "miss"
+
+        tracer = current_tracer()
+        if tracer.enabled:
+            # Run-level cache counters, declared (at zero) even with no store
+            # attached so traces stay comparable across configurations; the
+            # per-backend ``store.<backend>.*`` counters come from the store
+            # layer itself.
+            tracer.count("store.hit", 1 if cache == "hit" else 0)
+            tracer.count("store.miss", 1 if cache == "miss" else 0)
 
         if result is None:
             result, elapsed = run_allocator(problem, allocator)

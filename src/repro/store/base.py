@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.store.keys import CellKey
+from repro.telemetry.tracer import current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from repro.experiments.runner import InstanceRecord
@@ -78,6 +79,10 @@ class RunManifest:
     cells_computed: int
     cells_cached: int
     wall_time_seconds: float
+    #: per-allocator cache split, ``{allocator: {"hit": n, "miss": m}}``
+    #: (empty for manifests written before this field existed — their
+    #: run-level ``cells_cached``/``cells_computed`` remain authoritative).
+    cache_by_allocator: Dict[str, Dict[str, int]] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -123,13 +128,39 @@ class ExperimentStore(abc.ABC):
     backend: str = "abstract"
 
     # -- cells --------------------------------------------------------- #
-    @abc.abstractmethod
     def get_many(self, keys: Iterable[CellKey]) -> Dict[CellKey, "InstanceRecord"]:
-        """Return the cached records for the subset of ``keys`` present."""
+        """Return the cached records for the subset of ``keys`` present.
+
+        Lookups are counted into the ambient tracer (no-op by default) as
+        ``store.<backend>.hit`` / ``store.<backend>.miss`` — one count per
+        key, shared by both backends through this wrapper.
+        """
+        key_list = list(keys)
+        found = self._get_many(key_list)
+        tracer = current_tracer()
+        if tracer.enabled and key_list:
+            tracer.count(f"store.{self.backend}.hit", len(found))
+            tracer.count(f"store.{self.backend}.miss", len(key_list) - len(found))
+        return found
+
+    def put_many(self, items: Iterable[Tuple[CellKey, "InstanceRecord"]]) -> None:
+        """Insert (or overwrite) cells; durable once :meth:`flush` returns.
+
+        Writes are counted as ``store.<backend>.put`` (one per cell).
+        """
+        item_list = list(items)
+        self._put_many(item_list)
+        tracer = current_tracer()
+        if tracer.enabled and item_list:
+            tracer.count(f"store.{self.backend}.put", len(item_list))
 
     @abc.abstractmethod
-    def put_many(self, items: Iterable[Tuple[CellKey, "InstanceRecord"]]) -> None:
-        """Insert (or overwrite) cells; durable once :meth:`flush` returns."""
+    def _get_many(self, keys: List[CellKey]) -> Dict[CellKey, "InstanceRecord"]:
+        """Backend lookup (no telemetry; the public wrapper counts)."""
+
+    @abc.abstractmethod
+    def _put_many(self, items: List[Tuple[CellKey, "InstanceRecord"]]) -> None:
+        """Backend write (no telemetry; the public wrapper counts)."""
 
     @abc.abstractmethod
     def items(self) -> List[Tuple[CellKey, "InstanceRecord"]]:
@@ -168,9 +199,16 @@ class ExperimentStore(abc.ABC):
         """All manifests in insertion order."""
 
     # -- lifecycle ----------------------------------------------------- #
-    @abc.abstractmethod
     def flush(self) -> None:
-        """Make every prior write durable."""
+        """Make every prior write durable (counted as ``store.<backend>.flush``)."""
+        self._flush()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count(f"store.{self.backend}.flush")
+
+    @abc.abstractmethod
+    def _flush(self) -> None:
+        """Backend durability point (no telemetry; the public wrapper counts)."""
 
     @abc.abstractmethod
     def close(self) -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
 
 from repro.errors import ReproError
 from repro.store.base import (
@@ -109,10 +109,10 @@ class JsonlExperimentStore(ExperimentStore):
         self._handle.write(json.dumps(event, sort_keys=True) + "\n")
 
     # -- cells --------------------------------------------------------- #
-    def get_many(self, keys: Iterable[CellKey]) -> Dict[CellKey, "InstanceRecord"]:
+    def _get_many(self, keys: List[CellKey]) -> Dict[CellKey, "InstanceRecord"]:
         return {key: self._cells[key] for key in keys if key in self._cells}
 
-    def put_many(self, items: Iterable[Tuple[CellKey, "InstanceRecord"]]) -> None:
+    def _put_many(self, items: List[Tuple[CellKey, "InstanceRecord"]]) -> None:
         stamp = utc_now_iso()
         wrote = False
         for key, record in items:
@@ -145,7 +145,7 @@ class JsonlExperimentStore(ExperimentStore):
         return list(self._manifests)
 
     # -- lifecycle ----------------------------------------------------- #
-    def flush(self) -> None:
+    def _flush(self) -> None:
         self._handle.flush()
 
     def close(self) -> None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import sqlite3
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
 
 from repro.store.base import (
     ExperimentStore,
@@ -65,7 +65,7 @@ class SqliteExperimentStore(ExperimentStore):
         self._conn.commit()
 
     # -- cells --------------------------------------------------------- #
-    def get_many(self, keys: Iterable[CellKey]) -> Dict[CellKey, "InstanceRecord"]:
+    def _get_many(self, keys: List[CellKey]) -> Dict[CellKey, "InstanceRecord"]:
         found: Dict[CellKey, "InstanceRecord"] = {}
         cursor = self._conn.cursor()
         for key in keys:
@@ -78,7 +78,7 @@ class SqliteExperimentStore(ExperimentStore):
                 found[key] = record_from_dict(json.loads(row[0]))
         return found
 
-    def put_many(self, items: Iterable[Tuple[CellKey, "InstanceRecord"]]) -> None:
+    def _put_many(self, items: List[Tuple[CellKey, "InstanceRecord"]]) -> None:
         stamp = utc_now_iso()
         rows = [
             (
@@ -130,7 +130,7 @@ class SqliteExperimentStore(ExperimentStore):
         return [RunManifest.from_dict(json.loads(blob)) for (blob,) in rows]
 
     # -- lifecycle ----------------------------------------------------- #
-    def flush(self) -> None:
+    def _flush(self) -> None:
         self._conn.commit()
 
     def close(self) -> None:

@@ -1,0 +1,47 @@
+"""Telemetry: spans, counters, trace export, and bench-trajectory tooling.
+
+See :mod:`repro.telemetry.tracer` for the collection model (ambient tracer,
+no-op default, process-pool snapshot merging), :mod:`repro.telemetry.export`
+for the JSONL / Chrome-trace / text renderings, and
+:mod:`repro.telemetry.bench` for the ``BENCH_*.json`` history format and the
+``bench-diff`` comparator.  (``bench`` is intentionally not imported here:
+it depends on :mod:`repro.store`, which itself records telemetry.)
+"""
+
+from repro.telemetry.export import (
+    JSONL_FORMAT,
+    read_jsonl,
+    render_text_summary,
+    snapshot_to_chrome,
+    snapshot_to_jsonl_lines,
+    write_chrome,
+    write_jsonl,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+    TraceSnapshot,
+    current_tracer,
+    scalar_attrs,
+    use_tracer,
+)
+
+__all__ = [
+    "JSONL_FORMAT",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanEvent",
+    "TraceSnapshot",
+    "Tracer",
+    "current_tracer",
+    "read_jsonl",
+    "render_text_summary",
+    "scalar_attrs",
+    "snapshot_to_chrome",
+    "snapshot_to_jsonl_lines",
+    "use_tracer",
+    "write_chrome",
+    "write_jsonl",
+]

@@ -1,0 +1,272 @@
+"""Trace exporters: append-only JSONL, Chrome trace-event JSON, text summary.
+
+Three renderings of one :class:`~repro.telemetry.tracer.TraceSnapshot`:
+
+* **JSONL** (``repro-trace/1``) — one JSON object per line: a ``meta``
+  header, then one ``span`` line per event in id order, then ``counter`` and
+  ``gauge`` lines in name order.  Append-only by construction (an event log,
+  not a document), machine-readable back via :func:`read_jsonl`, and stable:
+  identical snapshots serialize to identical bytes (keys sorted, no
+  timestamps invented at export time).
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` object format
+  understood by Perfetto and ``chrome://tracing``.  Spans become complete
+  (``ph: "X"``) events with microsecond ``ts``/``dur``; each lane becomes a
+  named thread row; counters and gauges become ``ph: "C"`` counter samples.
+* **Text summary** — per-span-name aggregate table (count / total / mean /
+  share of root wall time) plus counters and gauges, for terminal use via
+  ``repro-alloc stats`` or ``repro-alloc trace`` without ``-o``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List
+
+from repro.errors import TelemetryError
+from repro.telemetry.tracer import SpanEvent, TraceSnapshot
+
+#: format tag written into (and required from) the JSONL meta header.
+JSONL_FORMAT = "repro-trace/1"
+
+
+# ---------------------------------------------------------------------- #
+# JSONL event log
+# ---------------------------------------------------------------------- #
+def snapshot_to_jsonl_lines(snapshot: TraceSnapshot) -> Iterator[str]:
+    """Yield the JSONL lines (no trailing newlines) for a snapshot."""
+    meta: Dict[str, Any] = {
+        "type": "meta",
+        "format": JSONL_FORMAT,
+        "spans": len(snapshot.events),
+        "counters": len(snapshot.counters),
+        "gauges": len(snapshot.gauges),
+        "lanes": {str(lane): label for lane, label in sorted(snapshot.lanes.items())},
+    }
+    meta.update(snapshot.meta)
+    yield json.dumps(meta, sort_keys=True)
+    for event in snapshot.events:
+        record: Dict[str, Any] = {
+            "type": "span",
+            "id": event.span_id,
+            "parent": event.parent_id,
+            "name": event.name,
+            "cat": event.category,
+            "ts": round(event.start, 9),
+            "dur": round(event.duration, 9) if event.closed else -1.0,
+            "depth": event.depth,
+            "lane": event.lane,
+        }
+        if event.attrs:
+            record["attrs"] = event.attrs
+        yield json.dumps(record, sort_keys=True)
+    for name in sorted(snapshot.counters):
+        yield json.dumps(
+            {"type": "counter", "name": name, "value": snapshot.counters[name]},
+            sort_keys=True,
+        )
+    for name in sorted(snapshot.gauges):
+        yield json.dumps(
+            {"type": "gauge", "name": name, "value": snapshot.gauges[name]},
+            sort_keys=True,
+        )
+
+
+def write_jsonl(snapshot: TraceSnapshot, path: str, append: bool = False) -> None:
+    """Write (or, with ``append=True``, extend) a JSONL event log at ``path``.
+
+    Appending adds a complete meta+events block, so one file can hold several
+    consecutive traces; :func:`read_jsonl` folds them into one snapshot.
+    """
+    mode = "a" if append else "w"
+    with open(path, mode, encoding="utf-8") as handle:
+        for line in snapshot_to_jsonl_lines(snapshot):
+            handle.write(line + "\n")
+
+
+def read_jsonl(path: str) -> TraceSnapshot:
+    """Parse a JSONL event log back into a :class:`TraceSnapshot`.
+
+    Counters from multiple appended trace blocks accumulate; span ids are
+    re-assigned sequentially so a multi-block file still has unique ids.
+    Raises :class:`~repro.errors.TelemetryError` on malformed input.
+    """
+    snapshot = TraceSnapshot()
+    next_id = 1
+    id_offset = 0
+    saw_meta = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(record, dict) or "type" not in record:
+                raise TelemetryError(f"{path}:{lineno}: expected an object with a 'type' field")
+            kind = record["type"]
+            if kind == "meta":
+                fmt = record.get("format", "")
+                if not str(fmt).startswith("repro-trace/"):
+                    raise TelemetryError(f"{path}:{lineno}: unknown trace format {fmt!r}")
+                saw_meta = True
+                id_offset = next_id - 1
+                for lane, label in record.get("lanes", {}).items():
+                    snapshot.lanes.setdefault(int(lane), str(label))
+                for key, value in record.items():
+                    if key not in ("type", "format", "spans", "counters", "gauges", "lanes"):
+                        snapshot.meta.setdefault(key, value)
+            elif kind == "span":
+                if not saw_meta:
+                    raise TelemetryError(f"{path}:{lineno}: span before meta header")
+                try:
+                    snapshot.events.append(
+                        SpanEvent(
+                            span_id=int(record["id"]) + id_offset,
+                            parent_id=(int(record["parent"]) + id_offset) if record["parent"] else 0,
+                            name=str(record["name"]),
+                            category=str(record["cat"]),
+                            start=float(record["ts"]),
+                            duration=float(record["dur"]),
+                            depth=int(record["depth"]),
+                            lane=int(record.get("lane", 0)),
+                            attrs=dict(record.get("attrs", {})),
+                        )
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise TelemetryError(f"{path}:{lineno}: malformed span record: {exc}") from exc
+                next_id = max(next_id, snapshot.events[-1].span_id + 1)
+            elif kind == "counter":
+                try:
+                    name, value = str(record["name"]), float(record["value"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise TelemetryError(f"{path}:{lineno}: malformed counter record: {exc}") from exc
+                snapshot.counters[name] = snapshot.counters.get(name, 0) + value
+            elif kind == "gauge":
+                try:
+                    snapshot.gauges[str(record["name"])] = float(record["value"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise TelemetryError(f"{path}:{lineno}: malformed gauge record: {exc}") from exc
+            else:
+                raise TelemetryError(f"{path}:{lineno}: unknown record type {kind!r}")
+    if not saw_meta:
+        raise TelemetryError(f"{path}: not a {JSONL_FORMAT} event log (no meta header)")
+    return snapshot
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace-event JSON (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------- #
+def snapshot_to_chrome(snapshot: TraceSnapshot) -> Dict[str, Any]:
+    """Render a snapshot as a Chrome trace-event *object format* document."""
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": lane,
+            "name": "thread_name",
+            "args": {"name": label},
+        }
+        for lane, label in sorted(snapshot.lanes.items())
+    ]
+    for event in snapshot.events:
+        duration = event.duration if event.closed else 0.0
+        record: Dict[str, Any] = {
+            "ph": "X",
+            "pid": 1,
+            "tid": event.lane,
+            "name": event.name,
+            "cat": event.category,
+            "ts": round(event.start * 1e6, 3),
+            "dur": round(duration * 1e6, 3),
+        }
+        if event.attrs:
+            record["args"] = dict(event.attrs)
+        trace_events.append(record)
+    # Counters and gauges are cumulative totals, sampled once at the end of
+    # the timeline so they render as a final value rather than a curve.
+    sample_ts = round(snapshot.end_time() * 1e6, 3)
+    for name in sorted(snapshot.counters):
+        trace_events.append(
+            {
+                "ph": "C",
+                "pid": 1,
+                "tid": 0,
+                "ts": sample_ts,
+                "name": name,
+                "args": {"value": snapshot.counters[name]},
+            }
+        )
+    for name in sorted(snapshot.gauges):
+        trace_events.append(
+            {
+                "ph": "C",
+                "pid": 1,
+                "tid": 0,
+                "ts": sample_ts,
+                "name": name,
+                "args": {"value": snapshot.gauges[name]},
+            }
+        )
+    document: Dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if snapshot.meta:
+        document["otherData"] = dict(snapshot.meta)
+    return document
+
+
+def write_chrome(snapshot: TraceSnapshot, path: str) -> None:
+    """Write the Chrome trace-event JSON document for a snapshot."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot_to_chrome(snapshot), handle, sort_keys=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------- #
+# human text summary
+# ---------------------------------------------------------------------- #
+def render_text_summary(snapshot: TraceSnapshot, top: int = 30) -> str:
+    """Aggregate table of span totals, counters, and gauges."""
+    lines: List[str] = []
+    lanes = sorted(snapshot.lanes) or [0]
+    lines.append(
+        f"trace: {len(snapshot.events)} spans, {len(snapshot.counters)} counters, "
+        f"{len(snapshot.gauges)} gauges, {len(lanes)} lane(s)"
+    )
+    for key in sorted(snapshot.meta):
+        lines.append(f"  {key}: {snapshot.meta[key]}")
+
+    root_wall = sum(e.duration for e in snapshot.events if e.parent_id == 0 and e.closed)
+    aggregate: Dict[tuple, List[float]] = {}
+    for event in snapshot.events:
+        bucket = aggregate.setdefault((event.category, event.name), [0, 0.0])
+        bucket[0] += 1
+        bucket[1] += max(event.duration, 0.0)
+    if aggregate:
+        lines.append("")
+        lines.append(f"{'category':<10} {'span':<32} {'count':>6} {'total ms':>10} {'mean ms':>9} {'%':>6}")
+        ranked = sorted(aggregate.items(), key=lambda item: (-item[1][1], item[0]))
+        for (category, name), (count, total) in ranked[:top]:
+            share = (100.0 * total / root_wall) if root_wall > 0 else 0.0
+            lines.append(
+                f"{category:<10} {name:<32} {count:>6d} {total * 1e3:>10.3f} "
+                f"{total * 1e3 / count:>9.3f} {share:>5.1f}%"
+            )
+        if len(ranked) > top:
+            lines.append(f"... {len(ranked) - top} more span name(s) elided")
+    if snapshot.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(snapshot.counters):
+            value = snapshot.counters[name]
+            rendered = f"{value:g}" if value == int(value) else f"{value:.6g}"
+            lines.append(f"  {name} = {rendered}")
+    if snapshot.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(snapshot.gauges):
+            lines.append(f"  {name} = {snapshot.gauges[name]:.6g}")
+    return "\n".join(lines)

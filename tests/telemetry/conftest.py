@@ -1,0 +1,28 @@
+"""Shared fixtures for the telemetry test suite."""
+
+import pytest
+
+from repro.telemetry.tracer import Tracer
+
+
+def make_clock(step=1.0, start=0.0):
+    """A deterministic monotonic clock: each reading advances by ``step``.
+
+    The first reading (the tracer epoch) returns ``start``, so span
+    timestamps and durations are exact multiples of ``step`` — byte-stable
+    golden-test material.
+    """
+    state = {"now": start}
+
+    def clock():
+        value = state["now"]
+        state["now"] += step
+        return value
+
+    return clock
+
+
+@pytest.fixture
+def clocked_tracer():
+    """A tracer on the deterministic clock (epoch 0.0, one tick per reading)."""
+    return Tracer(clock=make_clock())

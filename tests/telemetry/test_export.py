@@ -1,0 +1,239 @@
+"""Exporter schemas: JSONL golden lines, Chrome trace events, text summary."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.export import (
+    JSONL_FORMAT,
+    read_jsonl,
+    render_text_summary,
+    snapshot_to_chrome,
+    snapshot_to_jsonl_lines,
+    write_chrome,
+    write_jsonl,
+)
+from repro.telemetry.tracer import Tracer
+from tests.telemetry.conftest import make_clock
+
+
+def _sample_tracer():
+    """A small deterministic trace: two nested spans, counters, a gauge."""
+    tracer = Tracer(clock=make_clock())
+    with tracer.span("pipeline:run", category="pipeline", function="f") as run:
+        with tracer.span("pass:allocate", category="pass"):
+            tracer.count("store.hit", 0)
+            tracer.count("store.miss", 1)
+        run.set(spilled=2)
+    tracer.gauge("alloc.optimal_bb.nodes", 42)
+    return tracer
+
+
+# ---------------------------------------------------------------------- #
+# JSONL
+# ---------------------------------------------------------------------- #
+def test_jsonl_golden_lines():
+    lines = list(snapshot_to_jsonl_lines(_sample_tracer().snapshot()))
+    assert [json.loads(line) for line in lines] == [
+        {
+            "type": "meta",
+            "format": JSONL_FORMAT,
+            "spans": 2,
+            "counters": 2,
+            "gauges": 1,
+            "lanes": {"0": "main"},
+        },
+        {
+            "type": "span",
+            "id": 1,
+            "parent": 0,
+            "name": "pipeline:run",
+            "cat": "pipeline",
+            "ts": 1.0,
+            "dur": 3.0,
+            "depth": 0,
+            "lane": 0,
+            "attrs": {"function": "f", "spilled": 2},
+        },
+        {
+            "type": "span",
+            "id": 2,
+            "parent": 1,
+            "name": "pass:allocate",
+            "cat": "pass",
+            "ts": 2.0,
+            "dur": 1.0,
+            "depth": 1,
+            "lane": 0,
+        },
+        {"type": "counter", "name": "store.hit", "value": 0},
+        {"type": "counter", "name": "store.miss", "value": 1},
+        {"type": "gauge", "name": "alloc.optimal_bb.nodes", "value": 42.0},
+    ]
+    # Stability: identical snapshots serialize to identical bytes.
+    assert lines == list(snapshot_to_jsonl_lines(_sample_tracer().snapshot()))
+    assert all("\n" not in line for line in lines)
+
+
+def test_jsonl_round_trip_is_faithful(tmp_path):
+    snapshot = _sample_tracer().snapshot()
+    path = str(tmp_path / "trace.jsonl")
+    write_jsonl(snapshot, path)
+    loaded = read_jsonl(path)
+    assert loaded.span_names() == snapshot.span_names()
+    assert [(e.span_id, e.parent_id, e.depth, e.lane) for e in loaded.events] == [
+        (e.span_id, e.parent_id, e.depth, e.lane) for e in snapshot.events
+    ]
+    assert loaded.counters == snapshot.counters
+    assert loaded.gauges == snapshot.gauges
+    assert loaded.lanes == snapshot.lanes
+    # Load -> export -> load is a fixed point (integer counters come back
+    # as floats on the first load, so byte-stability starts there).
+    second_path = str(tmp_path / "trace2.jsonl")
+    write_jsonl(loaded, second_path)
+    assert read_jsonl(second_path) == loaded
+
+
+def test_jsonl_append_folds_blocks_with_unique_ids(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    write_jsonl(_sample_tracer().snapshot(), path)
+    write_jsonl(_sample_tracer().snapshot(), path, append=True)
+    loaded = read_jsonl(path)
+    assert loaded.span_names() == ["pipeline:run", "pass:allocate"] * 2
+    ids = [e.span_id for e in loaded.events]
+    assert len(set(ids)) == len(ids) == 4  # re-identified, no collisions
+    # The second block's root still points at its own block, not the first.
+    assert loaded.events[2].parent_id == 0
+    assert loaded.events[3].parent_id == loaded.events[2].span_id
+    assert loaded.counters == {"store.hit": 0, "store.miss": 2}  # accumulated
+
+
+def test_jsonl_open_span_clamps_duration(tmp_path):
+    tracer = Tracer(clock=make_clock())
+    tracer.span("never-closed")
+    path = str(tmp_path / "open.jsonl")
+    write_jsonl(tracer.snapshot(), path)
+    event = read_jsonl(path).events[0]
+    assert event.duration == -1.0 and not event.closed
+
+
+@pytest.mark.parametrize(
+    "lines, fragment",
+    [
+        (["not json"], "not valid JSON"),
+        (['["a", "list"]'], "expected an object"),
+        (['{"type": "meta", "format": "other/1"}'], "unknown trace format"),
+        (['{"type": "span", "id": 1}'], "span before meta header"),
+        (
+            [
+                '{"type": "meta", "format": "repro-trace/1"}',
+                '{"type": "span", "id": "x"}',
+            ],
+            "malformed span record",
+        ),
+        (
+            [
+                '{"type": "meta", "format": "repro-trace/1"}',
+                '{"type": "counter", "name": "n", "value": "NaN-ish"}',
+            ],
+            "malformed counter record",
+        ),
+        (
+            [
+                '{"type": "meta", "format": "repro-trace/1"}',
+                '{"type": "mystery"}',
+            ],
+            "unknown record type",
+        ),
+        ([], "no meta header"),
+    ],
+)
+def test_jsonl_malformed_inputs_raise_typed_errors(tmp_path, lines, fragment):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TelemetryError, match=fragment):
+        read_jsonl(str(path))
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace events
+# ---------------------------------------------------------------------- #
+def test_chrome_document_schema():
+    tracer = _sample_tracer()
+    with tracer.span("late"):  # exercise one more lane-0 span
+        pass
+    document = snapshot_to_chrome(tracer.snapshot())
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert metadata == [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name", "args": {"name": "main"}}
+    ]
+
+    complete = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert set(complete) == {"pipeline:run", "pass:allocate", "late"}
+    run = complete["pipeline:run"]
+    # Fake clock: start 1.0s -> ts 1e6 us, duration 3.0s -> dur 3e6 us.
+    assert (run["ts"], run["dur"]) == (1_000_000.0, 3_000_000.0)
+    assert run["cat"] == "pipeline" and run["tid"] == 0 and run["pid"] == 1
+    assert run["args"] == {"function": "f", "spilled": 2}
+
+    counters = [e for e in events if e["ph"] == "C"]
+    assert [(e["name"], e["args"]["value"]) for e in counters] == [
+        ("store.hit", 0),
+        ("store.miss", 1),
+        ("alloc.optimal_bb.nodes", 42.0),
+    ]
+    # Counter samples land at the end of the timeline ("late" closes at 6s).
+    assert all(e["ts"] == 6_000_000.0 for e in counters)
+
+
+def test_chrome_lanes_become_thread_rows():
+    parent = Tracer(clock=make_clock())
+    worker = Tracer(clock=make_clock())
+    with worker.span("work"):
+        pass
+    with parent.span("batch"):
+        parent.merge(worker.snapshot(), label="worker-0")
+    document = snapshot_to_chrome(parent.snapshot())
+    thread_names = {
+        e["tid"]: e["args"]["name"] for e in document["traceEvents"] if e["ph"] == "M"
+    }
+    assert thread_names == {0: "main", 1: "worker-0"}
+    lanes_by_name = {
+        e["name"]: e["tid"] for e in document["traceEvents"] if e["ph"] == "X"
+    }
+    assert lanes_by_name == {"batch": 0, "work": 1}
+
+
+def test_write_chrome_is_valid_json(tmp_path):
+    path = str(tmp_path / "trace.json")
+    write_chrome(_sample_tracer().snapshot(), path)
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert {e["ph"] for e in document["traceEvents"]} == {"M", "X", "C"}
+
+
+# ---------------------------------------------------------------------- #
+# text summary
+# ---------------------------------------------------------------------- #
+def test_text_summary_lists_spans_counters_and_gauges():
+    text = render_text_summary(_sample_tracer().snapshot())
+    assert "trace: 2 spans, 2 counters, 1 gauges, 1 lane(s)" in text
+    assert "pipeline:run" in text and "pass:allocate" in text
+    assert "store.miss = 1" in text
+    assert "alloc.optimal_bb.nodes = 42" in text
+    # The root span accounts for 100% of root wall time.
+    run_line = next(line for line in text.splitlines() if "pipeline:run" in line)
+    assert "100.0%" in run_line
+
+
+def test_text_summary_elides_beyond_top():
+    tracer = Tracer(clock=make_clock())
+    for index in range(5):
+        with tracer.span(f"span-{index}"):
+            pass
+    text = render_text_summary(tracer.snapshot(), top=2)
+    assert "... 3 more span name(s) elided" in text

@@ -1,0 +1,267 @@
+"""Tracer core: span nesting, counters/gauges, snapshots, merging, binding."""
+
+import pickle
+
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    scalar_attrs,
+    use_tracer,
+)
+from tests.telemetry.conftest import make_clock
+
+
+# ---------------------------------------------------------------------- #
+# spans
+# ---------------------------------------------------------------------- #
+def test_span_ids_follow_creation_order_and_nesting(clocked_tracer):
+    tracer = clocked_tracer
+    with tracer.span("outer") as outer:
+        with tracer.span("inner"):
+            pass
+        with tracer.span("sibling"):
+            pass
+        outer.set(note="done")
+    snapshot = tracer.snapshot()
+
+    assert snapshot.span_names() == ["outer", "inner", "sibling"]
+    outer_event, inner_event, sibling_event = snapshot.events
+    assert [e.span_id for e in snapshot.events] == [1, 2, 3]
+    assert outer_event.parent_id == 0 and outer_event.depth == 0
+    assert inner_event.parent_id == 1 and inner_event.depth == 1
+    assert sibling_event.parent_id == 1 and sibling_event.depth == 1
+    assert outer_event.attrs == {"note": "done"}
+    assert snapshot.children_of(1) == [inner_event, sibling_event]
+
+
+def test_span_timing_is_deterministic_under_injected_clock():
+    tracer = Tracer(clock=make_clock(step=1.0))
+    # Readings: epoch=0; outer start=1; inner start=2; inner end=3; outer end=4.
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer, inner = tracer.snapshot().events
+    assert (outer.start, outer.duration) == (1.0, 3.0)
+    assert (inner.start, inner.duration) == (2.0, 1.0)
+
+
+def test_open_span_has_negative_duration_until_closed(clocked_tracer):
+    tracer = clocked_tracer
+    span = tracer.span("open")
+    snapshot = tracer.snapshot()
+    assert snapshot.events[0].duration == -1.0 and not snapshot.events[0].closed
+    span.__exit__(None, None, None)
+    assert tracer.snapshot().events[0].closed
+
+
+def test_out_of_order_exit_does_not_corrupt_the_stack(clocked_tracer):
+    tracer = clocked_tracer
+    first = tracer.span("first")
+    second = tracer.span("second")
+    first.__exit__(None, None, None)  # exit the outer span first
+    with tracer.span("third"):
+        pass
+    second.__exit__(None, None, None)
+    events = {e.name: e for e in tracer.snapshot().events}
+    # "third" was opened while "second" was the innermost open span.
+    assert events["third"].parent_id == events["second"].span_id
+    # The stack is empty again: a new span is a root.
+    with tracer.span("fourth"):
+        pass
+    assert tracer.snapshot().find("fourth")[0].parent_id == 0
+
+
+def test_span_exceptions_still_close_the_span(clocked_tracer):
+    tracer = clocked_tracer
+    try:
+        with tracer.span("failing"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert tracer.snapshot().events[0].closed
+
+
+# ---------------------------------------------------------------------- #
+# counters / gauges
+# ---------------------------------------------------------------------- #
+def test_counters_accumulate_and_gauges_overwrite(clocked_tracer):
+    tracer = clocked_tracer
+    tracer.count("hits")
+    tracer.count("hits", 2)
+    tracer.count("misses", 0)
+    tracer.gauge("nodes", 10)
+    tracer.gauge("nodes", 3)
+    snapshot = tracer.snapshot()
+    assert snapshot.counters == {"hits": 3, "misses": 0}
+    assert snapshot.gauges == {"nodes": 3.0}
+
+
+# ---------------------------------------------------------------------- #
+# snapshots
+# ---------------------------------------------------------------------- #
+def test_snapshot_is_an_isolated_deep_copy(clocked_tracer):
+    tracer = clocked_tracer
+    with tracer.span("work", key="before"):
+        pass
+    tracer.count("n")
+    snapshot = tracer.snapshot()
+    # Later recording must not leak into the earlier snapshot.
+    tracer.events[0].attrs["key"] = "after"
+    tracer.count("n")
+    with tracer.span("more"):
+        pass
+    assert snapshot.events[0].attrs == {"key": "before"}
+    assert snapshot.counters == {"n": 1}
+    assert snapshot.span_names() == ["work"]
+
+
+def test_snapshot_round_trips_through_pickle(clocked_tracer):
+    tracer = clocked_tracer
+    with tracer.span("work", n=1):
+        tracer.count("c", 2)
+        tracer.gauge("g", 0.5)
+    snapshot = tracer.snapshot()
+    clone = pickle.loads(pickle.dumps(snapshot))
+    assert clone.span_names() == snapshot.span_names()
+    assert clone.counters == snapshot.counters
+    assert clone.gauges == snapshot.gauges
+    assert clone.events[0].attrs == snapshot.events[0].attrs
+
+
+def test_end_time_is_the_latest_closed_span_end():
+    tracer = Tracer(clock=make_clock())
+    with tracer.span("a"):
+        pass
+    still_open = tracer.span("late")
+    snapshot = tracer.snapshot()
+    # "a": start 1, end 2; the open span does not extend the timeline.
+    assert snapshot.end_time() == 2.0
+    still_open.__exit__(None, None, None)
+
+
+# ---------------------------------------------------------------------- #
+# merging worker snapshots
+# ---------------------------------------------------------------------- #
+def _worker_snapshot(names, counters=None, gauges=None):
+    worker = Tracer(clock=make_clock())
+    for name in names:
+        with worker.span(name):
+            pass
+    for key, value in (counters or {}).items():
+        worker.count(key, value)
+    for key, value in (gauges or {}).items():
+        worker.gauge(key, value)
+    return worker.snapshot()
+
+
+def test_merge_remaps_ids_lanes_and_attaches_under_open_span():
+    parent = Tracer(clock=make_clock())
+    with parent.span("batch"):
+        parent.merge(_worker_snapshot(["w-root"], counters={"c": 2}), label="worker-0")
+    snapshot = parent.snapshot()
+    batch, w_root = snapshot.events
+    assert w_root.name == "w-root"
+    assert w_root.span_id == 2  # re-identified into the parent's id space
+    assert w_root.parent_id == batch.span_id  # attached under the open span
+    assert w_root.depth == 1
+    assert w_root.lane == 1
+    assert snapshot.lanes == {0: "main", 1: "worker-0"}
+    assert snapshot.counters == {"c": 2}
+
+
+def test_merge_order_decides_lane_numbers_and_gauge_winner():
+    parent = Tracer(clock=make_clock())
+    parent.merge(_worker_snapshot(["a"], counters={"n": 1}, gauges={"g": 1.0}), label="worker-0")
+    parent.merge(_worker_snapshot(["b"], counters={"n": 2}, gauges={"g": 2.0}), label="worker-1")
+    snapshot = parent.snapshot()
+    assert snapshot.lanes == {0: "main", 1: "worker-0", 2: "worker-1"}
+    assert [e.lane for e in snapshot.events] == [1, 2]
+    assert snapshot.counters == {"n": 3}  # counters sum
+    assert snapshot.gauges == {"g": 2.0}  # last merge wins
+
+
+def test_merge_preserves_nested_worker_lanes_with_label_prefix():
+    # A worker that itself merged a sub-worker has two lanes; both must map
+    # to fresh parent lanes, the sub-lane keeping its label under a prefix.
+    middle = Tracer(clock=make_clock())
+    with middle.span("mid"):
+        middle.merge(_worker_snapshot(["leaf"]), label="sub-0")
+    parent = Tracer(clock=make_clock())
+    parent.merge(middle.snapshot(), label="worker-0")
+    snapshot = parent.snapshot()
+    assert snapshot.lanes == {0: "main", 1: "worker-0", 2: "worker-0/sub-0"}
+    lanes_by_name = {e.name: e.lane for e in snapshot.events}
+    assert lanes_by_name == {"mid": 1, "leaf": 2}
+
+
+def test_merge_of_empty_snapshot_still_claims_a_lane():
+    parent = Tracer(clock=make_clock())
+    parent.merge(Tracer(clock=make_clock()).snapshot(), label="idle-worker")
+    assert parent.snapshot().lanes == {0: "main", 1: "idle-worker"}
+
+
+def test_merge_is_deterministic_for_identical_inputs():
+    def build():
+        parent = Tracer(clock=make_clock())
+        with parent.span("batch"):
+            for index in range(3):
+                parent.merge(
+                    _worker_snapshot([f"run-{index}"], counters={"n": index}),
+                    label=f"worker-{index}",
+                )
+        return parent.snapshot()
+
+    first, second = build(), build()
+    assert first.span_names() == second.span_names()
+    assert [(e.span_id, e.parent_id, e.lane) for e in first.events] == [
+        (e.span_id, e.parent_id, e.lane) for e in second.events
+    ]
+    assert first.counters == second.counters
+    assert first.lanes == second.lanes
+
+
+# ---------------------------------------------------------------------- #
+# the no-op default and ambient binding
+# ---------------------------------------------------------------------- #
+def test_null_tracer_is_inert_and_shared():
+    assert isinstance(NULL_TRACER, NullTracer)
+    assert NULL_TRACER.enabled is False
+    handle = NULL_TRACER.span("anything", category="x", attr=1)
+    assert handle is NULL_TRACER.span("other")  # one shared no-op handle
+    with handle as entered:
+        entered.set(ignored=True)
+    NULL_TRACER.count("nope", 5)
+    NULL_TRACER.gauge("nope", 5)
+    NULL_TRACER.merge(Tracer().snapshot(), label="w")
+    empty = NULL_TRACER.snapshot()
+    assert empty.events == [] and empty.counters == {} and empty.gauges == {}
+
+
+def test_ambient_tracer_defaults_to_null_and_nests():
+    assert current_tracer() is NULL_TRACER
+    outer_tracer, inner_tracer = Tracer(), Tracer()
+    with use_tracer(outer_tracer):
+        assert current_tracer() is outer_tracer
+        with use_tracer(inner_tracer):
+            assert current_tracer() is inner_tracer
+        assert current_tracer() is outer_tracer
+    assert current_tracer() is NULL_TRACER
+
+
+def test_use_tracer_restores_binding_on_exception():
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert current_tracer() is NULL_TRACER
+
+
+def test_scalar_attrs_keeps_json_scalars_only():
+    assert scalar_attrs(None) == {}
+    assert scalar_attrs(
+        {"s": "x", "i": 1, "f": 0.5, "b": True, "none": None, "list": [1], "dict": {}}
+    ) == {"s": "x", "i": 1, "f": 0.5, "b": True, "none": None}
