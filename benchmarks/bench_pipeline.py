@@ -459,6 +459,92 @@ def test_noop_tracer_overhead_bound(capsys):
     assert results["noop_overhead_fraction"] < 0.05
 
 
+# ---------------------------------------------------------------------- #
+# allocation service: submit -> result latency, cold store vs warm store
+# ---------------------------------------------------------------------- #
+def measure_service_latency(jobs=8, statements=60, registers=6, seed_base=0):
+    """Measure end-to-end service latency over a fixed generated corpus.
+
+    Runs an in-process :class:`~repro.service.AllocationService` (HTTP and
+    all) twice over the same ``jobs`` single-function modules: once against
+    an empty store (every allocation computed) and once against the store
+    the first pass warmed, with a fresh queue so nothing dedupes.  Latency
+    is wall-clock submit -> terminal state per job, summed.  Asserts the
+    warm pass served every allocation from the cache (zero allocator
+    calls) and that both passes returned byte-identical function payloads.
+
+    Returns a dict shaped for the ``service_latency`` bench-history block
+    (``*_seconds`` metrics diff as lower-is-better).
+    """
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.ir.printer import print_function
+    from repro.service import AllocationService, ServiceClient
+
+    corpus = [
+        print_function(
+            generate_function(
+                f"svc_bench{i}",
+                GeneratorProfile(statements=statements, accumulators=10),
+                rng=seed_base + i,
+            )
+        )
+        for i in range(jobs)
+    ]
+
+    def one_pass(service, expect_misses):
+        client = ServiceClient(service.url)
+        elapsed = 0.0
+        results = []
+        for index, ir in enumerate(corpus):
+            started = time.perf_counter()
+            job_id = client.submit(
+                {"ir": ir, "name": f"svc_bench{index}", "allocator": "NL", "registers": registers}
+            )["job"]["id"]
+            job = client.wait(job_id, timeout=120.0, poll=0.005)
+            elapsed += time.perf_counter() - started
+            assert job["state"] == "done", f"bench job failed: {job['error']}"
+            results.append(job["result"]["functions"])
+        stats = client.stats()
+        assert stats["cache"]["miss"] == (jobs if expect_misses else 0), (
+            f"expected {'all misses' if expect_misses else 'zero allocator calls'}, "
+            f"got cache split {stats['cache']}"
+        )
+        return elapsed, results
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "cells.sqlite"
+        with AllocationService(store, Path(tmp) / "q_cold.sqlite", workers=2) as service:
+            cold_seconds, cold_results = one_pass(service, expect_misses=True)
+        # Fresh queue, warmed store: same work, zero allocator invocations.
+        with AllocationService(store, Path(tmp) / "q_warm.sqlite", workers=2) as service:
+            warm_seconds, warm_results = one_pass(service, expect_misses=False)
+
+    assert warm_results == cold_results, "warm service results diverged from cold"
+    return {
+        "jobs": jobs,
+        "statements": statements,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "mean_cold_seconds": round(cold_seconds / jobs, 6),
+        "mean_warm_seconds": round(warm_seconds / jobs, 6),
+    }
+
+
+def test_service_latency_warm_beats_nothing_but_asserts_cache(capsys):
+    """Smoke the service bench path (cache assertions, not wall-clock)."""
+    results = measure_service_latency(jobs=3, statements=30)
+    with capsys.disabled():
+        print(
+            f"\nservice submit->result latency ({results['jobs']} jobs): "
+            f"cold {results['cold_seconds'] * 1e3:.1f} ms, "
+            f"warm {results['warm_seconds'] * 1e3:.1f} ms"
+        )
+    assert results["cold_seconds"] > 0 and results["warm_seconds"] > 0
+
+
 def main(argv=None):
     """The ``--stages`` CLI used by the CI perf-smoke job."""
     import argparse
@@ -477,6 +563,18 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=FIXED_SEED)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "additionally measure allocation-service submit->result latency "
+            "(cold store vs warm store over HTTP) and include it in the "
+            "--json/--append-history payload as 'service_latency'"
+        ),
+    )
+    parser.add_argument(
+        "--service-jobs", type=int, default=8, help="jobs per service latency pass"
+    )
     parser.add_argument(
         "--json",
         default=None,
@@ -513,6 +611,16 @@ def main(argv=None):
         f"({speedup:.2f}x, floor {args.min_speedup:.1f}x)"
     )
     print("digest parity: ok; warm-store cells interchangeable across kernels: ok")
+
+    service_latency = None
+    if args.service:
+        service_latency = measure_service_latency(jobs=args.service_jobs)
+        print(
+            f"service latency ({service_latency['jobs']} jobs over HTTP): "
+            f"cold {service_latency['cold_seconds'] * 1e3:.1f} ms total, "
+            f"warm {service_latency['warm_seconds'] * 1e3:.1f} ms total "
+            f"(warm pass: zero allocator calls, byte-identical results)"
+        )
 
     if args.json or args.append_history:
         import json
@@ -566,6 +674,8 @@ def main(argv=None):
                 "noop_overhead_fraction": round(telemetry["noop_overhead_fraction"], 6),
             },
         }
+        if service_latency is not None:
+            payload["service_latency"] = service_latency
         if args.json:
             with open(args.json, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)

@@ -45,6 +45,30 @@ payloads for regressions::
     repro-alloc trace program.ir --format chrome -o trace.json
     repro-alloc stats trace.jsonl
     repro-alloc bench-diff BENCH_pipeline.json fresh.json --threshold 0.25
+
+Run the allocation service — a durable job queue + worker pool behind an
+HTTP API, with the experiment store as a read-through cache — then submit
+work and inspect it::
+
+    repro-alloc serve --store cells.sqlite --port 8713
+    repro-alloc submit --input program.ir --allocator NL --registers 4 --wait
+    repro-alloc jobs --stats
+
+Exit codes
+----------
+Every command uses the same three exit codes (pinned by the CLI test
+matrix; see :data:`EXIT_OK`):
+
+====  =========================================================
+code  meaning
+====  =========================================================
+0     success (including "checked and passed", "no regression")
+1     domain failure: bad input file, infeasible/failed check,
+      bench regression, failed/dead service job, unreachable
+      server — anything the *work* can be wrong about
+2     usage error: unknown flags/commands, malformed argument
+      values (argparse's own exit code)
+====  =========================================================
 """
 
 from __future__ import annotations
@@ -91,6 +115,18 @@ from repro.workloads.suites import SUITES
 
 DEFAULT_TARGET = "st231"
 
+#: the CLI exit-code contract — the single authoritative definition (the
+#: module docstring renders it as a table, ``tests/test_cli.py`` pins it
+#: across commands).  ``EXIT_USAGE`` is argparse's own code for usage
+#: errors; commands never return it directly.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+#: default port of `repro-alloc serve` (and the submit/jobs --url default).
+DEFAULT_SERVICE_PORT = 8713
+DEFAULT_SERVICE_URL = f"http://127.0.0.1:{DEFAULT_SERVICE_PORT}"
+
 
 def _package_version() -> str:
     """Installed distribution version, falling back to the module version."""
@@ -105,9 +141,9 @@ def _package_version() -> str:
 
 
 def _error(message: str) -> int:
-    """Print a clean error to stderr and return the CLI failure code."""
+    """Print a clean error to stderr and return :data:`EXIT_FAILURE`."""
     print(f"repro-alloc: error: {message}", file=sys.stderr)
-    return 1
+    return EXIT_FAILURE
 
 
 def _csv_names(text: str) -> List[str]:
@@ -391,6 +427,69 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="relative change in the bad direction that counts as a regression (default 0.25)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the allocation service (durable queue + workers + HTTP API)",
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        help="SQLite experiment store the workers read/write (the cache)",
+    )
+    serve.add_argument(
+        "--queue",
+        default=None,
+        help="job-queue database (default: derived from --store, *.queue.sqlite)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVICE_PORT,
+        help=f"bind port (default {DEFAULT_SERVICE_PORT}; 0 picks a free one)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads draining the queue (0 = accept-only, jobs stay pending)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit an allocation job to a running service"
+    )
+    submit.add_argument(
+        "--url", default=DEFAULT_SERVICE_URL, help=f"server base URL (default {DEFAULT_SERVICE_URL})"
+    )
+    submit.add_argument("--input", required=True, help="path to a .ir module or a graph .json/.json.gz")
+    submit.add_argument("--allocator", default="NL", help=f"one of {available_allocators()}")
+    submit.add_argument("--registers", type=int, default=None, help="register count")
+    submit.add_argument("--target", default=None, help="target machine (IR inputs only)")
+    submit.add_argument("--name", default=None, help="job name (defaults to the input stem)")
+    submit.add_argument("--non-ssa", action="store_true", help="use the non-SSA lowering")
+    submit.add_argument("--no-opt", action="store_true", help="skip the loadstore_opt stage")
+    submit.add_argument("--priority", type=int, default=0, help="queue priority (higher first)")
+    submit.add_argument(
+        "--max-attempts", type=int, default=None, help="retries before dead-lettering"
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the job finishes and print its result"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=120.0, help="--wait timeout in seconds"
+    )
+
+    jobs = subparsers.add_parser("jobs", help="inspect a running service's jobs and stats")
+    jobs.add_argument("id", nargs="?", default=None, help="show one job in full")
+    jobs.add_argument(
+        "--url", default=DEFAULT_SERVICE_URL, help=f"server base URL (default {DEFAULT_SERVICE_URL})"
+    )
+    jobs.add_argument("--state", default=None, help="filter the listing by state")
+    jobs.add_argument("--limit", type=int, default=20, help="listing length (default 20)")
+    jobs.add_argument(
+        "--stats", action="store_true", help="print the /v1/stats payload instead of a listing"
     )
 
     subparsers.add_parser("list", help="list allocators, suites and targets")
@@ -944,6 +1043,130 @@ def _command_oracle(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the allocation service until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.service.server import AllocationService
+
+    try:
+        service = AllocationService(
+            args.store,
+            args.queue,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+        ).start()
+    except ReproError as error:
+        return _error(str(error))
+    except OSError as error:
+        return _error(f"cannot bind {args.host}:{args.port}: {error}")
+    print(
+        f"serving on {service.url} "
+        f"(store {service.store_path}, queue {service.queue_path}, "
+        f"{args.workers} worker(s))",
+        file=sys.stderr,
+    )
+    if service.recovered:
+        print(
+            f"recovered {len(service.recovered)} interrupted job(s) from the queue",
+            file=sys.stderr,
+        )
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        stop.wait()
+    finally:
+        # Graceful: running jobs finish, pending jobs stay pending in the
+        # durable queue for the next `serve` to re-claim.
+        service.shutdown(drain=True)
+    print("shutdown: workers drained, queue closed", file=sys.stderr)
+    return EXIT_OK
+
+
+def _submission_body(args: argparse.Namespace) -> dict:
+    """Build a POST /v1/jobs body from the submit flags + input file."""
+    path = Path(args.input)
+    if not path.exists():
+        raise ReproError(f"input file not found: {args.input}")
+    name = args.name or path.stem
+    body: dict = {
+        "allocator": args.allocator,
+        "name": name,
+        "ssa": not args.non_ssa,
+        "opt": not args.no_opt,
+        "priority": args.priority,
+    }
+    if args.registers is not None:
+        body["registers"] = args.registers
+    if args.max_attempts is not None:
+        body["max_attempts"] = args.max_attempts
+    if path.name.endswith((".json", ".json.gz")):
+        from repro.graphs.io import graph_to_dict
+
+        body["graph"] = graph_to_dict(load_graph(path), name=name)
+    else:
+        body["ir"] = path.read_text()
+        if args.target is not None:
+            body["target"] = args.target
+    return body
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    """Submit one job; with --wait, follow it to a terminal state."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        response = client.submit(_submission_body(args))
+        job = response["job"]
+        status = "deduplicated" if response["deduped"] else "submitted"
+        print(f"{status}: job {job['id']} ({job['state']})", file=sys.stderr)
+        if not args.wait:
+            print(job["id"])
+            return EXIT_OK
+        job = client.wait(job["id"], timeout=args.timeout)
+    except ReproError as error:
+        return _error(str(error))
+    print(json.dumps(job, indent=2, sort_keys=True))
+    if job["state"] != "done":
+        return _error(f"job {job['id']} ended {job['state']}: {job.get('error')}")
+    return EXIT_OK
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    """Inspect a running service: one job, a listing, or /v1/stats."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return EXIT_OK
+        if args.id is not None:
+            print(json.dumps(client.job(args.id), indent=2, sort_keys=True))
+            return EXIT_OK
+        listing = client.jobs(state=args.state, limit=args.limit)
+    except ReproError as error:
+        return _error(str(error))
+    for job in listing:
+        print(
+            f"{job['id']}  {job['state']:8}  prio={job['priority']:<3} "
+            f"attempts={job['attempts']}/{job['max_attempts']}  "
+            f"{job['allocator'] or '-'} R={job['registers'] if job['registers'] is not None else '-'}  "
+            f"{job['name'] or ''}"
+        )
+    if not listing:
+        print("no jobs", file=sys.stderr)
+    return EXIT_OK
+
+
 def _command_list() -> int:
     """List the registered allocators, suites and targets."""
     print("allocators:", ", ".join(available_allocators()))
@@ -978,10 +1201,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_stats(args)
     if args.command == "bench-diff":
         return _command_bench_diff(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "submit":
+        return _command_submit(args)
+    if args.command == "jobs":
+        return _command_jobs(args)
     if args.command == "list":
         return _command_list()
     parser.error(f"unknown command {args.command!r}")
-    return 2
+    return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover

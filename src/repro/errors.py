@@ -107,3 +107,17 @@ class OracleError(ReproError):
 class TelemetryError(ReproError):
     """A trace or bench-history artifact is malformed (unknown format tag,
     corrupt JSONL record, non-numeric metric) and cannot be loaded."""
+
+
+class ServiceError(ReproError):
+    """An allocation-service request is invalid or a service operation
+    failed (malformed submission, unreachable server, unsupported store
+    backend).  The HTTP front end renders these as 4xx responses; the CLI
+    as clean exit-1 messages."""
+
+
+class QueueError(ServiceError):
+    """An invalid job-queue transition (completing a job that is not
+    running, failing an unknown job id, ...).  Indicates a worker raced a
+    state change it did not own — the queue refuses rather than corrupting
+    the job's lifecycle."""

@@ -29,6 +29,7 @@ in input order, so ``jobs`` never changes the output.
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -45,6 +46,10 @@ from repro.store.base import ExperimentStore, open_store
 from repro.telemetry.tracer import Tracer, current_tracer, scalar_attrs, use_tracer
 
 StoreLike = Union[ExperimentStore, str, Path, None]
+
+#: store backends already warned about parent-side persistence (one warning
+#: per backend per process — see :meth:`Pipeline._warn_parent_persist`).
+_PARENT_PERSIST_WARNED: set = set()
 
 
 class Pipeline:
@@ -255,6 +260,8 @@ class Pipeline:
         if self._store_backend == "sqlite" and self._store_path is not None:
             self._store.flush()
             worker_store_path = str(self._store_path)
+        elif self._store is not None:
+            self._warn_parent_persist()
 
         spec = self.spec
         indexed: List[Tuple[int, PipelineContext]] = []
@@ -283,6 +290,31 @@ class Pipeline:
         if self._store is not None:
             self._store.flush()
         return contexts
+
+    def _warn_parent_persist(self) -> None:
+        """One-time warning that this batch runs storeless in the workers.
+
+        Parallel ``run_many`` over a non-SQLite store (today: the JSONL
+        backend, or an in-memory/custom store without a shareable file)
+        silently loses the zero-allocator-call warm-cache guarantee — the
+        workers recompute and only the *parent* persists afterwards, so
+        every cell is still recorded, but nothing is *reused* inside the
+        batch.  Surface that once per backend per process instead of
+        letting the slowdown pass silently.
+        """
+        backend = self._store_backend or type(self._store).__name__
+        if backend in _PARENT_PERSIST_WARNED:
+            return
+        _PARENT_PERSIST_WARNED.add(backend)
+        warnings.warn(
+            f"run_many(jobs>1) with a {backend!r} store: workers cannot share "
+            "this backend, so the batch computes storeless in the workers and "
+            "the parent persists results afterwards (every cell is still "
+            "recorded, but in-batch cache reuse is lost). Use a SQLite store "
+            "for warm parallel batches.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def _persist_contexts(self, contexts: Sequence[PipelineContext]) -> None:
         """Parent-side persistence for batches whose workers ran storeless.

@@ -1,0 +1,46 @@
+"""Allocation-as-a-service: durable queue, worker pool, HTTP front end.
+
+The service turns the cache-first pipeline (PR 2's store + PR 4's engine)
+into a long-running server: submissions become durable jobs in a SQLite
+queue, worker threads drain them through :class:`~repro.pipeline.Pipeline`
+with the experiment store as a read-through cache, and a zero-dependency
+``http.server`` front end exposes submit/status/stats.  See
+:mod:`repro.service.jobs` for the job lifecycle and
+:mod:`repro.service.api` for the idempotency contract.
+"""
+
+from repro.service.api import execute_job, job_key, normalize_submission
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    DEAD,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    PENDING,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+)
+from repro.service.queue import JobQueue
+from repro.service.server import AllocationService, default_queue_path
+from repro.service.workers import ServiceTelemetry, WorkerPool
+
+__all__ = [
+    "DEAD",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "PENDING",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "AllocationService",
+    "Job",
+    "JobQueue",
+    "ServiceClient",
+    "ServiceTelemetry",
+    "WorkerPool",
+    "default_queue_path",
+    "execute_job",
+    "job_key",
+    "normalize_submission",
+]

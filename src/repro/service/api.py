@@ -1,0 +1,273 @@
+"""Request validation, idempotency keys and job execution.
+
+This module is the service's domain layer — everything the HTTP front end
+(:mod:`repro.service.server`) and the worker pool
+(:mod:`repro.service.workers`) do to a job body happens here, so it is
+directly testable without sockets.
+
+A submission body (``POST /v1/jobs``) is JSON with either
+
+* ``"ir"`` — textual IR (a module; every function in it is allocated), or
+* ``"graph"`` — a graph-JSON document (one pre-built interference graph,
+  ``"registers"`` required since there is no target to default from),
+
+plus the knobs ``allocator`` (registry name or alias), ``target``,
+``registers``, ``ssa``, ``opt``, ``name``, and the queue controls
+``priority`` / ``max_attempts``.
+
+Idempotency contract
+--------------------
+:func:`job_key` digests the *cache cells* a submission resolves to — the
+sorted ``(problem_digest, allocator, allocator_version, R)`` keys of PR 2's
+store contract, plus the lowering options that shaped them — **at submit
+time**.  Two submissions that allocate the same problems with the same
+allocator/version/R therefore collide on the key even if the IR text
+differs cosmetically (renamed module, reordered functions), and the queue
+returns the existing pending/running/done job instead of re-queueing.  The
+same cell keys drive the store lookup when the job runs, so a job whose
+cells are already cached completes without invoking an allocator at all.
+
+:func:`execute_job` returns ``result["functions"]`` built from the
+*deterministic* subset of each pipeline summary (timings and per-stage
+stats stripped), so a warm re-run and ``Pipeline.run`` produce
+byte-identical function payloads; the volatile measurements live under
+``result["meta"]``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.alloc.base import get_allocator
+from repro.alloc.problem import AllocationProblem
+from repro.errors import ReproError, ServiceError
+from repro.graphs.io import graph_from_dict
+from repro.ir.parser import parse_module
+from repro.pipeline.engine import Pipeline
+from repro.pipeline.passes import allocate_cell_key
+from repro.pipeline.spec import PipelineSpec
+from repro.store.keys import CellKey
+
+#: the submit-time key format tag (bump on any change to the digest layout).
+JOB_KEY_VERSION = "repro-service-job/1"
+
+#: summary() fields that vary run-to-run; everything else is deterministic.
+_VOLATILE_SUMMARY_FIELDS = ("timings", "stage_stats")
+
+#: front-end-only chain used to materialize problems at submit time.
+_FRONT_END_STAGES = ("liveness", "interference", "extract")
+
+_ALLOWED_FIELDS = {
+    "ir",
+    "graph",
+    "name",
+    "allocator",
+    "target",
+    "registers",
+    "ssa",
+    "opt",
+    "priority",
+    "max_attempts",
+}
+
+
+def _require_bool(body: Dict[str, Any], field: str, default: bool) -> bool:
+    value = body.get(field, default)
+    if not isinstance(value, bool):
+        raise ServiceError(f"field {field!r} must be a boolean, got {value!r}")
+    return value
+
+
+def _require_int(body: Dict[str, Any], field: str) -> Optional[int]:
+    value = body.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(f"field {field!r} must be an integer, got {value!r}")
+    return value
+
+
+def normalize_submission(body: Any) -> Dict[str, Any]:
+    """Validate a ``POST /v1/jobs`` body into the canonical queue payload.
+
+    Raises :class:`ServiceError` on any malformed field (the front end
+    renders it as HTTP 400).  The returned payload carries the canonical
+    allocator registry name (aliases resolved), so jobs submitted as
+    ``"layered"`` and ``"NL"`` share cache cells and idempotency keys.
+    """
+    if not isinstance(body, dict):
+        raise ServiceError(f"submission must be a JSON object, got {type(body).__name__}")
+    unknown = sorted(set(body) - _ALLOWED_FIELDS)
+    if unknown:
+        raise ServiceError(
+            f"unknown submission field(s) {unknown}; known fields: {sorted(_ALLOWED_FIELDS)}"
+        )
+    has_ir = "ir" in body
+    has_graph = "graph" in body
+    if has_ir == has_graph:
+        raise ServiceError('submission needs exactly one of "ir" or "graph"')
+
+    try:
+        allocator = get_allocator(str(body.get("allocator", "NL")))
+    except ReproError as error:
+        raise ServiceError(str(error)) from None
+    except KeyError as error:
+        raise ServiceError(str(error.args[0]) if error.args else str(error)) from None
+
+    registers = _require_int(body, "registers")
+    if registers is not None and registers < 0:
+        raise ServiceError(f"negative register count {registers}")
+    priority = _require_int(body, "priority") or 0
+    max_attempts = _require_int(body, "max_attempts")
+    if max_attempts is not None and max_attempts < 1:
+        raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+
+    payload: Dict[str, Any] = {
+        "allocator": allocator.name,
+        "registers": registers,
+        "ssa": _require_bool(body, "ssa", True),
+        "opt": _require_bool(body, "opt", True),
+        "priority": priority,
+        "max_attempts": max_attempts,
+    }
+    if has_ir:
+        ir = body["ir"]
+        if not isinstance(ir, str) or not ir.strip():
+            raise ServiceError('field "ir" must be a non-empty string of textual IR')
+        payload["kind"] = "ir"
+        payload["ir"] = ir
+        payload["target"] = str(body.get("target", "st231"))
+        payload["name"] = str(body.get("name", "module"))
+    else:
+        graph = body["graph"]
+        if not isinstance(graph, dict):
+            raise ServiceError('field "graph" must be a graph-JSON object')
+        if registers is None:
+            raise ServiceError('graph submissions require an explicit "registers" count')
+        if "target" in body:
+            raise ServiceError("graph submissions take no target (raw-problem contract)")
+        payload["kind"] = "graph"
+        payload["graph"] = graph
+        payload["target"] = None
+        payload["name"] = str(body.get("name", graph.get("name") or "problem"))
+    return payload
+
+
+def _payload_spec(payload: Dict[str, Any], **overrides: Any) -> PipelineSpec:
+    return PipelineSpec.parse(
+        {
+            "allocator": payload["allocator"],
+            "target": payload["target"],
+            "registers": payload["registers"],
+            "ssa": payload["ssa"],
+            "opt": payload["opt"],
+        },
+        **overrides,
+    )
+
+
+def submission_problems(payload: Dict[str, Any]) -> List[Tuple[str, AllocationProblem]]:
+    """Materialize the allocation problems a payload resolves to.
+
+    IR payloads run the front-end-only chain (liveness → interference →
+    extract) per function — exactly the analyses a full run would perform,
+    so the problems (and hence digests) match what the worker later keys
+    the cache with.  Raises :class:`ServiceError` on parse/build failures.
+    """
+    try:
+        if payload["kind"] == "graph":
+            problem = AllocationProblem(
+                graph=graph_from_dict(payload["graph"]),
+                num_registers=int(payload["registers"]),
+                name=payload["name"],
+            )
+            return [(payload["name"], problem)]
+        module = parse_module(payload["ir"], name=payload["name"])
+        pipeline = Pipeline(_payload_spec(payload, stages=_FRONT_END_STAGES))
+        out: List[Tuple[str, AllocationProblem]] = []
+        for function in module:
+            context = pipeline.run(function)
+            out.append((context.name, context.problem))
+        return out
+    except ServiceError:
+        raise
+    except ReproError as error:
+        raise ServiceError(f"invalid submission: {error}") from error
+
+
+def job_cells(payload: Dict[str, Any]) -> List[CellKey]:
+    """The store cell keys a payload's allocations will read/write."""
+    allocator = get_allocator(payload["allocator"])
+    target = payload["target"]
+    return [
+        allocate_cell_key(problem, allocator, target=target)
+        for _, problem in submission_problems(payload)
+    ]
+
+
+def job_key(payload: Dict[str, Any], cells: Optional[List[CellKey]] = None) -> str:
+    """The submission's idempotency key (see the module docstring)."""
+    if cells is None:
+        cells = job_cells(payload)
+    digest_input = {
+        "format": JOB_KEY_VERSION,
+        "cells": [cell.to_dict() for cell in sorted(cells or [])],
+        "options": {"ssa": payload["ssa"], "opt": payload["opt"]},
+    }
+    return hashlib.sha256(
+        json.dumps(digest_input, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+def deterministic_summary(summary: Dict[str, Any]) -> Dict[str, Any]:
+    """A pipeline summary with its volatile (measured) fields stripped."""
+    return {k: v for k, v in summary.items() if k not in _VOLATILE_SUMMARY_FIELDS}
+
+
+def execute_job(payload: Dict[str, Any], store: Any) -> Dict[str, Any]:
+    """Run one job's allocations through the pipeline, cache-first.
+
+    Returns ``{"functions": [...], "meta": {...}}`` where ``functions``
+    holds the deterministic per-function summaries (byte-identical between
+    a cold run, a warm cache-hit run and a direct ``Pipeline.run``) and
+    ``meta`` the volatile measurements: the allocate-stage cache split and
+    per-stage seconds.  Cache accounting comes from the stage stats, so
+    the result is the same with or without an ambient tracer bound; the
+    worker pool additionally binds a per-job tracer around this call so
+    the run's ``store.hit``/``store.miss`` counters land in the service
+    aggregate.
+    """
+    pipeline = Pipeline(_payload_spec(payload), store=store)
+    contexts = []
+    if payload["kind"] == "graph":
+        problem = AllocationProblem(
+            graph=graph_from_dict(payload["graph"]),
+            num_registers=int(payload["registers"]),
+            name=payload["name"],
+        )
+        contexts.append(pipeline.run_problem(problem))
+    else:
+        module = parse_module(payload["ir"], name=payload["name"])
+        for function in module:
+            contexts.append(pipeline.run(function))
+
+    functions: List[Dict[str, Any]] = []
+    cache = {"hit": 0, "miss": 0, "off": 0}
+    stage_seconds: Dict[str, float] = {}
+    for context in contexts:
+        summary = context.summary()
+        functions.append(deterministic_summary(summary))
+        allocate_stats = summary.get("stage_stats", {}).get("allocate", {})
+        mode = allocate_stats.get("cache", "off")
+        cache[mode] = cache.get(mode, 0) + 1
+        for stage, seconds in summary.get("timings", {}).items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+    return {
+        "functions": functions,
+        "meta": {
+            "cache": cache,
+            "stage_seconds": {k: round(v, 6) for k, v in sorted(stage_seconds.items())},
+        },
+    }

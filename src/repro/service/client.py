@@ -1,0 +1,90 @@
+"""A small urllib client for the allocation service.
+
+Used by the ``repro-alloc submit``/``jobs`` CLI commands, the bench
+harness's ``--service`` mode and the CI smoke job — anything that talks to
+a running server over the wire.  Transport and HTTP-level failures surface
+as :class:`~repro.errors.ServiceError` (the server's own ``{"error": ...}``
+bodies are unwrapped into the message), so CLI callers render them as
+clean exit-1 diagnostics rather than tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.jobs import TERMINAL_STATES
+
+
+class ServiceClient:
+    """HTTP client bound to one server base URL (e.g. ``http://127.0.0.1:8713``)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, body: Optional[Dict[str, Any]] = None) -> Any:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read()).get("error", "")
+            except Exception:
+                detail = ""
+            message = f"{method} {path} failed: HTTP {error.code}"
+            raise ServiceError(f"{message}: {detail}" if detail else message) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach allocation service at {self.base_url}: {error.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/jobs``; returns ``{"job": ..., "deduped": ...}``."""
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None, limit: int = 100) -> List[Dict[str, Any]]:
+        query = f"?limit={int(limit)}" + (f"&state={state}" if state else "")
+        return self._request("GET", "/v1/jobs" + query)["jobs"]
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:g}s waiting for job {job_id} "
+                    f"(state {job['state']!r})"
+                )
+            time.sleep(poll)

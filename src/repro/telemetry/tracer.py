@@ -41,6 +41,7 @@ need byte-stable output inject a fake ``clock``.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
@@ -303,26 +304,37 @@ class Tracer:
 # ---------------------------------------------------------------------- #
 # the ambient tracer
 # ---------------------------------------------------------------------- #
-_CURRENT: Any = NULL_TRACER
+class _AmbientBinding(threading.local):
+    """Per-thread ambient-tracer slot, defaulting to the no-op tracer."""
+
+    tracer: Any = NULL_TRACER
+
+
+_AMBIENT = _AmbientBinding()
 
 
 def current_tracer() -> Any:
     """The ambient tracer instrumentation points record into.
 
-    Defaults to :data:`NULL_TRACER`; rebind with :class:`use_tracer`.  One
-    binding per process — pool workers start at the default and build their
-    own tracer when the parent requests traced execution.
-    """
-    return _CURRENT
+    Defaults to :data:`NULL_TRACER`; rebind with :class:`use_tracer`.  The
+    binding is **per thread**: a fresh thread (or pool worker process)
+    starts at the no-op default and builds its own tracer when traced
+    execution is requested — the allocation service relies on this to run
+    one independent tracer per worker thread without cross-talk, merging
+    snapshots into its aggregate afterwards."""
+    return _AMBIENT.tracer
 
 
 class use_tracer:
-    """Context manager binding ``tracer`` as the ambient tracer.
+    """Context manager binding ``tracer`` as this thread's ambient tracer.
 
     Re-entrant and nestable; the previous binding is restored on exit::
 
         with use_tracer(tracer):
             ...  # current_tracer() is `tracer` here
+
+    The binding is thread-local (see :func:`current_tracer`), so
+    concurrently executing threads can each hold their own tracer.
     """
 
     __slots__ = ("_tracer", "_previous")
@@ -332,14 +344,12 @@ class use_tracer:
         self._previous: Any = None
 
     def __enter__(self) -> Any:
-        global _CURRENT
-        self._previous = _CURRENT
-        _CURRENT = self._tracer
+        self._previous = _AMBIENT.tracer
+        _AMBIENT.tracer = self._tracer
         return self._tracer
 
     def __exit__(self, *exc_info: object) -> bool:
-        global _CURRENT
-        _CURRENT = self._previous
+        _AMBIENT.tracer = self._previous
         return False
 
 

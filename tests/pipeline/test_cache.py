@@ -101,8 +101,13 @@ def test_sweep_warms_the_engine_and_the_engine_warms_the_sweep(store_path):
         assert manifest.cells_computed == 0
 
 
+@pytest.mark.filterwarnings("ignore:run_many.jobs>1.:RuntimeWarning")
 def test_parallel_jsonl_batches_never_append_duplicate_cells(tmp_path):
-    """JSONL workers run storeless; the parent must persist only new cells."""
+    """JSONL workers run storeless; the parent must persist only new cells.
+
+    (The parent-persist RuntimeWarning itself is pinned in
+    tests/pipeline/test_jsonl_parallel_fallback.py; it is ignored here.)
+    """
     fns = _functions(3)
     path = str(tmp_path / "cache.jsonl")
     with Pipeline.from_spec("NL", target="st231", registers=3, store=path) as pipe:
@@ -119,6 +124,7 @@ def test_parallel_jsonl_batches_never_append_duplicate_cells(tmp_path):
     assert len(lines) == len(fns)
 
 
+@pytest.mark.filterwarnings("ignore:run_many.jobs>1.:RuntimeWarning")
 def test_parallel_jsonl_batch_dedups_duplicate_inputs(tmp_path):
     """The same function twice in one batch must persist one cell, not two."""
     fn = _functions(1)[0]

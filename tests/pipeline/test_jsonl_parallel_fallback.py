@@ -1,0 +1,101 @@
+"""The JSONL parallel-batch fallback: warned once, but no cell ever lost.
+
+``run_many(jobs>1)`` cannot share a JSONL store with its workers (the
+backend is append-only), so it silently used to recompute storeless and
+persist through the parent.  These tests pin the two halves of the fix:
+the fallback now *warns* (once per backend, naming it), and — the part
+that must keep working — the parent-side persistence still records every
+cell, identically to what a SQLite-backed batch stores.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.pipeline import Pipeline
+from repro.pipeline import engine as engine_module
+from repro.store import open_store
+
+IR = """\
+func @f0(%a, %b) {
+entry:
+  %x = add %a, %b
+  %y = mul %x, %a
+  ret %y
+}
+
+func @f1(%a, %b, %c) {
+entry:
+  %x = add %a, %b
+  %y = mul %x, %c
+  %z = sub %y, %a
+  ret %z
+}
+
+func @f2(%a) {
+entry:
+  %x = add %a, %a
+  %y = mul %x, %x
+  %z = add %y, %x
+  %w = sub %z, %a
+  ret %w
+}
+"""
+
+SPEC = {"allocator": "NL", "registers": 2, "target": "st231"}
+
+
+@pytest.fixture()
+def fresh_warning_state(monkeypatch):
+    """Isolate the one-warning-per-process latch from other tests."""
+    monkeypatch.setattr(engine_module, "_PARENT_PERSIST_WARNED", set())
+
+
+def _functions():
+    return list(parse_module(IR, name="m"))
+
+
+def test_jsonl_parallel_batch_warns_once_naming_backend(tmp_path, fresh_warning_state):
+    pipeline = Pipeline.from_spec(SPEC, store=tmp_path / "cells.jsonl")
+    with pytest.warns(RuntimeWarning, match="'jsonl' store"):
+        pipeline.run_many(_functions(), jobs=2)
+    # Latched: the second parallel batch does not warn again.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        pipeline.run_many(_functions(), jobs=2)
+    pipeline.close()
+
+
+def test_sqlite_parallel_batch_does_not_warn(tmp_path, fresh_warning_state):
+    pipeline = Pipeline.from_spec(SPEC, store=tmp_path / "cells.sqlite")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        pipeline.run_many(_functions(), jobs=2)
+    pipeline.close()
+
+
+def test_fallback_still_records_every_cell(tmp_path, fresh_warning_state):
+    """The warning changes nothing about persistence: the JSONL store ends
+    up with exactly the cells a SQLite-backed batch produces."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        jsonl = Pipeline.from_spec(SPEC, store=tmp_path / "cells.jsonl")
+        jsonl.run_many(_functions(), jobs=2)
+        jsonl.close()
+    sqlite = Pipeline.from_spec(SPEC, store=tmp_path / "cells.sqlite")
+    sqlite.run_many(_functions(), jobs=2)
+    sqlite.close()
+
+    a = open_store(tmp_path / "cells.jsonl")
+    b = open_store(tmp_path / "cells.sqlite")
+    try:
+        keys_a = set(a.keys())
+        keys_b = set(b.keys())
+    finally:
+        a.close()
+        b.close()
+    assert len(keys_a) == 3
+    assert keys_a == keys_b

@@ -1,0 +1,119 @@
+"""Tests of submission validation, the idempotency key and job execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.graphs.io import graph_to_dict
+from repro.pipeline import Pipeline
+from repro.service import api
+from repro.store import open_store
+
+IR = """\
+func @f(%a, %b) {
+entry:
+  %x = add %a, %b
+  %y = mul %x, %a
+  %z = add %x, %y
+  ret %z
+}
+"""
+
+
+# ---------------------------------------------------------------------- #
+# validation
+# ---------------------------------------------------------------------- #
+def test_normalize_rejects_malformed_bodies():
+    with pytest.raises(ServiceError):
+        api.normalize_submission("not an object")
+    with pytest.raises(ServiceError):
+        api.normalize_submission({})  # neither ir nor graph
+    with pytest.raises(ServiceError):
+        api.normalize_submission({"ir": IR, "graph": {}})  # both
+    with pytest.raises(ServiceError):
+        api.normalize_submission({"ir": ""})  # empty IR
+    with pytest.raises(ServiceError):
+        api.normalize_submission({"ir": IR, "bogus_field": 1})
+    with pytest.raises(ServiceError):
+        api.normalize_submission({"ir": IR, "allocator": "no-such-allocator"})
+    with pytest.raises(ServiceError):
+        api.normalize_submission({"ir": IR, "registers": "four"})
+    with pytest.raises(ServiceError):
+        api.normalize_submission({"ir": IR, "ssa": "yes"})
+    with pytest.raises(ServiceError):
+        api.normalize_submission({"ir": IR, "max_attempts": 0})
+    with pytest.raises(ServiceError):
+        api.normalize_submission({"graph": {"vertices": []}})  # no registers
+
+
+def test_normalize_resolves_allocator_aliases():
+    a = api.normalize_submission({"ir": IR, "allocator": "NL"})
+    b = api.normalize_submission({"ir": IR, "allocator": "nl"})
+    assert a["allocator"] == b["allocator"]
+
+
+def test_bad_ir_surfaces_as_service_error():
+    payload = api.normalize_submission({"ir": "func oops {"})
+    with pytest.raises(ServiceError):
+        api.submission_problems(payload)
+
+
+# ---------------------------------------------------------------------- #
+# the idempotency key
+# ---------------------------------------------------------------------- #
+def test_job_key_ignores_cosmetic_renames():
+    base = api.normalize_submission({"ir": IR, "registers": 3})
+    renamed = api.normalize_submission({"ir": IR, "registers": 3, "name": "other"})
+    assert api.job_key(base) == api.job_key(renamed)
+
+
+def test_job_key_depends_on_allocator_registers_and_options():
+    base = api.normalize_submission({"ir": IR, "registers": 3})
+    keys = {api.job_key(base)}
+    for variant in (
+        {"ir": IR, "registers": 2},
+        {"ir": IR, "registers": 3, "allocator": "BFPL"},
+        {"ir": IR, "registers": 3, "ssa": False},
+        # A real program change (one extra live value), not just a rename —
+        # renames canonicalize away in SSA form and *should* share a key.
+        {"ir": IR.replace("ret %z", "%w = add %z, %x\n  ret %w"), "registers": 3},
+    ):
+        keys.add(api.job_key(api.normalize_submission(variant)))
+    assert len(keys) == 5  # every variant changed the key
+
+
+def test_job_key_of_graph_submission(conftest_graph=None):
+    from tests.conftest import build_paper_figure4_graph
+
+    doc = graph_to_dict(build_paper_figure4_graph(), name="fig4")
+    payload = api.normalize_submission({"graph": doc, "registers": 2})
+    other = api.normalize_submission({"graph": doc, "registers": 2, "name": "renamed"})
+    assert api.job_key(payload) == api.job_key(other)
+    fewer = api.normalize_submission({"graph": doc, "registers": 1})
+    assert api.job_key(payload) != api.job_key(fewer)
+
+
+# ---------------------------------------------------------------------- #
+# execution
+# ---------------------------------------------------------------------- #
+def test_execute_job_matches_pipeline_run(tmp_path):
+    payload = api.normalize_submission({"ir": IR, "allocator": "NL", "registers": 2})
+    store = open_store(tmp_path / "cells.sqlite")
+    result = api.execute_job(payload, store)
+    store.flush()
+
+    assert result["meta"]["cache"] == {"hit": 0, "miss": 1, "off": 0}
+    # A warm re-run returns byte-identical functions, all cache hits.
+    warm = api.execute_job(payload, store)
+    assert warm["functions"] == result["functions"]
+    assert warm["meta"]["cache"] == {"hit": 1, "miss": 0, "off": 0}
+    store.close()
+
+    # And both equal a direct storeless Pipeline.run's deterministic summary.
+    from repro.ir.parser import parse_module
+
+    module = parse_module(IR, name="module")
+    pipeline = Pipeline.from_spec({"allocator": "NL", "registers": 2, "target": "st231"})
+    direct = [api.deterministic_summary(pipeline.run(f).summary()) for f in module]
+    assert direct == result["functions"]

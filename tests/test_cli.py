@@ -296,3 +296,83 @@ def test_cli_requires_command():
 def test_cli_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "figure99"])
+
+
+# ---------------------------------------------------------------------- #
+# the exit-code contract (the table in repro.cli's module docstring)
+# ---------------------------------------------------------------------- #
+class TestExitCodeContract:
+    """Pin 0 = ok, 1 = domain failure, 2 = usage across the sub-commands.
+
+    The single authoritative definition is ``repro.cli.EXIT_OK`` /
+    ``EXIT_FAILURE`` / ``EXIT_USAGE``; these tests keep every command on
+    it.  Usage errors exit via argparse (SystemExit with code 2), domain
+    failures return 1 from ``main`` without a traceback.
+    """
+
+    def test_constants_are_the_documented_table(self):
+        from repro.cli import EXIT_FAILURE, EXIT_OK, EXIT_USAGE
+
+        assert (EXIT_OK, EXIT_FAILURE, EXIT_USAGE) == (0, 1, 2)
+
+    # -- exit 0: success ------------------------------------------------ #
+    def test_success_matrix(self, tmp_path, capsys):
+        path = _write_example_ir(tmp_path)
+        store = str(tmp_path / "cells.sqlite")
+        for argv in (
+            ["list"],
+            ["allocate", "--input", str(path), "--registers", "3"],
+            ["check", "--input", str(path)],
+            ["oracle", "--replay"],
+            [
+                "sweep", "--suite", "lao_kernels", "--allocators", "BFPL",
+                "--registers", "4", "--scale", "0.1", "--max-instances", "2",
+                "--store", store,
+            ],
+        ):
+            assert main(argv) == 0, f"expected exit 0 from {argv}"
+            capsys.readouterr()
+
+    # -- exit 1: domain failures ---------------------------------------- #
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            # missing/invalid input files
+            ["allocate", "--input", "/no/such/file.ir"],
+            ["check", "--input", "/no/such/file.ir"],
+            # missing sweep selection (flags parse, the *work* is unspecified)
+            ["sweep", "--store", "unused.sqlite"],
+            # the service refuses a JSONL store (workers cannot share it)
+            ["serve", "--store", "cells.jsonl", "--port", "0"],
+            # no server listening on a reserved port
+            ["submit", "--url", "http://127.0.0.1:9", "--input", "x.ir"],
+            ["jobs", "--url", "http://127.0.0.1:9"],
+        ],
+    )
+    def test_domain_failures_exit_1_without_traceback(self, argv, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        if argv[0] == "submit":
+            (tmp_path / "x.ir").write_text("func @f(%a) {\nentry:\n  ret %a\n}\n")
+        assert main(argv) == 1, f"expected exit 1 from {argv}"
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert "Traceback" not in captured.err
+
+    # -- exit 2: usage errors ------------------------------------------- #
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["no-such-command"],
+            ["allocate"],  # missing required --input
+            ["allocate", "--input", "x.ir", "--registers", "lots"],
+            ["allocate", "--input", "x.ir", "--emit", "bogus"],
+            ["serve"],  # missing required --store
+            ["sweep"],  # missing required --store
+            ["submit"],  # missing required --input
+            ["oracle", "--count", "many"],
+        ],
+    )
+    def test_usage_errors_exit_2(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2, f"expected usage exit 2 from {argv}"
