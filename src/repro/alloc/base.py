@@ -29,6 +29,13 @@ class Allocator(abc.ABC):
     #: cost, tie-breaking); pure speedups with identical output keep the tag,
     #: so previously cached cells stay valid.
     version: str = "1"
+    #: whether :meth:`allocate` honors
+    #: :attr:`AllocationProblem.constraints
+    #: <repro.alloc.problem.AllocationProblem.constraints>` (register
+    #: classes, pre-coloring, aliasing).  The pipeline refuses to run a
+    #: constrained problem through a non-supporting allocator — silently
+    #: ignoring constraints would produce assignments the verifier rejects.
+    supports_constraints: bool = False
 
     @abc.abstractmethod
     def allocate(self, problem: AllocationProblem) -> AllocationResult:

@@ -1,0 +1,220 @@
+"""Per-variable register-file constraints on an allocation problem.
+
+A :class:`ProblemConstraints` value makes an
+:class:`~repro.alloc.problem.AllocationProblem` *constraint-aware*: instead
+of ``R`` interchangeable colors, the problem allocates over a concrete
+ordered register file (the target's :meth:`allocatable
+<repro.targets.machine.TargetMachine.allocatable>` names), with optional
+per-variable register-class restrictions, pre-colorings and register
+aliasing.  Everything is canonical, hashable and JSON-able so constraints
+can fold into the store's ``problem_digest`` — and the entire object is
+*optional*: an unconstrained problem carries ``None`` and hashes, solves
+and assigns exactly as it always did.
+
+Variables are keyed by their *string* form (``str(vertex)``), which is how
+graph vertices, store records and IR register names already round-trip.
+
+:func:`auto_constraints` derives a deterministic constraint set for any
+graph/target pair from SHA-256 hashes of variable base names — no RNG, no
+process-dependent ordering — which is what ``PipelineSpec(constrain=f)``
+and the oracle's constrained campaigns use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.targets.machine import TargetMachine
+
+
+@dataclass(frozen=True)
+class ProblemConstraints:
+    """Register-file structure attached to one allocation problem.
+
+    Attributes
+    ----------
+    registers:
+        The concrete allocatable register names, in allocation order.  A
+        problem with ``R`` registers allocates over ``registers[:R]``.
+    classes:
+        Declared register classes as ``(name, members)`` pairs; per-variable
+        class constraints reference these names.
+    var_class:
+        ``(variable, class name)`` pairs restricting a variable to a class.
+    pre_colored:
+        ``(variable, register)`` pairs pinning a variable to one register
+        (it may still be spilled; if allocated, it must get that register).
+    aliases:
+        Pairs of distinct register names that overlap in hardware;
+        interfering variables must not receive aliasing registers.
+    """
+
+    registers: Tuple[str, ...]
+    classes: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    var_class: Tuple[Tuple[str, str], ...] = ()
+    pre_colored: Tuple[Tuple[str, str], ...] = ()
+    aliases: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.registers)) != len(self.registers):
+            raise ValueError("constraint register file lists duplicate names")
+
+    # ------------------------------------------------------------------ #
+    # accessors (tuple storage keeps the value hashable/canonical; these
+    # build the convenient mapping forms on demand — instances are small)
+    # ------------------------------------------------------------------ #
+    def class_map(self) -> Dict[str, Tuple[str, ...]]:
+        """Declared classes as ``name -> members``."""
+        return {name: members for name, members in self.classes}
+
+    def var_class_map(self) -> Dict[str, str]:
+        """Per-variable class constraints as ``variable -> class name``."""
+        return {variable: cls for variable, cls in self.var_class}
+
+    def pre_color_map(self) -> Dict[str, str]:
+        """Pre-colorings as ``variable -> register``."""
+        return {variable: register for variable, register in self.pre_colored}
+
+    def alias_closure(self) -> Dict[str, FrozenSet[str]]:
+        """Symmetric aliasing map: register -> registers it overlaps."""
+        closure: Dict[str, set] = {}
+        for first, second in self.aliases:
+            closure.setdefault(first, set()).add(second)
+            closure.setdefault(second, set()).add(first)
+        return {name: frozenset(others) for name, others in closure.items()}
+
+    def conflicts(self, first: str, second: str) -> bool:
+        """Whether two register names collide (identity or hardware alias)."""
+        if first == second:
+            return True
+        return second in self.alias_closure().get(first, frozenset())
+
+    def allowed(self, variable: str, num_registers: Optional[int] = None) -> Tuple[str, ...]:
+        """The registers ``variable`` may receive, in allocation order.
+
+        ``num_registers`` truncates the file to the problem's ``R`` budget
+        first (the register-count sweeps of the paper).  A pre-colored
+        variable is allowed exactly its register (when in budget); a
+        class-constrained variable its class's allocatable members; any
+        other variable the whole (truncated) file.  Unknown class names
+        yield an empty allowance — the ``TGT001`` checker reports them.
+        """
+        file = self.registers if num_registers is None else self.registers[:num_registers]
+        pre = self.pre_color_map().get(variable)
+        if pre is not None:
+            return (pre,) if pre in file else ()
+        cls = self.var_class_map().get(variable)
+        if cls is not None:
+            members = set(self.class_map().get(cls, ()))
+            return tuple(name for name in file if name in members)
+        return file
+
+    # ------------------------------------------------------------------ #
+    # canonical forms
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical JSON-able form (sorted where order is not semantic)."""
+        return {
+            "registers": list(self.registers),
+            "classes": sorted([name, list(members)] for name, members in self.classes),
+            "var_class": sorted([v, c] for v, c in self.var_class),
+            "pre_colored": sorted([v, r] for v, r in self.pre_colored),
+            "aliases": sorted(sorted([a, b]) for a, b in self.aliases),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical payload (folds into ``problem_digest``)."""
+        return hashlib.sha256(
+            json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":")).encode("utf-8")
+        ).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_target(
+        cls,
+        target: TargetMachine,
+        var_class: Optional[Mapping[str, str]] = None,
+        pre_colored: Optional[Mapping[str, str]] = None,
+    ) -> "ProblemConstraints":
+        """Build constraints over ``target``'s allocatable file.
+
+        The register order, declared classes and aliasing pairs come from
+        the target description; ``var_class`` / ``pre_colored`` add the
+        per-variable restrictions.
+        """
+        return cls(
+            registers=target.allocatable(),
+            classes=tuple(
+                (rc.name, tuple(rc.members)) for rc in target.register_classes
+            ),
+            var_class=tuple(sorted((var_class or {}).items())),
+            pre_colored=tuple(sorted((pre_colored or {}).items())),
+            aliases=tuple(tuple(pair) for pair in target.aliasing),
+        )
+
+
+def _base_name(variable: str) -> str:
+    """The SSA-rename-invariant base of a variable name (``x.3`` -> ``x``)."""
+    return variable.split(".", 1)[0]
+
+
+def _bucket(token: str, salt: str) -> int:
+    """Deterministic 0..9999 bucket of ``token`` (stable across processes)."""
+    digest = hashlib.sha256(f"{salt}/{token}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % 10_000
+
+
+def auto_constraints(
+    graph: Graph,
+    target: TargetMachine,
+    fraction: float = 0.25,
+) -> ProblemConstraints:
+    """Derive deterministic per-variable constraints for ``graph`` on ``target``.
+
+    Roughly ``fraction`` of the variables get a register-class constraint
+    (drawn from the target's declared classes) and a quarter of *those* are
+    additionally pre-colored to one member of their class.  Choices hash the
+    variable's *base* name, so SSA renaming does not change a variable's
+    constraint and any process derives the same set — no RNG is consumed.
+    Targets without declared classes constrain over the plain allocatable
+    file (pre-coloring only).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"constraint fraction must be in [0, 1], got {fraction}")
+    classes = [(rc.name, tuple(rc.members)) for rc in target.register_classes]
+    allocatable = target.allocatable()
+    var_class: Dict[str, str] = {}
+    pre_colored: Dict[str, str] = {}
+    threshold = int(round(fraction * 10_000))
+    for variable in sorted({_base_name(str(v)) for v in graph.vertices()}):
+        if _bucket(variable, f"{target.name}:pick") >= threshold:
+            continue
+        allowed: Tuple[str, ...] = allocatable
+        if classes:
+            name, members = classes[_bucket(variable, f"{target.name}:class") % len(classes)]
+            chosen = tuple(r for r in allocatable if r in set(members))
+            if chosen:
+                var_class[variable] = name
+                allowed = chosen
+        if allowed and _bucket(variable, f"{target.name}:pin") < 2_500:
+            pre_colored[variable] = allowed[_bucket(variable, f"{target.name}:reg") % len(allowed)]
+    # Constraints key the *full* vertex names so allocators and checkers can
+    # look vertices up directly; every SSA version of a base name shares its
+    # constraint.
+    by_vertex_class: Dict[str, str] = {}
+    by_vertex_pre: Dict[str, str] = {}
+    for vertex in graph.vertices():
+        base = _base_name(str(vertex))
+        if base in var_class:
+            by_vertex_class[str(vertex)] = var_class[base]
+        if base in pre_colored:
+            by_vertex_pre[str(vertex)] = pre_colored[base]
+    return ProblemConstraints.from_target(
+        target, var_class=by_vertex_class, pre_colored=by_vertex_pre
+    )

@@ -28,9 +28,15 @@ from typing import Dict, List, Optional, Set
 
 from repro.alloc.base import register_allocator
 from repro.alloc.biased import bias_weights
-from repro.alloc.layered import LayeredOptimalAllocator, optimal_layer
+from repro.alloc.layered import (
+    LayeredOptimalAllocator,
+    constrained_setup,
+    optimal_layer,
+    register_candidates,
+)
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
+from repro.errors import AllocationError
 from repro.graphs.cliques import Clique
 from repro.graphs.graph import Vertex
 from repro.telemetry.tracer import current_tracer
@@ -44,6 +50,8 @@ class FixedPointLayeredAllocator(LayeredOptimalAllocator):
 
     def allocate(self, problem: AllocationProblem) -> AllocationResult:
         """Run Algorithm 3: R layers, then extra stable sets until saturation."""
+        if problem.constraints is not None:
+            return self._allocate_constrained(problem)
         graph = problem.graph
         weights = self.layer_weights(problem)
         num_registers = problem.num_registers
@@ -122,6 +130,93 @@ class FixedPointLayeredAllocator(LayeredOptimalAllocator):
                 "fixed_point_rounds": extra_rounds,
                 "saturated_cliques": len(cliques) - len(allowed),
                 "total_cliques": len(cliques),
+            },
+        )
+
+    def _allocate_constrained(self, problem: AllocationProblem) -> AllocationResult:
+        """Constrained FPL: per-register rounds, then fixed-point extension.
+
+        Phase 1 is the constrained NL layering (one stable set per concrete
+        register).  Phase 2 replaces the clique-saturation Update — which
+        assumes ``R`` interchangeable colors — with its constrained
+        analogue: repeatedly *extend* each register's layer with another
+        stable set over the still-compatible candidates (allowed to hold
+        that register, not adjacent to the layer's members or to aliasing
+        layers) until a full sweep grows nothing.  Every extension keeps the
+        layer an independent set bound to one register, so the fixed point
+        is sound by construction.
+        """
+        if self.step != 1:
+            raise AllocationError(
+                f"constrained layered allocation requires step=1, got {self.step}"
+            )
+        graph = problem.graph
+        weights = self.layer_weights(problem)
+        tracer = current_tracer()
+        if problem.num_registers <= 0:
+            return self._result(
+                problem, [], stats={"layers": 0, "fixed_point_rounds": 0, "constrained": True}
+            )
+        peo = problem.peo if self.shared_peo else None
+        _constraints, registers, allowed, alias = constrained_setup(problem)
+
+        remaining = set(graph.vertices())
+        layers: Dict[str, List[Vertex]] = {}
+
+        def grow(register: str) -> bool:
+            """One stable-set extension of ``register``'s layer; True if it grew."""
+            candidates = register_candidates(graph, register, remaining, allowed, layers, alias)
+            for member in layers.get(register, []):
+                candidates.difference_update(graph.neighbors(member))
+            if not candidates:
+                return False
+            layer = optimal_layer(graph, candidates, weights=weights, step=1, peo=peo)
+            if tracer.enabled:
+                tracer.count("alloc.frank.calls")
+                tracer.count("alloc.frank.peo_reused" if peo is not None else "alloc.frank.peo_recomputed")
+            if not layer:
+                return False
+            layers.setdefault(register, []).extend(layer)
+            remaining.difference_update(layer)
+            return True
+
+        rounds = 0
+        with tracer.span("alloc:layered_phase", category="alloc", allocator=self.name) as phase:
+            for register in registers:
+                if not remaining:
+                    break
+                if grow(register):
+                    rounds += 1
+            phase.set(layers=rounds)
+
+        extra_rounds = 0
+        with tracer.span("alloc:fixed_point_phase", category="alloc", allocator=self.name) as phase:
+            changed = True
+            while changed and remaining:
+                changed = False
+                for register in registers:
+                    if not remaining:
+                        break
+                    if grow(register):
+                        extra_rounds += 1
+                        changed = True
+            phase.set(rounds=extra_rounds, saturated_cliques=0)
+        if tracer.enabled:
+            tracer.count("alloc.fixed_point.rounds", extra_rounds)
+
+        allocated = [v for members in layers.values() for v in members]
+        return self._result(
+            problem,
+            allocated,
+            stats={
+                "layers": rounds,
+                "fixed_point_rounds": extra_rounds,
+                "candidates_left": len(remaining),
+                "constrained": True,
+                "register_layers": {
+                    register: sorted(str(v) for v in members)
+                    for register, members in layers.items()
+                },
             },
         )
 

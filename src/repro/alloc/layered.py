@@ -32,9 +32,10 @@ suite pins down.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.alloc.base import Allocator, register_allocator
+from repro.alloc.constraints import ProblemConstraints
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
 from repro.errors import AllocationError
@@ -88,6 +89,53 @@ def optimal_layer(
     return list(allocated)
 
 
+# ---------------------------------------------------------------------- #
+# constrained layering: shared by NL/BL (one round per register) and by
+# FPL/BFPL (same rounds, then fixed-point layer extension)
+# ---------------------------------------------------------------------- #
+def constrained_setup(
+    problem: AllocationProblem,
+) -> Tuple[ProblemConstraints, List[str], Dict[Vertex, FrozenSet[str]], Dict[str, FrozenSet[str]]]:
+    """Precompute the per-round constraint data of one constrained run.
+
+    Returns ``(constraints, registers, allowed, alias)`` where ``registers``
+    is the file truncated to the problem's ``R`` budget, ``allowed`` maps
+    each vertex to the registers it may receive within that budget, and
+    ``alias`` is the symmetric aliasing closure.
+    """
+    constraints = problem.constraints
+    if constraints is None:
+        raise AllocationError("constrained_setup needs a problem with constraints")
+    registers = list(constraints.registers[: problem.num_registers])
+    allowed = {
+        v: frozenset(constraints.allowed(str(v), problem.num_registers))
+        for v in problem.graph.vertices()
+    }
+    return constraints, registers, allowed, constraints.alias_closure()
+
+
+def register_candidates(
+    graph: Graph,
+    register: str,
+    remaining: Set[Vertex],
+    allowed: Dict[Vertex, FrozenSet[str]],
+    layers: Dict[str, List[Vertex]],
+    alias: Dict[str, FrozenSet[str]],
+) -> Set[Vertex]:
+    """Vertices that may join ``register``'s layer this round.
+
+    A candidate must still be unallocated, have ``register`` in its allowed
+    set, and not interfere with any variable already holding a register that
+    *aliases* ``register`` (identical registers are handled by the stable-set
+    search itself: one round, one stable set).
+    """
+    banned: Set[Vertex] = set()
+    for other in alias.get(register, frozenset()):
+        for member in layers.get(other, []):
+            banned.update(graph.neighbors(member))
+    return {v for v in remaining if register in allowed[v] and v not in banned}
+
+
 class LayeredOptimalAllocator(Allocator):
     """Paper Algorithm 2: the plain ("naive") layered-optimal allocator NL.
 
@@ -100,6 +148,7 @@ class LayeredOptimalAllocator(Allocator):
 
     name = "NL"
     version = "1"
+    supports_constraints = True
 
     def __init__(self, step: int = 1, shared_peo: bool = True) -> None:
         if step < 1:
@@ -121,6 +170,8 @@ class LayeredOptimalAllocator(Allocator):
 
     def allocate(self, problem: AllocationProblem) -> AllocationResult:
         """Run the layered allocation and return the allocated set."""
+        if problem.constraints is not None:
+            return self._allocate_constrained(problem)
         graph = problem.graph
         candidates: Set[Vertex] = set(graph.vertices())
         allocated: List[Vertex] = []
@@ -166,6 +217,67 @@ class LayeredOptimalAllocator(Allocator):
             problem,
             allocated,
             stats={"layers": rounds, "step": self.step, "candidates_left": len(candidates)},
+        )
+
+    def _allocate_constrained(self, problem: AllocationProblem) -> AllocationResult:
+        """Constrained layering: one round per concrete register.
+
+        Each of the (at most ``R``) allocatable registers gets one round: a
+        maximum weighted stable set searched over the vertices *allowed* to
+        hold that register (class/pre-color restrictions, minus neighbors of
+        aliasing layers) — the same candidate-mask Frank search as the
+        unconstrained rounds, so the dense and set-based kernels stay in
+        lockstep.  A layer is sound by construction: it is a stable set
+        bound to one register, and aliasing registers never touch
+        interfering vertices.  Pre-colored variables are candidates only in
+        their register's round (conservative: the round order is the file
+        order, not weight-driven).
+        """
+        if self.step != 1:
+            raise AllocationError(
+                f"constrained layered allocation requires step=1, got {self.step}"
+            )
+        graph = problem.graph
+        weights = self.layer_weights(problem)
+        tracer = current_tracer()
+        peo: Optional[Sequence[Vertex]] = problem.peo if self.shared_peo else None
+        _constraints, registers, allowed, alias = constrained_setup(problem)
+
+        remaining: Set[Vertex] = set(graph.vertices())
+        layers: Dict[str, List[Vertex]] = {}
+        rounds = 0
+        for register in registers:
+            if not remaining:
+                break
+            candidates = register_candidates(graph, register, remaining, allowed, layers, alias)
+            if not candidates:
+                continue
+            layer = optimal_layer(graph, candidates, weights=weights, step=1, peo=peo)
+            if tracer.enabled:
+                tracer.count("alloc.frank.calls")
+                tracer.count("alloc.frank.peo_reused" if peo is not None else "alloc.frank.peo_recomputed")
+            if not layer:
+                continue
+            layers[register] = list(layer)
+            remaining.difference_update(layer)
+            rounds += 1
+        if tracer.enabled:
+            tracer.count("alloc.layered.rounds", rounds)
+
+        allocated = [v for members in layers.values() for v in members]
+        return self._result(
+            problem,
+            allocated,
+            stats={
+                "layers": rounds,
+                "step": self.step,
+                "candidates_left": len(remaining),
+                "constrained": True,
+                "register_layers": {
+                    register: sorted(str(v) for v in members)
+                    for register, members in layers.items()
+                },
+            },
         )
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.alloc.base import Allocator, register_allocator
+from repro.alloc.constraints import ProblemConstraints
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
 from repro.errors import SearchBudgetError
@@ -114,6 +115,119 @@ def solve_branch_and_bound(
     return best_set, best_weight
 
 
+def solve_branch_and_bound_constrained(
+    graph: Graph,
+    constraints: ProblemConstraints,
+    num_registers: int,
+    max_nodes: int = 200_000,
+) -> Tuple[Dict[Vertex, str], float]:
+    """Exact constrained optimum: ``(assignment, allocated_weight)``.
+
+    Unlike the unconstrained solver — which counts colors through clique
+    capacities — the constrained search branches on *concrete* registers:
+    each vertex (decreasing weight order) either takes one of its allowed
+    registers that no interfering neighbor holds (identity or aliasing
+    conflict) or spills.  This is exact for the constrained
+    spill-everywhere problem on any graph, at a branching factor of
+    ``|allowed| + 1`` per vertex; ``max_nodes`` bounds the search exactly
+    like the unconstrained budget.
+
+    Registers with identical *constraint signatures* — the same hardware
+    alias set and the same set of variables allowed to use them — are
+    interchangeable while unused, so the search branches on at most one
+    fresh register per signature group (the classic coloring symmetry
+    break).  Without it a file of ``R`` mutually-symmetric registers
+    multiplies the search by up to ``R!``.
+    """
+    registers = constraints.registers[:num_registers]
+    if num_registers <= 0 or not registers:
+        return {}, 0.0
+    alias = constraints.alias_closure()
+    vertices: List[Vertex] = sorted(graph.vertices(), key=lambda v: (-graph.weight(v), str(v)))
+    weights = [graph.weight(v) for v in vertices]
+    suffix = [0.0] * (len(vertices) + 1)
+    for i in range(len(vertices) - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + weights[i]
+    allowed: Dict[Vertex, Tuple[str, ...]] = {
+        v: constraints.allowed(str(v), num_registers) for v in vertices
+    }
+
+    # Symmetry groups: swapping two unused registers with equal signatures
+    # maps any completion to an equally-valid, equal-weight one.
+    membership: Dict[str, Set[str]] = {register: set() for register in registers}
+    for vertex in vertices:
+        for register in allowed[vertex]:
+            membership[register].add(str(vertex))
+    group_of: Dict[str, int] = {}
+    groups: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], int] = {}
+    for register in registers:
+        signature = (
+            tuple(sorted(alias.get(register, frozenset()))),
+            tuple(sorted(membership[register])),
+        )
+        group_of[register] = groups.setdefault(signature, len(groups))
+
+    best_weight = -1.0
+    best_assignment: Dict[Vertex, str] = {}
+    assignment: Dict[Vertex, str] = {}
+    used_count: Dict[str, int] = {register: 0 for register in registers}
+    explored = 0
+
+    def dfs(index: int, current_weight: float) -> None:
+        nonlocal best_weight, best_assignment, explored
+        explored += 1
+        if explored > max_nodes:
+            raise SearchBudgetError(
+                f"constrained branch-and-bound budget of {max_nodes} nodes "
+                f"exceeded (|V|={len(vertices)})"
+            )
+        if current_weight > best_weight:
+            best_weight = current_weight
+            best_assignment = dict(assignment)
+        if index == len(vertices):
+            return
+        if current_weight + suffix[index] <= best_weight:
+            return
+        vertex = vertices[index]
+        neighbors = graph.neighbors(vertex)
+        fresh_groups: Set[int] = set()
+        for register in allowed[vertex]:
+            if used_count[register] == 0:
+                group = group_of[register]
+                if group in fresh_groups:
+                    continue
+                fresh_groups.add(group)
+            conflicting = alias.get(register, frozenset())
+            if any(
+                neighbor in assignment
+                and (assignment[neighbor] == register or assignment[neighbor] in conflicting)
+                for neighbor in neighbors
+            ):
+                continue
+            assignment[vertex] = register
+            used_count[register] += 1
+            dfs(index + 1, current_weight + weights[index])
+            used_count[register] -= 1
+            del assignment[vertex]
+        # Spill branch.
+        dfs(index + 1, current_weight)
+
+    tracer = current_tracer()
+    try:
+        dfs(0, 0.0)
+    except SearchBudgetError:
+        if tracer.enabled:
+            tracer.count("alloc.optimal_bb.budget_exhausted")
+        raise
+    finally:
+        if tracer.enabled:
+            tracer.count("alloc.optimal_bb.solves")
+            tracer.count("alloc.optimal_bb.nodes_total", explored)
+            tracer.gauge("alloc.optimal_bb.nodes", explored)
+            tracer.gauge("alloc.optimal_bb.budget_used", explored / max_nodes if max_nodes else 1.0)
+    return best_assignment, best_weight
+
+
 class BranchAndBoundAllocator(Allocator):
     """Exact optimal allocator backed by the branch-and-bound solver."""
 
@@ -124,12 +238,35 @@ class BranchAndBoundAllocator(Allocator):
     #: contract, hence the bump (stale v1 cells must not be served warm
     #: for instances a cold run can no longer decide).
     version = "2"
+    supports_constraints = True
 
     def __init__(self, max_nodes: int = 200_000) -> None:
         self.max_nodes = max_nodes
 
     def allocate(self, problem: AllocationProblem) -> AllocationResult:
         """Solve the instance exactly."""
+        if problem.constraints is not None:
+            assignment, _ = solve_branch_and_bound_constrained(
+                problem.graph,
+                problem.constraints,
+                problem.num_registers,
+                max_nodes=self.max_nodes,
+            )
+            register_layers: Dict[str, List[str]] = {}
+            for vertex, register in assignment.items():
+                register_layers.setdefault(register, []).append(str(vertex))
+            return self._result(
+                problem,
+                assignment.keys(),
+                stats={
+                    "backend": "branch-and-bound-constrained",
+                    "constrained": True,
+                    "register_layers": {
+                        register: sorted(members)
+                        for register, members in sorted(register_layers.items())
+                    },
+                },
+            )
         allocated, _ = solve_branch_and_bound(
             problem.graph,
             problem.num_registers,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.alloc.constraints import ProblemConstraints
 from repro.analysis.live_ranges import LiveInterval
 from repro.errors import AllocationError, NotChordalError
 from repro.graphs.chordal import (
@@ -30,6 +31,13 @@ class AllocationProblem:
         allocators).  Interval register names must match graph vertices.
     name:
         Human-readable instance name (benchmark/function), used in reports.
+    constraints:
+        Optional register-file constraints
+        (:class:`~repro.alloc.constraints.ProblemConstraints`): concrete
+        register names, per-variable classes/pre-colorings, aliasing.
+        ``None`` — the default, and the only value historical problems ever
+        carried — keeps digests, allocator behaviour and assignments
+        byte-identical to the unconstrained stack.
 
     Expensive derived structures (chordality, a perfect elimination order and
     the maximal cliques) are computed lazily and cached because several
@@ -53,6 +61,7 @@ class AllocationProblem:
     num_registers: int
     intervals: Optional[List[LiveInterval]] = None
     name: str = ""
+    constraints: Optional[ProblemConstraints] = None
     _chordal: Optional[bool] = field(default=None, repr=False)
     _peo: Optional[List[Vertex]] = field(default=None, repr=False)
     _cliques: Optional[List[Clique]] = field(default=None, repr=False)
@@ -191,6 +200,7 @@ class AllocationProblem:
             num_registers=num_registers,
             intervals=self.intervals,
             name=self.name,
+            constraints=self.constraints,
         )
         clone._chordal = self._chordal
         clone._peo = self._peo

@@ -60,6 +60,7 @@ from repro.check.registry import (
     run_checkers,
 )
 from repro.check.ssa import SSAChecker, ssa_diagnostics
+from repro.check.targets import TargetChecker, target_diagnostics
 
 for _cls in (
     CFGChecker,
@@ -69,6 +70,7 @@ for _cls in (
     InterferenceChecker,
     AllocationChecker,
     AssignmentChecker,
+    TargetChecker,
     SpillChecker,
 ):
     if not is_registered_checker(_cls.name):
@@ -107,4 +109,5 @@ __all__ = [
     "spill_diagnostics",
     "ssa_diagnostics",
     "static_errors",
+    "target_diagnostics",
 ]

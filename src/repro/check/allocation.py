@@ -189,8 +189,13 @@ def assignment_diagnostics(
             )
         )
     if target is not None:
-        budget = min(problem.num_registers, target.num_registers)
-        valid = set(list(target.register_names().values())[:budget])
+        # The binding file is the *allocatable* one: reserved registers are
+        # not valid assignment names even when R covers them (TGT004 flags
+        # reserved-register use specifically; this check keeps rejecting any
+        # name outside the usable file).
+        allocatable = target.allocatable()
+        budget = min(problem.num_registers, len(allocatable))
+        valid = set(allocatable[:budget])
         foreign = sorted(used - valid)
         if foreign:
             diagnostics.append(

@@ -34,6 +34,7 @@ ALL_CHECKERS: Tuple[str, ...] = (
     "interference",
     "allocation",
     "assignment-check",
+    "target",
     "spill",
 )
 

@@ -1,0 +1,139 @@
+"""Target/register-file postconditions (``TGT001``–``TGT004``).
+
+The machine-model counterpart of the ``ALLOC005``–``008`` assignment
+checks: where those validate an assignment against the *abstract* problem
+(interference, register budget), this family validates it against the
+*target's register-file structure* — declared classes, hardware aliasing,
+pre-colorings and the reserved set:
+
+* ``TGT001`` — a per-variable class constraint references a register class
+  the problem never declared;
+* ``TGT002`` — interfering variables hold registers that alias in hardware
+  (distinct names, same silicon);
+* ``TGT003`` — a pre-colored variable was assigned a different register;
+* ``TGT004`` — the assignment hands out a register the target reserves
+  (stack pointer, zero register, ...).
+
+``TGT004`` needs only a target and an assignment, so it guards *every*
+pipeline run; the other three apply when the problem carries
+:class:`~repro.alloc.constraints.ProblemConstraints`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.alloc.problem import AllocationProblem
+from repro.alloc.result import AllocationResult
+from repro.check.diagnostics import Diagnostic, Location
+from repro.check.registry import Checker, CheckRequest
+from repro.graphs.graph import Vertex
+from repro.targets.machine import TargetMachine
+
+
+def target_diagnostics(
+    problem: AllocationProblem,
+    result: Optional[AllocationResult] = None,
+    assignment: Optional[Dict[Vertex, str]] = None,
+    target: Optional[TargetMachine] = None,
+    function_name: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Register-file diagnostics for one (possibly constrained) allocation."""
+    diagnostics: List[Diagnostic] = []
+    constraints = problem.constraints
+
+    if constraints is not None:
+        declared = set(constraints.class_map())
+        for variable, cls in sorted(constraints.var_class):
+            if cls not in declared:
+                diagnostics.append(
+                    Diagnostic(
+                        code="TGT001",
+                        message=(
+                            f"variable {variable} is constrained to unknown "
+                            f"register class {cls!r}"
+                        ),
+                        location=Location(function=function_name, operand=variable),
+                        hint=f"declared classes: {sorted(declared)}",
+                    )
+                )
+
+    if assignment:
+        if constraints is not None:
+            alias = constraints.alias_closure()
+            graph = problem.graph
+            for vertex in sorted(assignment, key=str):
+                register = assignment[vertex]
+                for neighbor in graph.neighbors(vertex):
+                    if neighbor not in assignment or not str(vertex) < str(neighbor):
+                        continue
+                    other = assignment[neighbor]
+                    if other in alias.get(register, frozenset()):
+                        diagnostics.append(
+                            Diagnostic(
+                                code="TGT002",
+                                message=(
+                                    f"interfering variables {vertex} and {neighbor} "
+                                    f"hold aliasing registers {register!r} and {other!r}"
+                                ),
+                                location=Location(
+                                    function=function_name,
+                                    operand=f"{vertex}, {neighbor}",
+                                ),
+                                hint="aliasing registers overlap in hardware",
+                            )
+                        )
+            pre_colored = constraints.pre_color_map()
+            for vertex in sorted(assignment, key=str):
+                wanted = pre_colored.get(str(vertex))
+                if wanted is not None and assignment[vertex] != wanted:
+                    diagnostics.append(
+                        Diagnostic(
+                            code="TGT003",
+                            message=(
+                                f"variable {vertex} is pre-colored to {wanted!r} "
+                                f"but was assigned {assignment[vertex]!r}"
+                            ),
+                            location=Location(function=function_name, operand=str(vertex)),
+                            hint="pre-colored variables must keep their register or spill",
+                        )
+                    )
+        if target is not None:
+            reserved = set(target.reserved_registers)
+            offenders = sorted(
+                {register for register in assignment.values() if register in reserved}
+            )
+            if offenders:
+                diagnostics.append(
+                    Diagnostic(
+                        code="TGT004",
+                        message=(
+                            f"assignment uses reserved register(s) {offenders} of "
+                            f"target {target.name!r}"
+                        ),
+                        location=Location(
+                            function=function_name, operand=", ".join(offenders)
+                        ),
+                        hint="allocate from TargetMachine.allocatable() only",
+                    )
+                )
+    return diagnostics
+
+
+class TargetChecker(Checker):
+    """Register-file structure vs assignment (``TGT001``–``TGT004``)."""
+
+    name = "target"
+    codes = ("TGT001", "TGT002", "TGT003", "TGT004")
+    requires = ("problem",)
+
+    def run(self, request: CheckRequest) -> List[Diagnostic]:
+        context = request.context
+        assert context.problem is not None
+        return target_diagnostics(
+            context.problem,
+            result=context.result,
+            assignment=context.assignment,
+            target=context.target,
+            function_name=context.name or None,
+        )

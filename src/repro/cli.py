@@ -193,6 +193,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the loadstore_opt stage (keep naive spill-everywhere code)",
     )
     allocate.add_argument(
+        "--constrain",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "derive machine-model constraints (register classes, "
+            "pre-colorings) for this fraction of variables at the extract "
+            "stage; restricts --allocator to the constraint-aware family"
+        ),
+    )
+    allocate.add_argument(
         "--emit",
         choices=("ir", "json", "summary"),
         default="summary",
@@ -347,6 +358,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--non-ssa",
         action="store_true",
         help="check the non-SSA lowering path (general graphs) instead of SSA",
+    )
+    oracle.add_argument(
+        "--constrain",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "fuzz with machine-model constraints on this fraction of "
+            "variables (restricts the allocator set to the constraint-aware "
+            "family)"
+        ),
     )
     oracle.add_argument("--jobs", type=int, default=1, help="worker processes for the fuzz batch")
     oracle.add_argument(
@@ -510,6 +532,7 @@ def _allocate_spec(args: argparse.Namespace, is_graph: bool) -> PipelineSpec:
         registers=args.registers,
         target=None if is_graph else args.target,
         opt=False if args.no_opt else None,
+        constrain=getattr(args, "constrain", None),
     )
     if spec.registers is None:
         spec = dataclasses.replace(spec, registers=8)
@@ -990,6 +1013,7 @@ def _command_oracle(args: argparse.Namespace) -> int:
                 case.target or DEFAULT_TARGET,
                 case.registers or 4,
                 ssa=case.ssa,
+                constrain=case.constrain,
             )
             print(f"{case.path.name}: {check.status}")
             if check.failed:
@@ -1011,6 +1035,7 @@ def _command_oracle(args: argparse.Namespace) -> int:
             ssa=not args.non_ssa,
             jobs=args.jobs,
             minimize_failures=not args.no_minimize,
+            constrain=args.constrain,
         ).validate()
     except ValueError as error:
         return _error(str(error))

@@ -61,12 +61,18 @@ class CampaignConfig:
     #: cap on how many distinct failures get the (expensive) minimizer; the
     #: rest are still reported.
     max_minimized: int = 5
+    #: derive machine-model constraints for this fraction of variables at
+    #: the extract stage (``None`` = unconstrained, the historical shape).
+    #: Restricts the allocator set to the constraint-aware family.
+    constrain: Optional[float] = None
 
     def validate(self) -> "CampaignConfig":
         if self.count < 0:
             raise ValueError(f"count must be >= 0, got {self.count}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.constrain is not None and not 0.0 <= self.constrain <= 1.0:
+            raise ValueError(f"constrain fraction {self.constrain} outside [0, 1]")
         if self.size not in SIZE_PROFILES:
             raise ValueError(
                 f"unknown program size {self.size!r}; available: {sorted(SIZE_PROFILES)}"
@@ -85,7 +91,21 @@ class CampaignConfig:
         return self.targets or tuple(sorted(ALL_TARGETS))
 
     def resolved_allocators(self) -> Dict[str, str]:
-        return canonical_allocators(self.allocators or None)
+        resolved = canonical_allocators(self.allocators or None)
+        if self.constrain is not None:
+            from repro.alloc.base import get_allocator
+
+            resolved = {
+                canonical: registry_name
+                for canonical, registry_name in resolved.items()
+                if get_allocator(registry_name).supports_constraints
+            }
+            if not resolved:
+                raise ValueError(
+                    "constrained campaign selected no constraint-aware "
+                    "allocator (NL/BL/FPL/BFPL/Optimal-BB)"
+                )
+        return resolved
 
 
 @dataclass
@@ -162,6 +182,7 @@ def _run_shard(
                     ssa=config.ssa,
                     argument_sets=DEFAULT_ARGUMENT_SETS,
                     max_steps=config.max_steps,
+                    constrain=config.constrain,
                 ):
                     checks += 1
                     if check.status == "ok":
@@ -212,6 +233,7 @@ def _minimize_failures(
             failure.kinds,
             ssa=config.ssa,
             max_steps=config.max_steps,
+            constrain=config.constrain,
         )
         try:
             minimized = minimize(function, predicate)
@@ -233,6 +255,7 @@ def _minimize_failures(
                     f"--count {config.count}`"
                 ),
                 ssa=config.ssa,
+                constrain=config.constrain,
             )
         )
     return written, logs
@@ -332,6 +355,7 @@ def run_campaign(
                     "targets": list(targets),
                     "register_counts": list(config.register_counts),
                     "ssa": config.ssa,
+                    "constrain": config.constrain,
                     "jobs": config.jobs,
                     "failures": len(failures),
                     "skipped": skipped,

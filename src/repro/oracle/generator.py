@@ -78,6 +78,25 @@ SIZE_PROFILES: Dict[str, GeneratorProfile] = {
 }
 
 
+def constrained_profile(size: str, fraction: float) -> GeneratorProfile:
+    """A named size profile declaring constraint coverage.
+
+    Only the declarative ``constrain_fraction`` differs — the emitted
+    instruction stream (and thus every historical corpus) is byte-identical
+    to the base profile's; campaigns map the fraction to
+    ``PipelineSpec(constrain=...)`` at the extract stage.
+    """
+    import dataclasses
+
+    try:
+        profile = SIZE_PROFILES[size]
+    except KeyError:
+        raise ValueError(
+            f"unknown oracle program size {size!r}; available: {sorted(SIZE_PROFILES)}"
+        ) from None
+    return dataclasses.replace(profile, constrain_fraction=fraction)
+
+
 def program_rng(seed: int, index: int) -> random.Random:
     """The deterministic RNG of program ``index`` in campaign ``seed``."""
     return random.Random(f"{seed}/{index}")

@@ -198,12 +198,25 @@ def check_function(
     ssa: bool = True,
     argument_sets: Sequence[Sequence[int]] = DEFAULT_ARGUMENT_SETS,
     max_steps: int = DEFAULT_MAX_STEPS,
+    constrain: Optional[float] = None,
 ) -> OracleCheck:
-    """Run one full differential check; never raises for in-scope failures."""
+    """Run one full differential check; never raises for in-scope failures.
+
+    ``constrain`` derives machine-model constraints (register classes,
+    pre-colorings) for that fraction of variables at the extract stage —
+    the differential contract is unchanged: spill code must preserve
+    semantics whatever the constraints did to the allocation.
+    """
     rejected = _static_input_check(function, allocator, target, registers)
     if rejected is not None:
         return rejected
-    spec = PipelineSpec(allocator=allocator, target=target, registers=registers, ssa=ssa)
+    spec = PipelineSpec(
+        allocator=allocator,
+        target=target,
+        registers=registers,
+        ssa=ssa,
+        constrain=constrain,
+    )
     return _checked(
         function,
         allocator,
@@ -225,6 +238,7 @@ def check_program(
     ssa: bool = True,
     argument_sets: Sequence[Sequence[int]] = DEFAULT_ARGUMENT_SETS,
     max_steps: int = DEFAULT_MAX_STEPS,
+    constrain: Optional[float] = None,
 ) -> List[OracleCheck]:
     """Differentially check one program against ``(allocator, target, R)`` combos.
 
@@ -286,6 +300,7 @@ def check_program(
                         registers=registers,
                         ssa=ssa,
                         stages=_FRONT_STAGES + ("extract",),
+                        constrain=constrain,
                     )
                 )
                 try:
@@ -305,7 +320,11 @@ def check_program(
                     continue
                 extracted[registers] = base
             spec = PipelineSpec(
-                allocator=allocator, target=target, registers=registers, ssa=ssa
+                allocator=allocator,
+                target=target,
+                registers=registers,
+                ssa=ssa,
+                constrain=constrain,
             )
             checks.append(
                 _checked(
@@ -330,6 +349,7 @@ def make_failure_predicate(
     ssa: bool = True,
     argument_sets: Sequence[Sequence[int]] = DEFAULT_ARGUMENT_SETS,
     max_steps: int = DEFAULT_MAX_STEPS,
+    constrain: Optional[float] = None,
 ):
     """Predicate for the minimizer: does a candidate still hit the same bug?
 
@@ -348,6 +368,7 @@ def make_failure_predicate(
             ssa=ssa,
             argument_sets=argument_sets,
             max_steps=max_steps,
+            constrain=constrain,
         )
         return check.failed and (not wanted or bool(wanted & set(check.kinds)))
 

@@ -45,6 +45,9 @@ class RegressionCase:
     registers: Optional[int] = None
     #: lowering mode the failure was observed under (SSA vs non-SSA).
     ssa: bool = True
+    #: constraint fraction the failure was observed under (``None`` =
+    #: unconstrained, the historical corpus shape).
+    constrain: Optional[float] = None
     signature: Tuple[str, ...] = ()
     metadata: Dict[str, str] = field(default_factory=dict)
 
@@ -64,8 +67,13 @@ def save_regression(
     signature: Tuple[str, ...],
     note: str = "",
     ssa: bool = True,
+    constrain: Optional[float] = None,
 ) -> Path:
-    """Write one minimized counterexample into the corpus; returns its path."""
+    """Write one minimized counterexample into the corpus; returns its path.
+
+    The ``constrain`` header is only emitted when set, so unconstrained
+    corpus files keep their historical byte shape.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / regression_filename(function.name, allocator, target, registers)
@@ -77,6 +85,8 @@ def save_regression(
         f"# ssa: {'true' if ssa else 'false'}",
         f"# signature: {','.join(signature)}",
     ]
+    if constrain is not None:
+        lines.append(f"# constrain: {constrain}")
     if note:
         lines.append(f"# note: {note}")
     lines.append(print_function(function))
@@ -107,6 +117,7 @@ def load_regressions(directory: Path) -> List[RegressionCase]:
         if not functions:
             continue
         registers = metadata.get("registers")
+        constrain = metadata.get("constrain")
         signature = tuple(
             token.strip() for token in metadata.get("signature", "").split(",") if token.strip()
         )
@@ -118,6 +129,7 @@ def load_regressions(directory: Path) -> List[RegressionCase]:
                 target=metadata.get("target"),
                 registers=int(registers) if registers else None,
                 ssa=metadata.get("ssa", "true").lower() != "false",
+                constrain=float(constrain) if constrain else None,
                 signature=signature,
                 metadata=metadata,
             )

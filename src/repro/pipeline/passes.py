@@ -25,8 +25,9 @@ import abc
 import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Type
 
-from repro.alloc.assignment import assign_registers
+from repro.alloc.assignment import assign_constrained, assign_registers
 from repro.alloc.base import Allocator, get_allocator
+from repro.alloc.constraints import auto_constraints
 from repro.alloc.load_store_opt import remove_redundant_reloads
 from repro.alloc.problem import AllocationProblem
 from repro.alloc.result import AllocationResult
@@ -68,6 +69,12 @@ def run_allocator(
     pipeline's ``allocate`` stage and the experiment runner's per-cell loop
     (:func:`repro.experiments.runner.run_cells`) both call it.
     """
+    if problem.constraints is not None and not allocator.supports_constraints:
+        raise AllocationError(
+            f"allocator {allocator.name!r} does not support constrained "
+            "problems (no per-variable class/pre-color handling); use a "
+            "constraint-aware allocator (NL/BL/FPL/BFPL/Optimal-BB)"
+        )
     start = time.perf_counter()
     result = allocator.allocate(problem)
     elapsed = time.perf_counter() - start
@@ -304,7 +311,14 @@ class InterferencePass(Pass):
 
 
 class ExtractPass(Pass):
-    """Package graph + intervals into an :class:`AllocationProblem`."""
+    """Package graph + intervals into an :class:`AllocationProblem`.
+
+    With ``spec.constrain`` set, machine-model constraints (register
+    classes, pre-colorings) are derived deterministically from the target's
+    register file via :func:`repro.alloc.constraints.auto_constraints` and
+    attached to the problem; otherwise the problem is unconstrained and its
+    digest byte-identical to historical runs.
+    """
 
     name = "extract"
     requires = ("graph",)
@@ -321,16 +335,31 @@ class ExtractPass(Pass):
                     "or give the pipeline a target"
                 )
             registers = context.target.num_registers
+        constraints = None
+        if spec.constrain:
+            if context.target is None:
+                raise PipelineError(
+                    "extract stage needs a target machine to derive "
+                    "constraints from: spec.constrain requires spec.target"
+                )
+            constraints = auto_constraints(
+                context.graph, context.target, fraction=spec.constrain
+            )
         problem = AllocationProblem(
             graph=context.graph,
             num_registers=registers,
             intervals=context.intervals,
             name=context.name,
+            constraints=constraints,
         )
         return context.with_stage(
             self.name,
             time.perf_counter() - start,
-            stats={"variables": len(problem.graph), "num_registers": registers},
+            stats={
+                "variables": len(problem.graph),
+                "num_registers": registers,
+                "constrained": constraints is not None,
+            },
             problem=problem,
         )
 
@@ -431,21 +460,32 @@ class AssignPass(Pass):
     name = "assign"
     requires = ("problem", "result")
     provides = ("assignment",)
-    check_preserves = ("assignment-check",)
+    check_preserves = ("assignment-check", "target")
 
     def run(self, context, spec, store=None):
         start = time.perf_counter()
         problem = context.problem
+        # Reserved registers are enforced here: coloring indices map into the
+        # target's *allocatable* file, never the raw r0..rN numbering.
         register_names = (
-            context.target.register_names() if context.target is not None else None
+            context.target.allocatable_names() if context.target is not None else None
         )
         try:
-            assignment = assign_registers(
-                problem.graph,
-                context.result.allocated,
-                problem.num_registers,
-                register_names=register_names,
-            )
+            if problem.constraints is not None:
+                assignment = assign_constrained(
+                    problem.graph,
+                    context.result.allocated,
+                    problem.constraints,
+                    problem.num_registers,
+                    hint=context.result.stats.get("register_layers"),
+                )
+            else:
+                assignment = assign_registers(
+                    problem.graph,
+                    context.result.allocated,
+                    problem.num_registers,
+                    register_names=register_names,
+                )
         except AllocationError as error:
             return context.with_stage(
                 self.name,
@@ -508,7 +548,10 @@ class VerifyPass(Pass):
     When the ``assign`` stage produced a concrete assignment, it is also
     checked against the interference graph *and* the target's register file
     (register count and names) via
-    :func:`repro.alloc.verify.check_assignment`.
+    :func:`repro.alloc.verify.check_assignment`, and against the machine
+    model (classes, aliasing, pre-colorings, reserved set) via
+    :func:`repro.check.targets.target_diagnostics` — any error-severity
+    ``TGT*`` finding raises :class:`InvalidAllocationError`.
     """
 
     name = "verify"
@@ -516,14 +559,31 @@ class VerifyPass(Pass):
     provides = ("report",)
 
     def run(self, context, spec, store=None):
+        # Lazily imported like the oracle stage: keeps pipeline import time
+        # free of the machine-verifier package on check-free runs.
+        from repro.check.targets import target_diagnostics
+        from repro.errors import InvalidAllocationError
+
         start = time.perf_counter()
         report = check_allocation(context.problem, context.result, strict=True)
         assignment_checked = False
+        target_checked = False
         if context.assignment is not None:
             check_assignment(
                 context.problem, context.result, context.assignment, target=context.target
             )
             assignment_checked = True
+            findings = target_diagnostics(
+                context.problem,
+                result=context.result,
+                assignment=context.assignment,
+                target=context.target,
+                function_name=context.name or None,
+            )
+            errors = [d for d in findings if d.is_error]
+            if errors:
+                raise InvalidAllocationError(errors[0].render())
+            target_checked = True
         return context.with_stage(
             self.name,
             time.perf_counter() - start,
@@ -531,6 +591,7 @@ class VerifyPass(Pass):
                 "feasible": report.feasible,
                 "exact": report.exact,
                 "assignment_checked": assignment_checked,
+                "target_checked": target_checked,
             },
             report=report,
         )

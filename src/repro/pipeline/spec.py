@@ -62,6 +62,12 @@ class PipelineSpec:
     #: between stages (LLVM's ``-verify-each``).  Violations raise
     #: :class:`repro.check.CheckError` naming the offending pass.
     check: str = "off"
+    #: derive machine-model constraints (register classes, pre-colorings)
+    #: for roughly this fraction of variables at the ``extract`` stage via
+    #: :func:`repro.alloc.constraints.auto_constraints`; ``None`` (default)
+    #: leaves the problem unconstrained and every digest/store cell
+    #: byte-identical to historical runs.
+    constrain: Optional[float] = None
     #: non-SSA lowering knobs (ignored when ``ssa`` is true).
     coalesce_phi_webs: bool = True
     coalesce_moves: bool = True
@@ -113,6 +119,10 @@ class PipelineSpec:
                 f"unknown check mode {self.check!r}; "
                 "expected 'off', 'boundaries' or 'each'"
             )
+        if self.constrain is not None and not 0.0 <= self.constrain <= 1.0:
+            raise PipelineError(
+                f"constrain fraction {self.constrain} outside [0, 1]"
+            )
         self.resolve_target()
         return self
 
@@ -137,6 +147,7 @@ class PipelineSpec:
         "opt",
         "verify",
         "check",
+        "constrain",
         "coalesce_phi_webs",
         "coalesce_moves",
         "stages",

@@ -76,20 +76,50 @@ def problem_digest(
     The graph and interval digests are R-independent and memoized through
     :meth:`AllocationProblem.derived`, which is shared across clones, so a
     full sweep hashes the graph exactly once per instance.
+
+    Problems carrying :class:`~repro.alloc.constraints.ProblemConstraints`
+    additionally fold the canonical constraint payload into the content
+    hash; unconstrained problems hash exactly as they always did, so every
+    historical digest and store cell stays valid.
     """
-    content = problem.derived(
-        "store:content_digest",
-        lambda: hashlib.sha256(
-            json.dumps(
-                {
-                    "graph": graph_digest(problem.graph),
-                    "intervals": _intervals_payload(problem),
-                },
-                sort_keys=True,
-                separators=(",", ":"),
-            ).encode("utf-8")
-        ).hexdigest(),
-    )
+    constraints = problem.constraints
+    if constraints is None:
+        # The historical content payload, bit for bit: unconstrained
+        # problems must keep every existing digest, store cell and warm
+        # cache byte-identical (pinned by tests/store/test_digest.py).
+        content = problem.derived(
+            "store:content_digest",
+            lambda: hashlib.sha256(
+                json.dumps(
+                    {
+                        "graph": graph_digest(problem.graph),
+                        "intervals": _intervals_payload(problem),
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                ).encode("utf-8")
+            ).hexdigest(),
+        )
+    else:
+        # Constraints fold into the content hash only when present, under a
+        # fingerprint-qualified derived key so the cache shared across
+        # `with_registers` clones can never serve a digest computed for a
+        # different (or absent) constraint set.
+        fingerprint = constraints.fingerprint()
+        content = problem.derived(
+            f"store:content_digest:{fingerprint}",
+            lambda: hashlib.sha256(
+                json.dumps(
+                    {
+                        "graph": graph_digest(problem.graph),
+                        "intervals": _intervals_payload(problem),
+                        "constraints": constraints.to_payload(),
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                ).encode("utf-8")
+            ).hexdigest(),
+        )
     payload = {
         "format": "repro-problem",
         "version": PROBLEM_DIGEST_VERSION,

@@ -3,19 +3,23 @@
 The paper evaluates on the ST231 (a 4-issue VLIW with 64 general-purpose
 registers) and the ARM Cortex-A8 (ARMv7, 16 general-purpose registers), plus
 the abstract register file of the JikesRVM baseline compiler for the JVM
-study.  Only the properties that influence the spilling problem are modelled:
-the number of allocatable registers and the relative cost of memory accesses
-(which scales the spill costs).
+study.  A RISC-V integer file joins them as the first target with a
+structured register-file description (named registers, register classes,
+reserved-set enforcement — see :mod:`repro.targets.machine`).  Only the
+properties that influence the spilling problem are modelled: the register
+file, the relative cost of memory accesses (which scales the spill costs)
+and, for constraint-aware runs, the file's structure.
 """
 
-from repro.targets.machine import TargetMachine
-from repro.targets.st231 import ST231
 from repro.targets.armv7 import ARMV7_CORTEX_A8
 from repro.targets.jvm import JIKES_RVM_IA32
+from repro.targets.machine import RegisterClass, TargetMachine
+from repro.targets.riscv import RISCV
+from repro.targets.st231 import ST231
 
 ALL_TARGETS = {
     target.name: target
-    for target in (ST231, ARMV7_CORTEX_A8, JIKES_RVM_IA32)
+    for target in (ST231, ARMV7_CORTEX_A8, JIKES_RVM_IA32, RISCV)
 }
 
 
@@ -27,4 +31,13 @@ def get_target(name: str) -> TargetMachine:
     raise KeyError(f"unknown target {name!r}; available: {sorted(ALL_TARGETS)}")
 
 
-__all__ = ["TargetMachine", "ST231", "ARMV7_CORTEX_A8", "JIKES_RVM_IA32", "ALL_TARGETS", "get_target"]
+__all__ = [
+    "RegisterClass",
+    "TargetMachine",
+    "ST231",
+    "ARMV7_CORTEX_A8",
+    "JIKES_RVM_IA32",
+    "RISCV",
+    "ALL_TARGETS",
+    "get_target",
+]

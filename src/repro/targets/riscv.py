@@ -1,0 +1,52 @@
+"""A RISC-V (RV32I/RV64I) integer register file.
+
+The first target to exercise the structured machine model end to end: the
+file is named ``x0..x31``, five registers are ABI-reserved (``x0`` the
+hard-wired zero, ``x1`` the return address, ``x2`` the stack pointer,
+``x3``/``x4`` the global and thread pointers), and two register classes are
+declared — the full allocatable file (``gpr``) and the eight registers the
+compressed (RVC) instruction encodings can address (``x8..x15``), the
+classic class-constraint example for this ISA.  Caller-saved registers
+follow the standard calling convention (``ra``, temporaries and argument
+registers).
+
+RISC-V integer registers genuinely do not alias, so ``aliasing`` stays
+empty here; the aliasing machinery is exercised by crafted targets in the
+test suite and the ``TGT002`` golden diagnostic.
+"""
+
+from repro.targets.machine import RegisterClass, TargetMachine
+
+_NAMES = tuple(f"x{i}" for i in range(32))
+
+RISCV = TargetMachine(
+    name="riscv",
+    num_registers=32,
+    load_cost=2.0,
+    store_cost=1.0,
+    issue_width=1,
+    reserved_registers=["x0", "x1", "x2", "x3", "x4"],
+    names=_NAMES,
+    register_classes=(
+        RegisterClass(name="gpr", members=tuple(f"x{i}" for i in range(5, 32))),
+        RegisterClass(name="rvc", members=tuple(f"x{i}" for i in range(8, 16))),
+    ),
+    call_clobbered=(
+        "x1",
+        "x5",
+        "x6",
+        "x7",
+        "x10",
+        "x11",
+        "x12",
+        "x13",
+        "x14",
+        "x15",
+        "x16",
+        "x17",
+        "x28",
+        "x29",
+        "x30",
+        "x31",
+    ),
+)

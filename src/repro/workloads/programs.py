@@ -84,6 +84,15 @@ class GeneratorProfile:
     protect_loop_counters: bool = False
     #: inclusive range loop trip counts are drawn from.
     loop_iterations: Tuple[int, int] = (4, 64)
+    #: fraction of variables downstream consumers should put under
+    #: machine-model constraints (register classes / pre-colorings via
+    #: ``PipelineSpec(constrain=...)``).  Purely declarative: the emitted
+    #: instruction stream is independent of this knob and consumes no RNG,
+    #: so historical corpora (and their store digests) stay byte-identical
+    #: whatever its value.  Constraints themselves are derived
+    #: deterministically from variable names at the extract stage
+    #: (:func:`repro.alloc.constraints.auto_constraints`), never here.
+    constrain_fraction: float = 0.0
 
 
 class _ProgramGenerator:

@@ -1,0 +1,329 @@
+"""The constraint-aware machine model: schema, digests, allocators.
+
+Three contracts are pinned here:
+
+* :class:`ProblemConstraints` is canonical and deterministic — accessors,
+  ``allowed`` truncation, aliasing closure, fingerprints and the RNG-free
+  :func:`auto_constraints` derivation;
+* digest back-compat — an unconstrained problem hashes byte-identically to
+  the historical stack (``constraints=None`` is invisible), constraints fold
+  in only when present, and the fingerprint-qualified derived-cache key
+  keeps shared caches from serving a digest across constraint sets;
+* every constraint-aware allocator (NL/BL/FPL/BFPL/Optimal-BB) produces
+  assignments that honor classes, pre-colorings, aliasing and the reserved
+  set, and the exact solver never does worse than the heuristics.
+"""
+
+import pytest
+
+from repro.alloc.assignment import assign_constrained
+from repro.alloc.base import get_allocator
+from repro.alloc.constraints import ProblemConstraints, auto_constraints
+from repro.alloc.problem import AllocationProblem
+from repro.check.targets import target_diagnostics
+from repro.errors import AllocationError
+from repro.graphs.graph import Graph
+from repro.store.keys import problem_digest
+from repro.targets import get_target
+
+CONSTRAINT_AWARE = ("NL", "BL", "FPL", "BFPL", "Optimal-BB")
+
+
+def triangle(weights=(3.0, 2.0, 1.0)):
+    graph = Graph()
+    for name, weight in zip("abc", weights):
+        graph.add_vertex(name, weight=weight)
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_edge("a", "c")
+    return graph
+
+
+def simple_constraints(**overrides):
+    fields = dict(
+        registers=("x5", "x6", "x7"),
+        classes=(("low", ("x5", "x6")),),
+        var_class=(("a", "low"),),
+        pre_colored=(("b", "x7"),),
+        aliases=(),
+    )
+    fields.update(overrides)
+    return ProblemConstraints(**fields)
+
+
+# ---------------------------------------------------------------------- #
+# schema / accessors
+# ---------------------------------------------------------------------- #
+def test_allowed_respects_class_pre_color_and_budget():
+    constraints = simple_constraints()
+    assert constraints.allowed("a") == ("x5", "x6")
+    assert constraints.allowed("b") == ("x7",)
+    assert constraints.allowed("c") == ("x5", "x6", "x7")
+    # The R budget truncates the file first: b's pre-color falls out of a
+    # two-register budget entirely.
+    assert constraints.allowed("a", 1) == ("x5",)
+    assert constraints.allowed("b", 2) == ()
+    assert constraints.allowed("c", 2) == ("x5", "x6")
+
+
+def test_unknown_class_yields_empty_allowance():
+    constraints = simple_constraints(var_class=(("a", "nope"),))
+    assert constraints.allowed("a") == ()
+
+
+def test_alias_closure_is_symmetric_and_conflicts_include_identity():
+    constraints = simple_constraints(aliases=(("x5", "x6"),))
+    closure = constraints.alias_closure()
+    assert closure["x5"] == frozenset({"x6"})
+    assert closure["x6"] == frozenset({"x5"})
+    assert constraints.conflicts("x5", "x5")
+    assert constraints.conflicts("x5", "x6")
+    assert not constraints.conflicts("x5", "x7")
+
+
+def test_duplicate_register_names_rejected():
+    with pytest.raises(ValueError):
+        ProblemConstraints(registers=("x5", "x5"))
+
+
+def test_fingerprint_is_order_insensitive_on_non_semantic_fields():
+    first = simple_constraints(
+        var_class=(("a", "low"), ("c", "low")), aliases=(("x5", "x6"),)
+    )
+    second = simple_constraints(
+        var_class=(("c", "low"), ("a", "low")), aliases=(("x6", "x5"),)
+    )
+    assert first.fingerprint() == second.fingerprint()
+    # ...but the register *order* is semantic (it is the allocation order).
+    reordered = simple_constraints(registers=("x6", "x5", "x7"))
+    assert reordered.fingerprint() != first.fingerprint()
+
+
+def test_from_target_uses_allocatable_file():
+    target = get_target("riscv")
+    constraints = ProblemConstraints.from_target(target)
+    assert constraints.registers == target.allocatable()
+    assert not set(target.reserved_registers) & set(constraints.registers)
+
+
+# ---------------------------------------------------------------------- #
+# auto_constraints: deterministic, RNG-free, SSA-rename-invariant
+# ---------------------------------------------------------------------- #
+def test_auto_constraints_is_deterministic():
+    graph = triangle()
+    target = get_target("riscv")
+    first = auto_constraints(graph, target, fraction=1.0)
+    second = auto_constraints(graph, target, fraction=1.0)
+    assert first == second
+    assert first.fingerprint() == second.fingerprint()
+
+
+def test_auto_constraints_fraction_zero_constrains_nothing():
+    constraints = auto_constraints(triangle(), get_target("riscv"), fraction=0.0)
+    assert constraints.var_class == ()
+    assert constraints.pre_colored == ()
+
+
+def test_auto_constraints_fraction_range_checked():
+    with pytest.raises(ValueError):
+        auto_constraints(triangle(), get_target("riscv"), fraction=1.5)
+
+
+def test_auto_constraints_ssa_versions_share_their_base_constraint():
+    graph = Graph()
+    graph.add_vertex("a", weight=1.0)
+    graph.add_vertex("a.1", weight=1.0)
+    graph.add_edge("a", "a.1")
+    constraints = auto_constraints(graph, get_target("riscv"), fraction=1.0)
+    var_class = constraints.var_class_map()
+    assert var_class.get("a") == var_class.get("a.1")
+
+
+# ---------------------------------------------------------------------- #
+# digest back-compat (the tentpole's only-when-present contract)
+# ---------------------------------------------------------------------- #
+def test_unconstrained_digest_ignores_the_constraints_field():
+    digest_plain = problem_digest(AllocationProblem(graph=triangle(), num_registers=2))
+    digest_default = problem_digest(
+        AllocationProblem(graph=triangle(), num_registers=2, constraints=None)
+    )
+    assert digest_plain == digest_default
+
+
+def test_constraints_fold_into_the_digest_only_when_present():
+    unconstrained = problem_digest(AllocationProblem(graph=triangle(), num_registers=2))
+    constrained = problem_digest(
+        AllocationProblem(
+            graph=triangle(), num_registers=2, constraints=simple_constraints()
+        )
+    )
+    assert constrained != unconstrained
+    # Different constraint sets, different digests; equal sets, equal digests.
+    other = problem_digest(
+        AllocationProblem(
+            graph=triangle(),
+            num_registers=2,
+            constraints=simple_constraints(pre_colored=()),
+        )
+    )
+    assert other not in (unconstrained, constrained)
+    again = problem_digest(
+        AllocationProblem(
+            graph=triangle(), num_registers=2, constraints=simple_constraints()
+        )
+    )
+    assert again == constrained
+
+
+def test_derived_cache_key_is_fingerprint_qualified():
+    # The derived cache is shared across with_registers clones and keyed by
+    # string; the unconstrained digest must not be replayed after the
+    # problem gains constraints (and vice versa).
+    problem = AllocationProblem(graph=triangle(), num_registers=2)
+    unconstrained = problem_digest(problem)
+    problem.constraints = simple_constraints()
+    constrained = problem_digest(problem)
+    assert constrained != unconstrained
+    problem.constraints = None
+    assert problem_digest(problem) == unconstrained
+    # Clones share the cache and agree (digest differs only through R).
+    clone = problem.with_registers(3)
+    clone.constraints = simple_constraints()
+    assert problem_digest(clone) != problem_digest(clone.with_registers(2))
+
+
+# ---------------------------------------------------------------------- #
+# constraint-aware allocators
+# ---------------------------------------------------------------------- #
+def assert_assignment_clean(problem, assignment, target=None):
+    findings = target_diagnostics(
+        problem, assignment=assignment, target=target, function_name="t"
+    )
+    assert findings == [], [d.render() for d in findings]
+
+
+@pytest.mark.parametrize("name", CONSTRAINT_AWARE)
+def test_constrained_allocator_honors_classes_and_pre_colorings(name):
+    constraints = simple_constraints(aliases=(("x5", "x6"),))
+    problem = AllocationProblem(
+        graph=triangle(), num_registers=3, constraints=constraints
+    )
+    allocator = get_allocator(name)
+    assert allocator.supports_constraints
+    result = allocator.allocate(problem)
+    assignment = assign_constrained(
+        problem.graph,
+        result.allocated,
+        constraints,
+        problem.num_registers,
+        hint=result.stats.get("register_layers"),
+    )
+    assert_assignment_clean(problem, assignment)
+    for vertex, register in assignment.items():
+        assert register in constraints.allowed(str(vertex), problem.num_registers)
+
+
+@pytest.mark.parametrize("name", CONSTRAINT_AWARE)
+def test_constrained_allocator_never_assigns_reserved_registers(name):
+    # Satellite (a): reserved registers must be unreachable end to end —
+    # auto-derived constraints allocate over target.allocatable() only.
+    target = get_target("st231")
+    graph = triangle()
+    constraints = auto_constraints(graph, target, fraction=0.5)
+    problem = AllocationProblem(graph=graph, num_registers=4, constraints=constraints)
+    result = get_allocator(name).allocate(problem)
+    assignment = assign_constrained(
+        graph,
+        result.allocated,
+        constraints,
+        problem.num_registers,
+        hint=result.stats.get("register_layers"),
+    )
+    used = set(assignment.values())
+    assert not used & set(target.reserved_registers)
+    assert_assignment_clean(problem, assignment, target=target)
+
+
+def test_optimal_bb_matches_or_beats_the_layered_heuristics():
+    graph = Graph()
+    for name, weight in zip("abcde", (5.0, 4.0, 3.0, 2.0, 1.0)):
+        graph.add_vertex(name, weight=weight)
+    for edge in (("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("a", "c"), ("b", "d")):
+        graph.add_edge(*edge)
+    constraints = ProblemConstraints(
+        registers=("x5", "x6"),
+        classes=(("low", ("x5",)),),
+        var_class=(("e", "low"),),
+        aliases=(),
+    )
+    problem = AllocationProblem(graph=graph, num_registers=2, constraints=constraints)
+    exact = get_allocator("Optimal-BB").allocate(problem)
+    for heuristic in ("NL", "BL", "FPL", "BFPL"):
+        result = get_allocator(heuristic).allocate(problem)
+        assert exact.spill_cost <= result.spill_cost + 1e-9, heuristic
+
+
+def test_pre_colored_variable_keeps_its_register_or_spills():
+    constraints = simple_constraints()
+    problem = AllocationProblem(
+        graph=triangle(), num_registers=3, constraints=constraints
+    )
+    for name in CONSTRAINT_AWARE:
+        result = get_allocator(name).allocate(problem)
+        layers = result.stats.get("register_layers", {})
+        holder = next(
+            (register for register, members in layers.items() if "b" in members), None
+        )
+        if holder is not None:
+            assert holder == "x7", name
+
+
+# ---------------------------------------------------------------------- #
+# constrained assignment
+# ---------------------------------------------------------------------- #
+def test_assign_constrained_replays_a_complete_hint():
+    graph = triangle()
+    constraints = simple_constraints()
+    assignment = assign_constrained(
+        graph,
+        ["a", "b", "c"],
+        constraints,
+        3,
+        hint={"x5": ["a"], "x7": ["b"], "x6": ["c"]},
+    )
+    assert assignment == {"a": "x5", "b": "x7", "c": "x6"}
+
+
+def test_assign_constrained_falls_back_on_incomplete_hint():
+    graph = triangle()
+    constraints = simple_constraints()
+    assignment = assign_constrained(
+        graph, ["a", "b", "c"], constraints, 3, hint={"x5": ["a"]}
+    )
+    assert set(assignment) == {"a", "b", "c"}
+    assert assignment["b"] == "x7"
+    assert_assignment_clean(
+        AllocationProblem(graph=graph, num_registers=3, constraints=constraints),
+        assignment,
+    )
+
+
+def test_assign_constrained_raises_when_no_register_is_usable():
+    graph = triangle()
+    constraints = simple_constraints(var_class=(("a", "nope"),))
+    with pytest.raises(AllocationError):
+        assign_constrained(graph, ["a", "b", "c"], constraints, 3)
+
+
+def test_assign_constrained_avoids_aliasing_neighbors():
+    graph = Graph()
+    graph.add_vertex("a", weight=1.0)
+    graph.add_vertex("b", weight=1.0)
+    graph.add_edge("a", "b")
+    constraints = ProblemConstraints(
+        registers=("x5", "x6", "x7"), aliases=(("x5", "x6"),)
+    )
+    assignment = assign_constrained(graph, ["a", "b"], constraints, 3)
+    first, second = assignment["a"], assignment["b"]
+    assert first != second
+    assert second not in constraints.alias_closure().get(first, frozenset())

@@ -224,7 +224,8 @@ def test_check_assignment_accepts_valid_assignment():
 
     problem = _tiny_problem()
     result = _result_all_allocated(problem)
-    assignment = {"a": "r0", "b": "r1", "c": "r0"}
+    # st231 reserves r0, so the R=2 budget covers allocatable r1/r2.
+    assignment = {"a": "r1", "b": "r2", "c": "r1"}
     check_assignment(problem, result, assignment, target=get_target("st231"))
 
 
@@ -283,11 +284,11 @@ def test_check_assignment_respects_register_count_budget():
 
     problem = _tiny_problem()  # R = 2
     result = _result_all_allocated(problem)
-    # r2 is a valid st231 name but outside the problem's R=2 budget (the
-    # sweep restricted the file to r0/r1).
+    # r3 is a valid st231 name but outside the problem's R=2 budget (the
+    # sweep restricted the allocatable file — r0 is reserved — to r1/r2).
     with pytest.raises(InvalidAllocationError, match="outside target"):
         check_assignment(
-            problem, result, {"a": "r2", "b": "r1", "c": "r2"},
+            problem, result, {"a": "r3", "b": "r1", "c": "r3"},
             target=get_target("st231"),
         )
 
@@ -298,10 +299,14 @@ def test_pipeline_verify_stage_checks_assignment_on_all_targets():
 
     profile = GeneratorProfile(statements=20, accumulators=5, loop_depth=1)
     function = generate_function("verify_targets", profile, rng=7)
-    for target in ("st231", "armv7-a8", "jikesrvm-ia32"):
+    from repro.targets import get_target
+
+    for target in ("st231", "armv7-a8", "jikesrvm-ia32", "riscv"):
         context = Pipeline(PipelineSpec(allocator="NL", target=target, registers=4)).run(function)
         assert context.stage_stats["verify"]["assignment_checked"] is True
-        assert set(context.assignment.values()) <= {"r0", "r1", "r2", "r3"}
+        # Names come from the *allocatable* file (st231 reserves r0, riscv
+        # reserves x0-x4), never the raw r0..rN numbering.
+        assert set(context.assignment.values()) <= set(get_target(target).allocatable()[:4])
 
 
 def test_spill_slots_never_collide_with_program_addresses():

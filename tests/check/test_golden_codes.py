@@ -443,3 +443,93 @@ def test_spill_audit_accepts_real_spill_code():
     spilled = {str(v).lstrip("%") for v in context.result.spilled}
     errors = [d for d in spill_diagnostics(context.rewritten, spilled) if d.is_error]
     assert errors == []
+
+
+# ---------------------------------------------------------------------- #
+# TGT001–TGT004 (machine-model / register-file structure)
+# ---------------------------------------------------------------------- #
+def _constrained_problem():
+    from repro.alloc.constraints import ProblemConstraints
+
+    graph = Graph()
+    graph.add_edge("a", "b")
+    constraints = ProblemConstraints(
+        registers=("x5", "x6"),
+        classes=(("gpr", ("x5", "x6")),),
+        var_class=(("a", "nope"),),
+        pre_colored=(("b", "x6"),),
+        aliases=(("x5", "x6"),),
+    )
+    return AllocationProblem(graph=graph, num_registers=2, constraints=constraints)
+
+
+def test_tgt001_unknown_register_class():
+    from repro.check import target_diagnostics
+
+    diag = one(target_diagnostics(_constrained_problem(), function_name="f"), "TGT001")
+    assert diag.location.operand == "a"
+    assert diag.render() == (
+        "error[TGT001] @f (a): variable a is constrained to unknown register "
+        "class 'nope'; hint: declared classes: ['gpr']"
+    )
+
+
+def test_tgt002_interfering_variables_on_aliasing_registers():
+    from repro.check import target_diagnostics
+
+    diags = target_diagnostics(
+        _constrained_problem(),
+        assignment={"a": "x6", "b": "x5"},
+        function_name="f",
+    )
+    diag = one(diags, "TGT002")
+    assert diag.render() == (
+        "error[TGT002] @f (a, b): interfering variables a and b hold aliasing "
+        "registers 'x6' and 'x5'; hint: aliasing registers overlap in hardware"
+    )
+
+
+def test_tgt003_pre_coloring_violated():
+    from repro.check import target_diagnostics
+
+    diags = target_diagnostics(
+        _constrained_problem(), assignment={"b": "x5"}, function_name="f"
+    )
+    diag = one(diags, "TGT003")
+    assert diag.render() == (
+        "error[TGT003] @f (b): variable b is pre-colored to 'x6' but was "
+        "assigned 'x5'; hint: pre-colored variables must keep their register "
+        "or spill"
+    )
+
+
+def test_tgt004_reserved_register_used():
+    # TGT004 guards every run — no ProblemConstraints needed, only a target.
+    from repro.check import target_diagnostics
+
+    graph = Graph()
+    graph.add_edge("a", "b")
+    problem = AllocationProblem(graph=graph, num_registers=2)
+    diags = target_diagnostics(
+        problem,
+        assignment={"a": "x2", "b": "x5"},
+        target=get_target("riscv"),
+        function_name="f",
+    )
+    diag = one(diags, "TGT004")
+    assert diag.render() == (
+        "error[TGT004] @f (x2): assignment uses reserved register(s) ['x2'] of "
+        "target 'riscv'; hint: allocate from TargetMachine.allocatable() only"
+    )
+
+
+def test_tgt_clean_assignment_has_no_findings():
+    from repro.check import target_diagnostics
+
+    problem = _constrained_problem()
+    # a is unknown-class, so only check b: pre-color honored, no aliasing
+    # conflict (a spilled), no reserved use.
+    diags = target_diagnostics(
+        problem, assignment={"b": "x6"}, target=get_target("riscv"), function_name="f"
+    )
+    assert [d.code for d in diags] == ["TGT001"]

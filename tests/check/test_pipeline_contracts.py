@@ -121,13 +121,14 @@ def test_shipped_examples_are_clean_under_check_each(path, target, ssa):
 
 def test_regression_corpus_is_clean_under_check_each():
     cases = load_regressions(REPO / "tests" / "oracle" / "regressions")
-    assert len(cases) == 4, "corpus drifted; update this count deliberately"
+    assert len(cases) == 5, "corpus drifted; update this count deliberately"
     for case in cases:
         pipe = Pipeline.from_spec(
             case.allocator,
             target=case.target,
             registers=case.registers,
             ssa=case.ssa,
+            constrain=case.constrain,
             check="each",
         )
         context = pipe.run(case.function, name=case.path.stem)

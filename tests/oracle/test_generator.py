@@ -82,3 +82,31 @@ def test_memory_traffic_stays_below_spill_slots():
                 address = instruction.uses[0]
                 if isinstance(address, Constant):
                     assert address.value < SPILL_SLOT_BASE
+
+
+def test_constrained_profile_emits_byte_identical_programs():
+    # constrain_fraction is declarative only: it consumes no RNG and must
+    # not perturb the emitted instruction stream, so historical corpora and
+    # their store digests survive the knob's existence.
+    from repro.oracle.generator import constrained_profile, program_rng
+    from repro.workloads.programs import generate_function
+
+    base = SIZE_PROFILES["small"]
+    constrained = constrained_profile("small", 0.5)
+    assert constrained.constrain_fraction == 0.5
+    assert base.constrain_fraction == 0.0
+    for index in range(3):
+        plain = print_function(
+            generate_function("f", base, rng=program_rng(9, index))
+        )
+        knobbed = print_function(
+            generate_function("f", constrained, rng=program_rng(9, index))
+        )
+        assert plain == knobbed
+
+
+def test_constrained_profile_unknown_size_raises():
+    from repro.oracle.generator import constrained_profile
+
+    with pytest.raises(ValueError, match="unknown oracle program size"):
+        constrained_profile("jumbo", 0.5)

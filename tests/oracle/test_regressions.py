@@ -29,6 +29,7 @@ def test_regression_case_replays_green(case):
         case.target or "st231",
         case.registers or 4,
         ssa=case.ssa,
+        constrain=case.constrain,
     )
     assert check.status == "ok", f"{case.path.name} regressed: {check.detail}"
 
@@ -69,6 +70,23 @@ def test_save_and_load_roundtrip(tmp_path):
     assert entry.target == "armv7-a8"
     assert entry.registers == 6
     assert entry.ssa is False
+    assert entry.constrain is None
     assert entry.signature == ("trace",)
     assert entry.metadata["note"] == "roundtrip"
     assert entry.function.num_instructions() == case.function.num_instructions()
+
+
+def test_save_and_load_roundtrip_constrained(tmp_path):
+    case = CASES[0]
+    save_regression(
+        tmp_path,
+        case.function,
+        "NL",
+        "riscv",
+        8,
+        ("return_value",),
+        constrain=0.25,
+    )
+    entry = load_regressions(tmp_path)[0]
+    assert entry.constrain == 0.25
+    assert entry.metadata["constrain"] == "0.25"

@@ -1,0 +1,119 @@
+"""Constrained pipeline end to end: spec knob, RISC-V, store parity.
+
+The `constrain` spec knob turns any pipeline run constraint-aware: the
+extract stage derives deterministic per-variable register-class and
+pre-coloring constraints from the target's structured register file, the
+allocate stage runs a constraint-aware allocator, the assign stage binds
+concrete register names and the verify stage checks the TGT* family inline.
+Unconstrained runs (the default) must stay byte-identical to the historical
+stack — digests, store cells, rewritten IR.
+"""
+
+import pytest
+
+from repro.errors import AllocationError, PipelineError
+from repro.ir.parser import parse_function
+from repro.pipeline import Pipeline, PipelineSpec
+from repro.targets import get_target
+
+CONSTRAINT_AWARE = ("NL", "BL", "FPL", "BFPL", "Optimal-BB")
+
+SOURCE = (
+    "func @f(%a, %b) {\nentry:\n  %x = add %a, %b\n  %y = mul %a, %b\n"
+    "  %z = add %x, %y\n  %w = add %z, %y\n  ret %w\n}"
+)
+
+
+def fn():
+    return parse_function(SOURCE)
+
+
+# ---------------------------------------------------------------------- #
+# spec surface
+# ---------------------------------------------------------------------- #
+def test_spec_constrain_defaults_to_none():
+    assert PipelineSpec().constrain is None
+    assert PipelineSpec.parse("NL").constrain is None
+
+
+def test_spec_constrain_parses_from_json_and_config():
+    assert PipelineSpec.parse('{"constrain": 0.5}').constrain == 0.5
+    assert PipelineSpec.from_config({"constrain": 0.25}).constrain == 0.25
+
+
+@pytest.mark.parametrize("bad", [-0.1, 1.5])
+def test_spec_constrain_range_is_validated(bad):
+    with pytest.raises(PipelineError):
+        PipelineSpec(constrain=bad).validate()
+
+
+def test_constrain_requires_a_target():
+    # target=None is the raw-problem mode; there is no register file to
+    # derive constraints from.
+    spec = PipelineSpec(allocator="NL", target=None, registers=4, constrain=0.5)
+    with pytest.raises(PipelineError):
+        Pipeline(spec).run(fn())
+
+
+def test_constrained_problem_refuses_unaware_allocator():
+    with pytest.raises(AllocationError) as err:
+        Pipeline.from_spec(
+            "GC", target="riscv", registers=4, constrain=0.5
+        ).run(fn())
+    assert "does not support constrained" in str(err.value)
+
+
+# ---------------------------------------------------------------------- #
+# riscv end to end, check=each
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("allocator", CONSTRAINT_AWARE)
+def test_constrained_riscv_pipeline_checks_clean(allocator):
+    context = Pipeline.from_spec(
+        allocator, target="riscv", registers=4, constrain=0.5, check="each"
+    ).run(fn())
+    assert context.stage_stats["extract"]["constrained"] is True
+    assert context.stage_stats["verify"]["target_checked"] is True
+    allocatable = set(get_target("riscv").allocatable())
+    used = set(context.assignment.values())
+    assert used <= allocatable
+    assert not used & set(get_target("riscv").reserved_registers)
+
+
+def test_unconstrained_run_is_byte_identical_with_and_without_the_knob():
+    plain = Pipeline.from_spec("NL", target="riscv", registers=4).run(fn())
+    zero = Pipeline.from_spec(
+        "NL", target="riscv", registers=4, constrain=None
+    ).run(fn())
+    assert plain.stage_stats["extract"]["constrained"] is False
+    assert plain.rewritten_ir() == zero.rewritten_ir()
+    assert plain.assignment == zero.assignment
+    assert sorted(map(str, plain.result.spilled)) == sorted(map(str, zero.result.spilled))
+
+
+# ---------------------------------------------------------------------- #
+# store parity: constrained cells cache under their own digests
+# ---------------------------------------------------------------------- #
+def test_constrained_warm_rerun_is_served_from_the_store(tmp_path):
+    store = str(tmp_path / "constrained.sqlite")
+    with Pipeline.from_spec(
+        "NL", target="riscv", registers=4, constrain=0.5, store=store
+    ) as pipe:
+        cold = pipe.run(fn())
+        warm = pipe.run(fn())
+    assert cold.stage_stats["allocate"]["cache"] == "miss"
+    assert warm.stage_stats["allocate"]["cache"] == "hit"
+    assert cold.rewritten_ir() == warm.rewritten_ir()
+    assert cold.assignment == warm.assignment
+
+
+def test_constrained_and_unconstrained_cells_never_collide(tmp_path):
+    store = str(tmp_path / "shared.sqlite")
+    with Pipeline.from_spec("NL", target="riscv", registers=4, store=store) as pipe:
+        pipe.run(fn())
+    with Pipeline.from_spec(
+        "NL", target="riscv", registers=4, constrain=0.5, store=store
+    ) as pipe:
+        constrained = pipe.run(fn())
+    # A warm store full of unconstrained cells must not satisfy the
+    # constrained run: its digest folds the constraint payload in.
+    assert constrained.stage_stats["allocate"]["cache"] == "miss"

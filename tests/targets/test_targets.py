@@ -2,12 +2,19 @@
 
 import pytest
 
-from repro.targets import ALL_TARGETS, ARMV7_CORTEX_A8, JIKES_RVM_IA32, ST231, get_target
-from repro.targets.machine import TargetMachine
+from repro.targets import (
+    ALL_TARGETS,
+    ARMV7_CORTEX_A8,
+    JIKES_RVM_IA32,
+    RISCV,
+    ST231,
+    get_target,
+)
+from repro.targets.machine import RegisterClass, TargetMachine
 
 
 def test_paper_targets_are_registered():
-    assert set(ALL_TARGETS) == {"st231", "armv7-a8", "jikesrvm-ia32"}
+    assert set(ALL_TARGETS) == {"st231", "armv7-a8", "jikesrvm-ia32", "riscv"}
 
 
 def test_st231_matches_paper_description():
@@ -27,8 +34,9 @@ def test_jvm_target_is_register_starved():
 def test_get_target_case_insensitive():
     assert get_target("ST231") is ST231
     assert get_target("ARMv7-A8") is ARMV7_CORTEX_A8
+    assert get_target("RISCV") is RISCV
     with pytest.raises(KeyError):
-        get_target("riscv")
+        get_target("z80")
 
 
 def test_register_names_cover_the_file():
@@ -48,3 +56,116 @@ def test_scaled_costs_apply_memory_latency():
 def test_targets_are_frozen():
     with pytest.raises(Exception):
         ST231.num_registers = 128  # type: ignore[misc]
+
+
+# ------------------------------------------------------------------ #
+# machine-model structure (classes, aliasing, reserved, allocatable)
+# ------------------------------------------------------------------ #
+def _all_targets():
+    return [get_target(name) for name in sorted(ALL_TARGETS)]
+
+
+def test_riscv_register_file():
+    assert RISCV.num_registers == 32
+    names = RISCV.register_names()
+    assert names[0] == "x0"
+    assert names[31] == "x31"
+    assert set(RISCV.reserved_registers) == {"x0", "x1", "x2", "x3", "x4"}
+    assert len(RISCV.allocatable()) == 27
+    assert RISCV.allocatable()[0] == "x5"
+    rvc = RISCV.register_class("rvc")
+    assert rvc is not None
+    assert rvc.members == tuple(f"x{i}" for i in range(8, 16))
+
+
+def test_allocatable_excludes_reserved_in_file_order():
+    allocatable = ST231.allocatable()
+    assert len(allocatable) == 61
+    assert "r0" not in allocatable
+    assert "r12" not in allocatable
+    assert "r63" not in allocatable
+    assert allocatable[0] == "r1"
+    # File order is preserved (not re-sorted).
+    names = list(ST231.register_names().values())
+    assert [n for n in names if n in set(allocatable)] == list(allocatable)
+
+
+def test_reserved_and_allocatable_are_disjoint_on_every_target():
+    for target in _all_targets():
+        assert set(target.reserved_registers).isdisjoint(target.allocatable())
+
+
+def test_register_classes_are_subsets_of_the_file():
+    for target in _all_targets():
+        file_names = set(target.register_names().values())
+        for cls in target.register_classes:
+            assert set(cls.members) <= file_names, (target.name, cls.name)
+
+
+def test_aliasing_is_symmetric_and_irreflexive():
+    for target in _all_targets():
+        alias = target.alias_map()
+        for register, others in alias.items():
+            assert register not in others
+            for other in others:
+                assert register in alias[other]
+
+
+def test_allocatable_names_map_indices_in_order():
+    names = RISCV.allocatable_names()
+    assert names[0] == "x5"
+    assert len(names) == 27
+    assert list(names) == sorted(names)
+
+
+def test_register_class_lookup():
+    gpr = RISCV.register_class("gpr")
+    assert gpr is not None and gpr.name == "gpr"
+    assert RISCV.register_class("nope") is None
+    assert set(RISCV.class_names()) == {"gpr", "rvc"}
+
+
+def test_register_class_validation():
+    with pytest.raises(ValueError):
+        RegisterClass(name="", members=("r0",))
+    with pytest.raises(ValueError):
+        RegisterClass(name="dup", members=("r0", "r0"))
+
+
+def test_target_machine_rejects_unknown_class_members():
+    with pytest.raises(ValueError):
+        TargetMachine(
+            name="bad",
+            num_registers=2,
+            load_cost=1.0,
+            store_cost=1.0,
+            register_classes=(RegisterClass(name="c", members=("r9",)),),
+        )
+
+
+def test_target_machine_rejects_self_aliasing():
+    with pytest.raises(ValueError):
+        TargetMachine(
+            name="bad",
+            num_registers=2,
+            load_cost=1.0,
+            store_cost=1.0,
+            aliasing=(("r0", "r0"),),
+        )
+
+
+def test_aliased_crafted_target_round_trips():
+    # RISC-V GPRs do not alias, so hardware aliasing is exercised with a
+    # crafted file (the d/s overlap pattern of paired FP registers).
+    target = TargetMachine(
+        name="paired",
+        num_registers=4,
+        load_cost=1.0,
+        store_cost=1.0,
+        names=("s0", "s1", "d0", "d1"),
+        aliasing=(("d0", "s0"), ("d0", "s1")),
+    )
+    alias = target.alias_map()
+    assert alias["d0"] == frozenset({"s0", "s1"})
+    assert alias["s0"] == frozenset({"d0"})
+    assert alias["s1"] == frozenset({"d0"})
