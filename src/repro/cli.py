@@ -93,7 +93,12 @@ from repro.experiments.report import (
     render_markdown_report,
     render_table,
 )
-from repro.experiments.runner import ExperimentConfig, InstanceRecord, run_experiment
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InstanceRecord,
+    run_experiment,
+    run_streamed_experiment,
+)
 from repro.experiments.stats import mean_ratio_by, normalize_records
 from repro.graphs.io import load_graph
 from repro.ir.parser import parse_module
@@ -110,7 +115,7 @@ from repro.telemetry import (
     write_chrome,
     write_jsonl,
 )
-from repro.workloads.corpus import build_corpus
+from repro.workloads.corpus import CorpusStream, build_corpus
 from repro.workloads.suites import SUITES
 
 DEFAULT_TARGET = "st231"
@@ -303,6 +308,88 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record a telemetry trace of the sweep (*.json Chrome trace, otherwise JSONL)",
     )
+    sweep.add_argument(
+        "--backend",
+        choices=("local", "service"),
+        default="local",
+        help="where missing cells execute: in process, or batched over running services",
+    )
+    sweep.add_argument(
+        "--endpoints",
+        default=None,
+        help="comma-separated service base URLs (required with --backend service)",
+    )
+    sweep.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        help="cells per service batch submission (service backend, default 32)",
+    )
+    sweep.add_argument(
+        "--client",
+        default="sweep",
+        help="client name for the service queue's per-client fairness (default 'sweep')",
+    )
+    sweep.add_argument(
+        "--corpus",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stream N generated functions through the sweep at constant memory "
+            "instead of materializing a figure corpus (suite defaults to eembc)"
+        ),
+    )
+    sweep.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        help="instances keyed/executed per streaming window (--corpus only, default 256)",
+    )
+
+    merge_batches_cmd = subparsers.add_parser(
+        "merge-batches",
+        help="fuse independently produced store shards into one store (conflict-checked)",
+    )
+    merge_batches_cmd.add_argument(
+        "--into", required=True, help="destination store path (created if missing)"
+    )
+    merge_batches_cmd.add_argument(
+        "sources", nargs="+", help="shard store paths (*.sqlite or *.jsonl, mixed freely)"
+    )
+
+    reproduce = subparsers.add_parser(
+        "reproduce",
+        help="sweep one figure's corpus through a store and print the figure "
+        "(local pool or service fleet; identical output either way)",
+    )
+    reproduce.add_argument(
+        "--figure", required=True, choices=sorted(FIGURE_SPECS), help="figure identifier"
+    )
+    reproduce.add_argument("--store", required=True, help="experiment store path")
+    reproduce.add_argument(
+        "--backend",
+        choices=("local", "service"),
+        default="local",
+        help="execution backend for missing cells (default local)",
+    )
+    reproduce.add_argument(
+        "--endpoints",
+        default=None,
+        help="comma-separated service base URLs (required with --backend service)",
+    )
+    reproduce.add_argument(
+        "--batch-size", type=int, default=32, help="cells per service batch submission"
+    )
+    reproduce.add_argument(
+        "--client", default="reproduce", help="client name for the service queue fairness"
+    )
+    reproduce.add_argument("--seed", type=int, default=2013)
+    reproduce.add_argument("--scale", type=float, default=1.0, help="corpus scale factor")
+    reproduce.add_argument("--max-instances", type=int, default=None)
+    reproduce.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (local backend only)"
+    )
 
     aggregate = subparsers.add_parser(
         "aggregate", help="summarize a store's records (no allocator runs)"
@@ -485,7 +572,25 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--url", default=DEFAULT_SERVICE_URL, help=f"server base URL (default {DEFAULT_SERVICE_URL})"
     )
-    submit.add_argument("--input", required=True, help="path to a .ir module or a graph .json/.json.gz")
+    submit.add_argument(
+        "--input", default=None, help="path to a .ir module or a graph .json/.json.gz"
+    )
+    submit.add_argument(
+        "--batch",
+        default=None,
+        metavar="MANIFEST",
+        help=(
+            "submit a batch manifest instead of a single input: a JSON object "
+            '{"jobs": [...], "name", "client", "priority"} whose entries are '
+            'submission bodies (an entry may use "input": PATH to load IR/graph '
+            "from a file, relative to the manifest)"
+        ),
+    )
+    submit.add_argument(
+        "--client",
+        default="",
+        help="client name for the queue's per-client fairness (default: untagged)",
+    )
     submit.add_argument("--allocator", default="NL", help=f"one of {available_allocators()}")
     submit.add_argument("--registers", type=int, default=None, help="register count")
     submit.add_argument("--target", default=None, help="target machine (IR inputs only)")
@@ -811,14 +916,45 @@ def _resolve_sweep_spec(args: argparse.Namespace) -> Optional[FigureSpec]:
     return FigureSpec(suite, target, tuple(allocators), tuple(registers))
 
 
+def _resolve_execution_backend(args: argparse.Namespace):
+    """Build the sweep/reproduce execution backend from the shared flags.
+
+    Raises :class:`ReproError` on a misconfiguration (missing endpoints,
+    bad batch size) so callers render it as a clean exit-1 message.
+    """
+    from repro.experiments.backends import LocalPoolBackend, ServiceBackend
+
+    if args.backend != "service":
+        return LocalPoolBackend()
+    if not args.endpoints or not _csv_names(args.endpoints):
+        raise ReproError("--backend service needs --endpoints URL[,URL...]")
+    return ServiceBackend(
+        _csv_names(args.endpoints),
+        batch_size=args.batch_size,
+        client=args.client,
+    )
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     """Run a (resumable) sweep into the experiment store and print its manifest."""
     try:
         spec = _resolve_sweep_spec(args)
     except ValueError as error:
         return _error(f"invalid --registers value: {error}")
-    if spec is None:
+    streamed = args.corpus is not None
+    if spec is None and not streamed:
         return _error("sweep needs --figure or all of --suite/--allocators/--registers")
+    if spec is None:
+        try:
+            allocators = _csv_names(args.allocators) if args.allocators else None
+            registers = _csv_ints(args.registers) if args.registers else None
+        except ValueError as error:
+            return _error(f"invalid --registers value: {error}")
+        if not allocators or not registers:
+            return _error(
+                "--corpus sweeps need --allocators and --registers (or a --figure preset)"
+            )
+        spec = FigureSpec(args.suite or "eembc", args.target, tuple(allocators), tuple(registers))
     config = ExperimentConfig(
         allocators=list(spec.allocators),
         register_counts=list(spec.register_counts),
@@ -830,17 +966,49 @@ def _command_sweep(args: argparse.Namespace) -> int:
         config.validate()
     except ValueError as error:
         return _error(str(error))
-    corpus = build_corpus(spec.suite, target=spec.target, seed=args.seed, scale=args.scale)
+    try:
+        execution = _resolve_execution_backend(args)
+    except ReproError as error:
+        return _error(str(error))
     tracer = Tracer() if args.trace else None
     with open_store(args.store) as store:
         with use_tracer(tracer) if tracer is not None else nullcontext():
-            run_experiment(
-                corpus,
-                config,
-                max_instances=args.max_instances,
-                store=store,
-                resume=not args.no_resume,
-            )
+            try:
+                if streamed:
+                    stream = CorpusStream(
+                        args.corpus,
+                        suite=args.suite or spec.suite or "eembc",
+                        target=spec.target,
+                        seed=args.seed,
+                    )
+                    run_streamed_experiment(
+                        stream,
+                        config,
+                        store,
+                        backend=execution,
+                        window=args.window,
+                        resume=not args.no_resume,
+                        max_instances=args.max_instances,
+                        suite="corpus",
+                        target=stream.target.name,
+                        seed=args.seed,
+                    )
+                else:
+                    corpus = build_corpus(
+                        spec.suite, target=spec.target, seed=args.seed, scale=args.scale
+                    )
+                    run_experiment(
+                        corpus,
+                        config,
+                        max_instances=args.max_instances,
+                        store=store,
+                        resume=not args.no_resume,
+                        backend=execution,
+                    )
+            except ReproError as error:
+                return _error(str(error))
+            except ValueError as error:
+                return _error(str(error))
         manifest = store.manifests()[-1]
         store_cells = len(store)
         backend = store.backend
@@ -862,6 +1030,73 @@ def _command_sweep(args: argparse.Namespace) -> int:
     )
     print(render_cache_split(manifest))
     return 0
+
+
+def _command_merge_batches(args: argparse.Namespace) -> int:
+    """Fuse shard stores into one destination store (conflict-checked)."""
+    from repro.errors import MergeConflictError
+    from repro.store.merge import merge_batches
+
+    missing = [source for source in args.sources if not Path(source).is_file()]
+    if missing:
+        return _error(f"shard store(s) not found: {', '.join(missing)}")
+    try:
+        report = merge_batches(args.into, args.sources)
+    except MergeConflictError as error:
+        return _error(str(error))
+    except (ReproError, OSError, sqlite3.Error) as error:
+        return _error(str(error))
+    print(
+        f"merged {report.sources} shard(s) into {args.into}: "
+        f"added={report.added} deduped={report.deduped} "
+        f"manifests={report.manifests_added}"
+    )
+    return EXIT_OK
+
+
+def _command_reproduce(args: argparse.Namespace) -> int:
+    """Sweep one figure's corpus through a store and print the figure.
+
+    The figure text goes to **stdout** and everything else to stderr, so
+    ``reproduce --backend local`` and ``reproduce --backend service`` can be
+    byte-compared directly (the e2e test and the CI distributed-sweep job
+    do exactly that).  A warm store completes with zero allocator calls.
+    """
+    spec = FIGURE_SPECS[args.figure]
+    config = ExperimentConfig(
+        allocators=list(spec.allocators),
+        register_counts=list(spec.register_counts),
+        jobs=args.jobs,
+    )
+    try:
+        config.validate()
+        execution = _resolve_execution_backend(args)
+    except (ReproError, ValueError) as error:
+        return _error(str(error))
+    corpus = build_corpus(spec.suite, target=spec.target, seed=args.seed, scale=args.scale)
+    try:
+        with open_store(args.store) as store:
+            records = run_experiment(
+                corpus,
+                config,
+                max_instances=args.max_instances,
+                store=store,
+                backend=execution,
+            )
+            manifest = store.manifests()[-1]
+    except ReproError as error:
+        return _error(str(error))
+    except (OSError, sqlite3.Error) as error:
+        return _error(f"cannot use store {args.store}: {error}")
+    print(
+        f"reproduce {args.figure}: backend={execution.name} store={args.store} "
+        f"cells={manifest.cells_total} computed={manifest.cells_computed} "
+        f"cached={manifest.cells_cached}",
+        file=sys.stderr,
+    )
+    result = ALL_FIGURES[args.figure](records=records)
+    print(result.rendered)
+    return EXIT_OK
 
 
 def _mixed_corpus_error(manifests, suites: Optional[set] = None) -> Optional[str]:
@@ -1132,6 +1367,8 @@ def _submission_body(args: argparse.Namespace) -> dict:
         body["registers"] = args.registers
     if args.max_attempts is not None:
         body["max_attempts"] = args.max_attempts
+    if args.client:
+        body["client"] = args.client
     if path.name.endswith((".json", ".json.gz")):
         from repro.graphs.io import graph_to_dict
 
@@ -1143,13 +1380,67 @@ def _submission_body(args: argparse.Namespace) -> dict:
     return body
 
 
+def _batch_body(args: argparse.Namespace) -> dict:
+    """Load a ``--batch`` manifest into a POST /v1/batches body.
+
+    The manifest is ``{"jobs": [...]}`` plus optional batch-level ``name``,
+    ``client``, ``priority`` and ``max_attempts``.  Each entry is a
+    submission body; ``"input": PATH`` (relative to the manifest file)
+    loads a ``.ir`` module or graph JSON into the entry in place.
+    """
+    manifest_path = Path(args.batch)
+    if not manifest_path.is_file():
+        raise ReproError(f"batch manifest not found: {args.batch}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ReproError(f"invalid batch manifest {args.batch}: {error}") from None
+    if not isinstance(manifest, dict) or not isinstance(manifest.get("jobs"), list):
+        raise ReproError(
+            f'batch manifest {args.batch} must be a JSON object with a "jobs" list'
+        )
+    jobs = []
+    for position, entry in enumerate(manifest["jobs"]):
+        if not isinstance(entry, dict):
+            raise ReproError(f"batch manifest entry {position} must be a JSON object")
+        entry = dict(entry)
+        input_path = entry.pop("input", None)
+        if input_path is not None:
+            resolved = Path(input_path)
+            if not resolved.is_absolute():
+                resolved = manifest_path.parent / resolved
+            if not resolved.is_file():
+                raise ReproError(
+                    f"batch entry {position}: input file not found: {input_path}"
+                )
+            name = entry.get("name") or resolved.stem
+            if resolved.name.endswith((".json", ".json.gz")):
+                from repro.graphs.io import graph_to_dict
+
+                entry["graph"] = graph_to_dict(load_graph(resolved), name=name)
+            else:
+                entry["ir"] = resolved.read_text(encoding="utf-8")
+            entry.setdefault("name", name)
+        jobs.append(entry)
+    body: dict = {"jobs": jobs}
+    for field in ("name", "client", "priority", "max_attempts"):
+        if field in manifest:
+            body[field] = manifest[field]
+    if args.client and "client" not in body:
+        body["client"] = args.client
+    return body
+
+
 def _command_submit(args: argparse.Namespace) -> int:
-    """Submit one job; with --wait, follow it to a terminal state."""
+    """Submit one job (or a --batch manifest); with --wait, follow it."""
     from repro.service.client import ServiceClient
 
     client = ServiceClient(args.url)
     try:
-        response = client.submit(_submission_body(args))
+        if args.batch is not None:
+            response = client.submit_batch(_batch_body(args))
+        else:
+            response = client.submit(_submission_body(args))
         job = response["job"]
         status = "deduplicated" if response["deduped"] else "submitted"
         print(f"{status}: job {job['id']} ({job['state']})", file=sys.stderr)
@@ -1204,6 +1495,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.command == "submit" and (args.input is None) == (args.batch is None):
+        parser.error("submit needs exactly one of --input or --batch")
     if args.command == "allocate":
         return _command_allocate(args)
     if args.command == "check":
@@ -1212,6 +1505,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_figure(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "merge-batches":
+        return _command_merge_batches(args)
+    if args.command == "reproduce":
+        return _command_reproduce(args)
     if args.command == "aggregate":
         return _command_aggregate(args)
     if args.command == "report":

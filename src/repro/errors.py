@@ -116,6 +116,23 @@ class ServiceError(ReproError):
     as clean exit-1 messages."""
 
 
+class MergeConflictError(ReproError):
+    """Two stores being merged disagree about the same cache cell.
+
+    Raised by :func:`repro.store.merge.merge_batches` when a source shard
+    carries a cell key the destination already holds with a *different*
+    deterministic payload.  Identical payloads dedupe silently; a genuine
+    divergence means the shards were produced by incompatible code (or a
+    store was corrupted), and fusing them would silently poison every
+    aggregate built on top — so the merge refuses.  ``key`` carries the
+    conflicting :class:`~repro.store.keys.CellKey`.
+    """
+
+    def __init__(self, message: str, *, key: object = None) -> None:
+        super().__init__(message)
+        self.key = key
+
+
 class QueueError(ServiceError):
     """An invalid job-queue transition (completing a job that is not
     running, failing an unknown job id, ...).  Indicates a worker raced a

@@ -11,7 +11,17 @@ The harness is organized in three layers:
   (:mod:`repro.experiments.report`).
 """
 
-from repro.experiments.runner import ExperimentConfig, InstanceRecord, run_experiment
+from repro.experiments.backends import (
+    ExecutionBackend,
+    LocalPoolBackend,
+    ServiceBackend,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InstanceRecord,
+    run_experiment,
+    run_streamed_experiment,
+)
 from repro.experiments.stats import (
     DistributionSummary,
     geometric_mean,
@@ -34,9 +44,13 @@ from repro.experiments.figures import (
 from repro.experiments.report import render_table, render_figure
 
 __all__ = [
+    "ExecutionBackend",
     "ExperimentConfig",
     "InstanceRecord",
+    "LocalPoolBackend",
+    "ServiceBackend",
     "run_experiment",
+    "run_streamed_experiment",
     "DistributionSummary",
     "geometric_mean",
     "normalize_records",

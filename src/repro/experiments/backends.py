@@ -1,0 +1,349 @@
+"""Execution backends: where a sweep's cells actually run.
+
+:func:`~repro.experiments.runner.run_experiment` plans *what* to compute —
+which ``(instance, register count, allocator)`` cells are missing from the
+store — and delegates *how* to an :class:`ExecutionBackend`:
+
+* :class:`LocalPoolBackend` — the historical in-process path: serial or a
+  :class:`~concurrent.futures.ProcessPoolExecutor` shard pool.  Its records
+  are byte-identical to what ``run_experiment`` produced before the seam
+  existed (pinned by the backend-parity tests).
+* :class:`ServiceBackend` — plans the missing cells into batched
+  ``POST /v1/batches`` submissions against one or more running allocation
+  services (round-robin across endpoints) and polls the results back into
+  the sweep's store.  Batches are claimed as a unit per worker, submissions
+  carry a client name for the queue's per-client fairness, and the
+  service-side job-key dedupe means overlapping sweeps cost nothing.
+
+The backend contract is intentionally narrow: ``run_plan(plan, config,
+emit)`` receives the missing-cell plan and calls ``emit(index, pairs)`` as
+results become available; the runner owns keying, caching, persistence and
+manifests.  ``run_storeless(selected, config)`` serves the store-less
+``run_experiment`` path and only the local backend supports it (a service
+sweep without a store would have nowhere durable to put results).
+
+Telemetry: the service backend wraps submissions in ``backend:submit``
+spans and polls in ``backend:poll`` spans, and counts ``sweep.submitted``,
+``sweep.completed`` and ``sweep.deduped`` cells.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.alloc.problem import AllocationProblem
+from repro.errors import ServiceError
+from repro.graphs.io import graph_to_dict
+from repro.store.base import record_from_dict
+from repro.telemetry.tracer import TraceSnapshot, current_tracer
+
+from repro.experiments import runner
+
+#: one planned instance: (corpus index, problem, program, missing cells).
+PlanItem = Tuple[int, AllocationProblem, str, List["runner.Cell"]]
+#: result sink: ``emit(index, [(cell, record), ...])`` persists and records.
+EmitFn = Callable[[int, List[Tuple["runner.Cell", "runner.InstanceRecord"]]], None]
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for executing a sweep's missing cells (see module docs)."""
+
+    #: backend identifier recorded in run manifests (``config["backend"]``).
+    name = "abstract"
+
+    def run_storeless(
+        self,
+        selected: List[Tuple[int, AllocationProblem, str]],
+        config: "runner.ExperimentConfig",
+    ) -> List["runner.InstanceRecord"]:
+        """Run every cell of ``selected`` without a store (local only)."""
+        raise ServiceError(
+            f"the {self.name!r} execution backend requires a store: "
+            "pass store=... to run_experiment so results have somewhere durable to land"
+        )
+
+    @abc.abstractmethod
+    def run_plan(
+        self,
+        plan: List[PlanItem],
+        config: "runner.ExperimentConfig",
+        emit: EmitFn,
+    ) -> None:
+        """Execute the missing cells, calling ``emit`` as results arrive."""
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """The in-process backend: serial, or a process-pool shard sweep.
+
+    ``jobs=None`` (the default) follows ``config.jobs``; an explicit value
+    overrides it.  Both paths produce records byte-identical to the
+    pre-seam ``run_experiment`` — the code here *is* that code, moved.
+    """
+
+    name = "local"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"LocalPoolBackend jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def _jobs(self, config: "runner.ExperimentConfig") -> int:
+        return config.jobs if self.jobs is None else self.jobs
+
+    # -- store-less path ------------------------------------------------ #
+    def run_storeless(
+        self,
+        selected: List[Tuple[int, AllocationProblem, str]],
+        config: "runner.ExperimentConfig",
+    ) -> List["runner.InstanceRecord"]:
+        jobs = self._jobs(config)
+        if jobs <= 1 or len(selected) <= 1:
+            records: List["runner.InstanceRecord"] = []
+            for _, problem, program in selected:
+                records.extend(
+                    runner.run_instance(
+                        problem,
+                        config.allocators,
+                        config.register_counts,
+                        program=program,
+                        verify=config.verify,
+                    )
+                )
+            return records
+
+        workers = min(jobs, len(selected))
+        shards: List[List[Tuple[int, AllocationProblem, str]]] = [[] for _ in range(workers)]
+        for position, item in enumerate(selected):
+            shards[position % workers].append(item)
+
+        tracer = current_tracer()
+        indexed: List[Tuple[int, List["runner.InstanceRecord"]]] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    runner._run_instance_shard,
+                    shard,
+                    list(config.allocators),
+                    list(config.register_counts),
+                    config.verify,
+                    tracer.enabled,
+                )
+                for shard in shards
+            ]
+            # Futures are iterated in submission (shard) order, so worker
+            # telemetry merges deterministically for a given sharding.
+            for shard_index, future in enumerate(futures):
+                pairs, snapshot = future.result()
+                indexed.extend(pairs)
+                if snapshot is not None:
+                    tracer.merge(snapshot, label=f"worker-{shard_index}")
+
+        indexed.sort(key=lambda pair: pair[0])
+        records = []
+        for _, instance_records in indexed:
+            records.extend(instance_records)
+        return records
+
+    # -- store-backed path ---------------------------------------------- #
+    def run_plan(
+        self,
+        plan: List[PlanItem],
+        config: "runner.ExperimentConfig",
+        emit: EmitFn,
+    ) -> None:
+        jobs = self._jobs(config)
+        if jobs <= 1 or len(plan) <= 1:
+            for index, problem, program, missing in plan:
+
+                def persist(
+                    cell: "runner.Cell", record: "runner.InstanceRecord", _index: int = index
+                ) -> None:
+                    emit(_index, [(cell, record)])
+
+                runner.run_cells(
+                    problem,
+                    missing,
+                    program=program,
+                    verify=config.verify,
+                    on_record=persist,
+                )
+            return
+
+        tracer = current_tracer()
+        workers = min(jobs, len(plan))
+        snapshots: Dict[int, TraceSnapshot] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    runner._run_cells_worker, problem, missing, program, config.verify, tracer.enabled
+                ): (plan_position, index, missing)
+                for plan_position, (index, problem, program, missing) in enumerate(plan)
+            }
+            for future in as_completed(futures):
+                plan_position, index, missing = futures[future]
+                results, snapshot = future.result()
+                if snapshot is not None:
+                    snapshots[plan_position] = snapshot
+                emit(index, list(zip(missing, results)))
+        # ``as_completed`` yields in finish order; merging sorted by plan
+        # position keeps the combined trace deterministic regardless.
+        for plan_position in sorted(snapshots):
+            tracer.merge(snapshots[plan_position], label=f"instance-{plan_position}")
+
+
+class ServiceBackend(ExecutionBackend):
+    """Distribute a sweep's missing cells over running allocation services.
+
+    Every missing cell becomes one graph submission (the problem's
+    interference graph, intervals when present, register count and
+    allocator); submissions are grouped into batches of ``batch_size`` and
+    posted round-robin across ``endpoints`` as ``POST /v1/batches`` jobs —
+    one queue job per batch, claimed as a unit by one service worker.  All
+    batches are submitted before any is polled, so the whole fleet drains
+    in parallel; results are rehydrated into :class:`InstanceRecord`\\ s and
+    handed to the runner's ``emit`` for keying and persistence.
+
+    ``runtime_seconds`` of service-computed records is ``0.0`` — the wall
+    time was spent on another machine and is deliberately not passed off as
+    a local measurement.  Everything the figures aggregate (spill cost,
+    counts, allocator stats) is deterministic and travels unchanged.
+    """
+
+    name = "service"
+
+    def __init__(
+        self,
+        endpoints: Sequence[str],
+        *,
+        batch_size: int = 32,
+        client: str = "sweep",
+        priority: int = 0,
+        timeout: float = 600.0,
+        client_factory: Optional[Callable[[str], object]] = None,
+    ) -> None:
+        urls = [
+            url if "://" in url else f"http://{url}"
+            for url in (candidate.strip().rstrip("/") for candidate in endpoints)
+            if url
+        ]
+        if not urls:
+            raise ServiceError("ServiceBackend needs at least one endpoint URL")
+        if batch_size < 1:
+            raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
+        if client_factory is None:
+            from repro.service.client import ServiceClient
+
+            client_factory = ServiceClient
+        self.endpoints = urls
+        self.batch_size = int(batch_size)
+        self.client = client
+        self.priority = int(priority)
+        self.timeout = float(timeout)
+        self._clients = [client_factory(url) for url in urls]
+
+    # ------------------------------------------------------------------ #
+    def _submission(self, problem: AllocationProblem, cell: "runner.Cell") -> Dict:
+        registers, allocator = cell
+        if problem.constraints is not None:
+            raise ServiceError(
+                f"cannot distribute constrained problem {problem.name!r}: "
+                "machine-model constraints have no wire format yet — use the local backend"
+            )
+        body: Dict = {
+            "graph": graph_to_dict(problem.graph, name=problem.name),
+            "registers": registers,
+            "allocator": allocator,
+            "name": problem.name,
+        }
+        if problem.intervals:
+            body["intervals"] = [
+                [str(interval.register), interval.start, interval.end]
+                for interval in problem.intervals
+            ]
+        return body
+
+    def run_plan(
+        self,
+        plan: List[PlanItem],
+        config: "runner.ExperimentConfig",
+        emit: EmitFn,
+    ) -> None:
+        tracer = current_tracer()
+        entries: List[Tuple[int, "runner.Cell", AllocationProblem, str]] = [
+            (index, cell, problem, program)
+            for index, problem, program, missing in plan
+            for cell in missing
+        ]
+
+        # Submit every batch before polling any: the fleet works in parallel
+        # while this process waits.  Batch composition is deterministic for a
+        # given plan, so a re-run submits identical job keys and dedupes.
+        submitted = []
+        for batch_index in range(0, len(entries), self.batch_size):
+            batch = entries[batch_index : batch_index + self.batch_size]
+            position = batch_index // self.batch_size
+            client = self._clients[position % len(self._clients)]
+            endpoint = self.endpoints[position % len(self.endpoints)]
+            body = {
+                "jobs": [self._submission(problem, cell) for _, cell, problem, _ in batch],
+                "client": self.client,
+                "priority": self.priority,
+                "name": f"sweep-batch-{position:05d}",
+            }
+            if tracer.enabled:
+                with tracer.span(
+                    "backend:submit", category="backend", endpoint=endpoint, cells=len(batch)
+                ):
+                    response = client.submit_batch(body)
+            else:
+                response = client.submit_batch(body)
+            if tracer.enabled:
+                tracer.count("sweep.submitted", len(batch))
+                if response.get("deduped"):
+                    tracer.count("sweep.deduped", len(batch))
+            submitted.append((client, endpoint, response["job"]["id"], batch))
+
+        for client, endpoint, job_id, batch in submitted:
+            if tracer.enabled:
+                with tracer.span(
+                    "backend:poll", category="backend", endpoint=endpoint, job=job_id
+                ):
+                    job = client.wait(job_id, timeout=self.timeout)
+            else:
+                job = client.wait(job_id, timeout=self.timeout)
+            if job["state"] != "done":
+                raise ServiceError(
+                    f"service job {job_id} on {endpoint} ended {job['state']!r}: "
+                    f"{job.get('error')}"
+                )
+            members = (job.get("result") or {}).get("jobs")
+            if not isinstance(members, list) or len(members) != len(batch):
+                raise ServiceError(
+                    f"service job {job_id} on {endpoint} returned "
+                    f"{len(members) if isinstance(members, list) else 'no'} member result(s), "
+                    f"expected {len(batch)}"
+                )
+            by_index: Dict[int, List[Tuple["runner.Cell", "runner.InstanceRecord"]]] = {}
+            for (index, cell, problem, program), member in zip(batch, members):
+                payloads = member.get("records") or []
+                if len(payloads) != 1:
+                    raise ServiceError(
+                        f"service result for {problem.name!r} carried "
+                        f"{len(payloads)} record(s), expected exactly 1"
+                    )
+                # Rehydrate provenance exactly like a local cache hit: the
+                # record must carry the names this sweep was asked with.
+                record = dataclasses.replace(
+                    record_from_dict(payloads[0]),
+                    instance=problem.name,
+                    program=program,
+                    allocator=cell[1],
+                )
+                by_index.setdefault(index, []).append((cell, record))
+            for index, pairs in by_index.items():
+                emit(index, pairs)
+            if tracer.enabled:
+                tracer.count("sweep.completed", len(batch))

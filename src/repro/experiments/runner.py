@@ -23,10 +23,9 @@ from __future__ import annotations
 import dataclasses
 import time
 import uuid
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.alloc import get_allocator
 from repro.alloc.base import Allocator
@@ -37,6 +36,9 @@ from repro.store.base import ExperimentStore, RunManifest, current_git_rev, utc_
 from repro.store.keys import CellKey, problem_digest
 from repro.telemetry.tracer import Tracer, TraceSnapshot, current_tracer, use_tracer
 from repro.workloads.corpus import Corpus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends imports us)
+    from repro.experiments.backends import ExecutionBackend
 
 #: one sweep cell within an instance: (register count, allocator name).
 Cell = Tuple[int, str]
@@ -253,22 +255,36 @@ def _select_instances(
     return selected
 
 
+def _resolve_backend(backend: Optional["ExecutionBackend"]) -> "ExecutionBackend":
+    """Default to the local pool (which follows ``config.jobs``)."""
+    if backend is not None:
+        return backend
+    from repro.experiments.backends import LocalPoolBackend
+
+    return LocalPoolBackend()
+
+
 def run_experiment(
     corpus: Corpus | Iterable[AllocationProblem],
     config: ExperimentConfig,
     max_instances: Optional[int] = None,
     store: Optional[ExperimentStore] = None,
     resume: bool = True,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> List[InstanceRecord]:
     """Run the configured sweep over a corpus and return raw records.
 
     ``max_instances`` truncates the corpus, which the quick benchmarks use to
     bound their runtime; the full figures run the whole corpus.
 
-    With ``config.jobs > 1`` the selected instances are sharded over a
-    process pool; the returned records are re-ordered by instance index, so
-    the output is identical to a serial run (modulo the measured
-    ``runtime_seconds``).
+    ``backend`` selects *where* missing cells execute (see
+    :mod:`repro.experiments.backends`): the default
+    :class:`~repro.experiments.backends.LocalPoolBackend` runs in process
+    (serial, or a process pool with ``config.jobs > 1`` — records re-ordered
+    by instance index, so the output is identical to a serial run modulo the
+    measured ``runtime_seconds``); a
+    :class:`~repro.experiments.backends.ServiceBackend` distributes them as
+    batched jobs over running allocation services (store required).
 
     With a ``store``, cells already cached are served without running the
     allocator (their records are rehydrated with the current instance and
@@ -279,72 +295,31 @@ def run_experiment(
     verified when first computed.
     """
     config.validate()
+    backend = _resolve_backend(backend)
     selected = _select_instances(corpus, config, max_instances)
 
     if store is not None:
-        return _run_with_store(corpus, config, selected, store, resume)
-
-    if config.jobs <= 1 or len(selected) <= 1:
-        records: List[InstanceRecord] = []
-        for _, problem, program in selected:
-            records.extend(
-                run_instance(
-                    problem,
-                    config.allocators,
-                    config.register_counts,
-                    program=program,
-                    verify=config.verify,
-                )
-            )
-        return records
-
-    workers = min(config.jobs, len(selected))
-    shards: List[List[Tuple[int, AllocationProblem, str]]] = [[] for _ in range(workers)]
-    for position, item in enumerate(selected):
-        shards[position % workers].append(item)
-
-    tracer = current_tracer()
-    indexed: List[Tuple[int, List[InstanceRecord]]] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _run_instance_shard,
-                shard,
-                list(config.allocators),
-                list(config.register_counts),
-                config.verify,
-                tracer.enabled,
-            )
-            for shard in shards
-        ]
-        # Futures are iterated in submission (shard) order, so worker
-        # telemetry merges deterministically for a given sharding.
-        for shard_index, future in enumerate(futures):
-            pairs, snapshot = future.result()
-            indexed.extend(pairs)
-            if snapshot is not None:
-                tracer.merge(snapshot, label=f"worker-{shard_index}")
-
-    indexed.sort(key=lambda pair: pair[0])
-    records = []
-    for _, instance_records in indexed:
-        records.extend(instance_records)
-    return records
+        return _run_with_store(corpus, config, selected, store, resume, backend)
+    return backend.run_storeless(selected, config)
 
 
 # ---------------------------------------------------------------------- #
 # store-backed sweep
 # ---------------------------------------------------------------------- #
-def _run_with_store(
-    corpus: Corpus | Iterable[AllocationProblem],
-    config: ExperimentConfig,
+def _plan_and_execute(
     selected: List[Tuple[int, AllocationProblem, str]],
+    config: ExperimentConfig,
     store: ExperimentStore,
     resume: bool,
-) -> List[InstanceRecord]:
-    """Cache-aware sweep: serve hits from ``store``, compute and persist misses."""
-    started = time.perf_counter()
-    target = corpus.target if isinstance(corpus, Corpus) else None
+    backend: "ExecutionBackend",
+    target: Optional[str],
+) -> Tuple[Dict[Tuple[int, Cell], InstanceRecord], List[Cell], int, Dict[str, Dict[str, int]]]:
+    """Key, plan and execute one window of instances against the store.
+
+    Returns ``(cell_records, full_cells, cells_cached, cache_by_allocator)``
+    — everything :func:`_run_with_store` and
+    :func:`run_streamed_experiment` need to assemble records and manifests.
+    """
     full_cells: List[Cell] = [
         (r, name) for r in config.register_counts for name in config.allocators
     ]
@@ -409,49 +384,35 @@ def _run_with_store(
         name = canonical[cell[1]].name
         return record if record.allocator == name else dataclasses.replace(record, allocator=name)
 
+    def emit(index: int, pairs: List[Tuple[Cell, InstanceRecord]]) -> None:
+        """Result sink handed to the backend: persist, then record."""
+        store.put_many(
+            [(key_of[(index, cell)], canonicalized(cell, record)) for cell, record in pairs]
+        )
+        for cell, record in pairs:
+            cell_records[(index, cell)] = record
+
     if plan:
-        if config.jobs <= 1 or len(plan) <= 1:
-            for index, problem, program, missing in plan:
-
-                def persist(cell: Cell, record: InstanceRecord, _index: int = index) -> None:
-                    cell_records[(_index, cell)] = record
-                    store.put(key_of[(_index, cell)], canonicalized(cell, record))
-
-                run_cells(
-                    problem,
-                    missing,
-                    program=program,
-                    verify=config.verify,
-                    on_record=persist,
-                )
-        else:
-            workers = min(config.jobs, len(plan))
-            snapshots: Dict[int, TraceSnapshot] = {}
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(
-                        _run_cells_worker, problem, missing, program, config.verify, tracer.enabled
-                    ): (plan_position, index, missing)
-                    for plan_position, (index, problem, program, missing) in enumerate(plan)
-                }
-                for future in as_completed(futures):
-                    plan_position, index, missing = futures[future]
-                    results, snapshot = future.result()
-                    if snapshot is not None:
-                        snapshots[plan_position] = snapshot
-                    store.put_many(
-                        [
-                            (key_of[(index, cell)], canonicalized(cell, record))
-                            for cell, record in zip(missing, results)
-                        ]
-                    )
-                    for cell, record in zip(missing, results):
-                        cell_records[(index, cell)] = record
-            # ``as_completed`` yields in finish order; merging sorted by plan
-            # position keeps the combined trace deterministic regardless.
-            for plan_position in sorted(snapshots):
-                tracer.merge(snapshots[plan_position], label=f"instance-{plan_position}")
+        backend.run_plan(plan, config, emit)
     store.flush()
+    return cell_records, full_cells, cells_cached, cache_by_allocator
+
+
+def _run_with_store(
+    corpus: Corpus | Iterable[AllocationProblem],
+    config: ExperimentConfig,
+    selected: List[Tuple[int, AllocationProblem, str]],
+    store: ExperimentStore,
+    resume: bool,
+    backend: "ExecutionBackend",
+) -> List[InstanceRecord]:
+    """Cache-aware sweep: serve hits from ``store``, compute and persist misses."""
+    started = time.perf_counter()
+    target = corpus.target if isinstance(corpus, Corpus) else None
+    cell_records, full_cells, cells_cached, cache_by_allocator = _plan_and_execute(
+        selected, config, store, resume, backend, target
+    )
+    cells_total = len(selected) * len(full_cells)
 
     records: List[InstanceRecord] = []
     for index, _problem, _program in selected:
@@ -477,6 +438,7 @@ def _run_with_store(
                 "skip_trivial": config.skip_trivial,
                 "jobs": config.jobs,
                 "resume": resume,
+                "backend": backend.name,
             },
             git_rev=current_git_rev(),
             instances=len(selected),
@@ -489,3 +451,100 @@ def _run_with_store(
     )
     store.flush()
     return records
+
+
+def run_streamed_experiment(
+    problems: Iterable[AllocationProblem],
+    config: ExperimentConfig,
+    store: ExperimentStore,
+    *,
+    backend: Optional["ExecutionBackend"] = None,
+    window: int = 256,
+    resume: bool = True,
+    max_instances: Optional[int] = None,
+    suite: Optional[str] = None,
+    target: Optional[str] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+) -> RunManifest:
+    """Sweep a streamed corpus at constant memory; returns the run manifest.
+
+    Unlike :func:`run_experiment`, the problem iterable is **never
+    materialized**: instances are pulled ``window`` at a time, keyed,
+    planned and executed against the store, then dropped — so a 100k+
+    function :class:`~repro.workloads.corpus.CorpusStream` sweeps in a
+    bounded footprint.  Records are not returned (they would themselves be
+    O(cells)); the store holds them for ``aggregate``/``report``.  One
+    manifest covers the whole stream, with the provenance fields passed in
+    (a bare iterable carries none of its own).
+    """
+    config.validate()
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    backend = _resolve_backend(backend)
+    started = time.perf_counter()
+
+    pressure_floor: Optional[int] = None
+    if config.skip_trivial and config.register_counts:
+        pressure_floor = min(config.register_counts)
+
+    cells_per_instance = len(config.register_counts) * len(config.allocators)
+    instances = 0
+    cells_cached = 0
+    cache_by_allocator: Dict[str, Dict[str, int]] = {}
+
+    batch: List[Tuple[int, AllocationProblem, str]] = []
+
+    def run_window() -> None:
+        nonlocal cells_cached
+        _cell_records, _full_cells, window_cached, window_split = _plan_and_execute(
+            batch, config, store, resume, backend, target
+        )
+        cells_cached += window_cached
+        for name, split in window_split.items():
+            fold = cache_by_allocator.setdefault(name, {"hit": 0, "miss": 0})
+            fold["hit"] += split["hit"]
+            fold["miss"] += split["miss"]
+        batch.clear()
+
+    for problem in problems:
+        if max_instances is not None and instances >= max_instances:
+            break
+        if pressure_floor is not None and problem.max_pressure <= pressure_floor:
+            continue
+        batch.append((instances, problem, problem.name))
+        instances += 1
+        if len(batch) >= window:
+            run_window()
+    if batch:
+        run_window()
+
+    cells_total = instances * cells_per_instance
+    manifest = RunManifest(
+        run_id=uuid.uuid4().hex[:12],
+        created_at=utc_now_iso(),
+        suite=suite,
+        target=target,
+        seed=seed,
+        scale=scale,
+        config={
+            "allocators": list(config.allocators),
+            "register_counts": list(config.register_counts),
+            "verify": config.verify,
+            "skip_trivial": config.skip_trivial,
+            "jobs": config.jobs,
+            "resume": resume,
+            "backend": backend.name,
+            "window": window,
+        },
+        git_rev=current_git_rev(),
+        instances=instances,
+        cells_total=cells_total,
+        cells_computed=cells_total - cells_cached,
+        cells_cached=cells_cached,
+        wall_time_seconds=time.perf_counter() - started,
+        cache_by_allocator=cache_by_allocator,
+    )
+    store.add_manifest(manifest)
+    store.flush()
+    return manifest

@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.alloc.base import get_allocator
 from repro.alloc.problem import AllocationProblem
+from repro.analysis.live_ranges import LiveInterval
 from repro.errors import ReproError, ServiceError
 from repro.graphs.io import graph_from_dict
 from repro.ir.parser import parse_module
@@ -52,6 +53,9 @@ from repro.store.keys import CellKey
 
 #: the submit-time key format tag (bump on any change to the digest layout).
 JOB_KEY_VERSION = "repro-service-job/1"
+
+#: hard cap on member submissions per ``POST /v1/batches`` body.
+MAX_BATCH_JOBS = 1024
 
 #: summary() fields that vary run-to-run; everything else is deterministic.
 _VOLATILE_SUMMARY_FIELDS = ("timings", "stage_stats")
@@ -70,7 +74,11 @@ _ALLOWED_FIELDS = {
     "opt",
     "priority",
     "max_attempts",
+    "client",
+    "intervals",
 }
+
+_BATCH_ALLOWED_FIELDS = {"jobs", "name", "client", "priority", "max_attempts"}
 
 
 def _require_bool(body: Dict[str, Any], field: str, default: bool) -> bool:
@@ -131,8 +139,11 @@ def normalize_submission(body: Any) -> Dict[str, Any]:
         "opt": _require_bool(body, "opt", True),
         "priority": priority,
         "max_attempts": max_attempts,
+        "client": str(body.get("client", "")),
     }
     if has_ir:
+        if "intervals" in body:
+            raise ServiceError('field "intervals" is only valid with graph submissions')
         ir = body["ir"]
         if not isinstance(ir, str) or not ir.strip():
             raise ServiceError('field "ir" must be a non-empty string of textual IR')
@@ -152,7 +163,99 @@ def normalize_submission(body: Any) -> Dict[str, Any]:
         payload["graph"] = graph
         payload["target"] = None
         payload["name"] = str(body.get("name", graph.get("name") or "problem"))
+        intervals = _normalized_intervals(body.get("intervals"))
+        if intervals is not None:
+            payload["intervals"] = intervals
     return payload
+
+
+def _normalized_intervals(raw: Any) -> Optional[List[List[Any]]]:
+    """Validate the optional ``intervals`` field of a graph submission.
+
+    The wire form is ``[[register, start, end], ...]`` — what the
+    linear-scan allocator family consumes, and part of the problem digest,
+    so a distributed linear-scan sweep keys the same cells as a local one.
+    """
+    if raw is None:
+        return None
+    if not isinstance(raw, list):
+        raise ServiceError('field "intervals" must be a list of [register, start, end] triples')
+    out: List[List[Any]] = []
+    for entry in raw:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise ServiceError(
+                f'invalid interval {entry!r}: expected a [register, start, end] triple'
+            )
+        register, start, end = entry
+        try:
+            out.append([str(register), int(start), int(end)])
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"invalid interval {entry!r}: start/end must be integers"
+            ) from None
+    return out
+
+
+def normalize_batch(body: Any) -> Dict[str, Any]:
+    """Validate a ``POST /v1/batches`` body into one batch queue payload.
+
+    A batch is ``{"jobs": [submission, ...]}`` plus the optional batch-level
+    ``name``, ``client``, ``priority`` and ``max_attempts`` (member-level
+    queue controls are rejected — the batch is claimed and scheduled as a
+    single unit by one worker, so scheduling knobs live on the batch).
+    """
+    if not isinstance(body, dict):
+        raise ServiceError(f"batch must be a JSON object, got {type(body).__name__}")
+    unknown = sorted(set(body) - _BATCH_ALLOWED_FIELDS)
+    if unknown:
+        raise ServiceError(
+            f"unknown batch field(s) {unknown}; known fields: {sorted(_BATCH_ALLOWED_FIELDS)}"
+        )
+    jobs = body.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise ServiceError('batch field "jobs" must be a non-empty list of submissions')
+    if len(jobs) > MAX_BATCH_JOBS:
+        raise ServiceError(f"batch of {len(jobs)} jobs exceeds the limit of {MAX_BATCH_JOBS}")
+    priority = _require_int(body, "priority") or 0
+    max_attempts = _require_int(body, "max_attempts")
+    if max_attempts is not None and max_attempts < 1:
+        raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+    members: List[Dict[str, Any]] = []
+    for position, entry in enumerate(jobs):
+        if isinstance(entry, dict):
+            controls = sorted({"priority", "max_attempts", "client"} & set(entry))
+            if controls:
+                raise ServiceError(
+                    f"batch member {position} carries queue control(s) {controls}; "
+                    "set them on the batch itself"
+                )
+        try:
+            members.append(normalize_submission(entry))
+        except ServiceError as error:
+            raise ServiceError(f"batch member {position}: {error}") from None
+    return {
+        "kind": "batch",
+        "name": str(body.get("name", "batch")),
+        "client": str(body.get("client", "")),
+        "priority": priority,
+        "max_attempts": max_attempts,
+        "jobs": members,
+    }
+
+
+def _graph_problem(payload: Dict[str, Any]) -> AllocationProblem:
+    """Rebuild the :class:`AllocationProblem` of a graph-kind payload."""
+    intervals = payload.get("intervals")
+    return AllocationProblem(
+        graph=graph_from_dict(payload["graph"]),
+        num_registers=int(payload["registers"]),
+        name=payload["name"],
+        intervals=(
+            [LiveInterval(str(reg), int(start), int(end)) for reg, start, end in intervals]
+            if intervals
+            else None
+        ),
+    )
 
 
 def _payload_spec(payload: Dict[str, Any], **overrides: Any) -> PipelineSpec:
@@ -178,12 +281,7 @@ def submission_problems(payload: Dict[str, Any]) -> List[Tuple[str, AllocationPr
     """
     try:
         if payload["kind"] == "graph":
-            problem = AllocationProblem(
-                graph=graph_from_dict(payload["graph"]),
-                num_registers=int(payload["registers"]),
-                name=payload["name"],
-            )
-            return [(payload["name"], problem)]
+            return [(payload["name"], _graph_problem(payload))]
         module = parse_module(payload["ir"], name=payload["name"])
         pipeline = Pipeline(_payload_spec(payload, stages=_FRONT_END_STAGES))
         out: List[Tuple[str, AllocationProblem]] = []
@@ -199,6 +297,11 @@ def submission_problems(payload: Dict[str, Any]) -> List[Tuple[str, AllocationPr
 
 def job_cells(payload: Dict[str, Any]) -> List[CellKey]:
     """The store cell keys a payload's allocations will read/write."""
+    if payload.get("kind") == "batch":
+        out: List[CellKey] = []
+        for member in payload["jobs"]:
+            out.extend(job_cells(member))
+        return out
     allocator = get_allocator(payload["allocator"])
     target = payload["target"]
     return [
@@ -208,14 +311,25 @@ def job_cells(payload: Dict[str, Any]) -> List[CellKey]:
 
 
 def job_key(payload: Dict[str, Any], cells: Optional[List[CellKey]] = None) -> str:
-    """The submission's idempotency key (see the module docstring)."""
-    if cells is None:
-        cells = job_cells(payload)
-    digest_input = {
-        "format": JOB_KEY_VERSION,
-        "cells": [cell.to_dict() for cell in sorted(cells or [])],
-        "options": {"ssa": payload["ssa"], "opt": payload["opt"]},
-    }
+    """The submission's idempotency key (see the module docstring).
+
+    A batch key digests the *sorted member keys*, so a resubmitted sweep
+    batch (same member submissions, any member order) collides with the
+    original and dedupes against its pending/running/done result.
+    """
+    if payload.get("kind") == "batch":
+        digest_input: Dict[str, Any] = {
+            "format": JOB_KEY_VERSION,
+            "batch": sorted(job_key(member) for member in payload["jobs"]),
+        }
+    else:
+        if cells is None:
+            cells = job_cells(payload)
+        digest_input = {
+            "format": JOB_KEY_VERSION,
+            "cells": [cell.to_dict() for cell in sorted(cells or [])],
+            "options": {"ssa": payload["ssa"], "opt": payload["opt"]},
+        }
     return hashlib.sha256(
         json.dumps(digest_input, sort_keys=True, separators=(",", ":")).encode("utf-8")
     ).hexdigest()
@@ -238,27 +352,63 @@ def execute_job(payload: Dict[str, Any], store: Any) -> Dict[str, Any]:
     worker pool additionally binds a per-job tracer around this call so
     the run's ``store.hit``/``store.miss`` counters land in the service
     aggregate.
+
+    A batch payload executes its members in submission order (cache-first,
+    like any single job) and returns ``{"jobs": [{"name", "functions",
+    "records", "meta"}, ...], "meta": {...}}`` with the member cache splits
+    and stage seconds aggregated into the batch-level ``meta``.
     """
+    if payload.get("kind") == "batch":
+        member_results: List[Dict[str, Any]] = []
+        cache = {"hit": 0, "miss": 0, "off": 0}
+        stage_seconds: Dict[str, float] = {}
+        for member in payload["jobs"]:
+            result = execute_job(member, store)
+            member_results.append({"name": member["name"], **result})
+            for mode, count in result["meta"]["cache"].items():
+                cache[mode] = cache.get(mode, 0) + count
+            for stage, seconds in result["meta"]["stage_seconds"].items():
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+        return {
+            "jobs": member_results,
+            "meta": {
+                "jobs": len(member_results),
+                "cache": cache,
+                "stage_seconds": {k: round(v, 6) for k, v in sorted(stage_seconds.items())},
+            },
+        }
+
     pipeline = Pipeline(_payload_spec(payload), store=store)
     contexts = []
     if payload["kind"] == "graph":
-        problem = AllocationProblem(
-            graph=graph_from_dict(payload["graph"]),
-            num_registers=int(payload["registers"]),
-            name=payload["name"],
-        )
-        contexts.append(pipeline.run_problem(problem))
+        contexts.append(pipeline.run_problem(_graph_problem(payload)))
     else:
         module = parse_module(payload["ir"], name=payload["name"])
         for function in module:
             contexts.append(pipeline.run(function))
 
     functions: List[Dict[str, Any]] = []
+    records: List[Dict[str, Any]] = []
     cache = {"hit": 0, "miss": 0, "off": 0}
     stage_seconds: Dict[str, float] = {}
     for context in contexts:
         summary = context.summary()
         functions.append(deterministic_summary(summary))
+        if context.problem is not None and context.result is not None:
+            # Local import: experiments depends on service (ServiceBackend),
+            # so the reverse edge must stay out of module import time.
+            from repro.experiments.runner import InstanceRecord
+            from repro.store.base import record_to_dict
+
+            record = InstanceRecord.from_result(
+                context.problem,
+                context.result,
+                instance=context.name,
+                program=context.name,
+                allocator=payload["allocator"],
+                elapsed=0.0,
+            )
+            records.append(record_to_dict(record))
         allocate_stats = summary.get("stage_stats", {}).get("allocate", {})
         mode = allocate_stats.get("cache", "off")
         cache[mode] = cache.get(mode, 0) + 1
@@ -266,6 +416,7 @@ def execute_job(payload: Dict[str, Any], store: Any) -> Dict[str, Any]:
             stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
     return {
         "functions": functions,
+        "records": records,
         "meta": {
             "cache": cache,
             "stage_seconds": {k: round(v, 6) for k, v in sorted(stage_seconds.items())},

@@ -1,20 +1,26 @@
 """A small urllib client for the allocation service.
 
-Used by the ``repro-alloc submit``/``jobs`` CLI commands, the bench
-harness's ``--service`` mode and the CI smoke job — anything that talks to
-a running server over the wire.  Transport and HTTP-level failures surface
-as :class:`~repro.errors.ServiceError` (the server's own ``{"error": ...}``
-bodies are unwrapped into the message), so CLI callers render them as
-clean exit-1 diagnostics rather than tracebacks.
+Used by the ``repro-alloc submit``/``jobs`` CLI commands, the sweep
+runner's service backend (:class:`~repro.experiments.backends.ServiceBackend`),
+the bench harness's ``--service`` mode and the CI smoke job — anything
+that talks to a running server over the wire.  Transport and HTTP-level
+failures surface as :class:`~repro.errors.ServiceError` (the server's own
+``{"error": ...}`` bodies are unwrapped into the message), so CLI callers
+render them as clean exit-1 diagnostics rather than tracebacks.  The
+transport mapping covers the whole socket-failure family — connection
+refused, reset mid-response (``http.client.RemoteDisconnected``), DNS
+failures, timeouts — every one names the unreachable endpoint.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ServiceError
 from repro.service.jobs import TERMINAL_STATES
@@ -50,6 +56,15 @@ class ServiceClient:
             raise ServiceError(
                 f"cannot reach allocation service at {self.base_url}: {error.reason}"
             ) from None
+        except (TimeoutError, http.client.HTTPException, OSError) as error:
+            # urllib only wraps failures it sees *before* the response
+            # starts; a server dying mid-response leaks RemoteDisconnected
+            # (and friends) raw.  Map the whole family to the same clean
+            # endpoint-naming diagnostic.
+            raise ServiceError(
+                f"cannot reach allocation service at {self.base_url}: "
+                f"{type(error).__name__}: {error}"
+            ) from None
 
     # ------------------------------------------------------------------ #
     def health(self) -> Dict[str, Any]:
@@ -61,6 +76,10 @@ class ServiceClient:
     def submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
         """``POST /v1/jobs``; returns ``{"job": ..., "deduped": ...}``."""
         return self._request("POST", "/v1/jobs", body)
+
+    def submit_batch(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/batches``; returns ``{"job": ..., "deduped": ...}``."""
+        return self._request("POST", "/v1/batches", body)
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}")
@@ -75,16 +94,37 @@ class ServiceClient:
         *,
         timeout: float = 60.0,
         poll: float = 0.05,
+        max_poll: float = 2.0,
+        backoff: float = 1.6,
+        jitter: float = 0.25,
+        _clock: Callable[[], float] = time.monotonic,
+        _sleep: Callable[[float], None] = time.sleep,
+        _random: Callable[[], float] = random.random,
     ) -> Dict[str, Any]:
-        """Poll until the job reaches a terminal state (or raise on timeout)."""
-        deadline = time.monotonic() + timeout
+        """Poll until the job reaches a terminal state (or raise on timeout).
+
+        The poll interval starts at ``poll`` seconds and grows by
+        ``backoff`` per round up to ``max_poll``, with up to ``jitter``
+        (fractional) randomization per sleep — short jobs still complete
+        near-instantly while long sweeps don't hammer the server, and a
+        fleet of pollers waking from the same submit burst desynchronizes
+        instead of thundering in lockstep.  The ``_clock``/``_sleep``/
+        ``_random`` hooks exist for deterministic tests.
+        """
+        if timeout <= 0:
+            raise ServiceError(f"wait timeout must be positive, got {timeout:g}")
+        deadline = _clock() + timeout
+        interval = max(poll, 0.0)
         while True:
             job = self.job(job_id)
             if job["state"] in TERMINAL_STATES:
                 return job
-            if time.monotonic() >= deadline:
+            now = _clock()
+            if now >= deadline:
                 raise ServiceError(
                     f"timed out after {timeout:g}s waiting for job {job_id} "
                     f"(state {job['state']!r})"
                 )
-            time.sleep(poll)
+            delay = interval * (1.0 + jitter * _random())
+            _sleep(min(delay, max(deadline - now, 0.0)))
+            interval = min(interval * backoff, max_poll)

@@ -77,6 +77,12 @@ class Job:
     #: monotonically increasing submission order (claim tie-breaker).
     seq: int = 0
     claimed_by: Optional[str] = None
+    #: submitting client name, used for the queue's per-client fairness:
+    #: claims round-robin across clients (least-recently-served first), so a
+    #: mega-sweep flooding thousands of batch jobs cannot starve interactive
+    #: submissions.  The default ``""`` groups untagged submissions into one
+    #: shared client, which degenerates to the pre-fairness claim order.
+    client: str = ""
     #: the submission payload (validated by :mod:`repro.service.api`).
     payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
     #: the outcome of a ``done`` job (see ``api.execute_job``).
@@ -102,6 +108,7 @@ class Job:
             "created_at": self.created_at,
             "updated_at": self.updated_at,
             "claimed_by": self.claimed_by,
+            "client": self.client,
             "name": self.payload.get("name"),
             "allocator": self.payload.get("allocator"),
             "registers": self.payload.get("registers"),

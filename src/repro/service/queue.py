@@ -9,12 +9,14 @@ writer).  The operations mirror the job lifecycle documented in
   ``job_key`` that is already pending/running/done returns the existing job
   instead of queueing duplicate work (failed/dead keys *do* re-enqueue, so
   a fixed input can be resubmitted);
-* :meth:`JobQueue.claim` — atomically pick the ready pending job with the
-  highest *effective* priority and mark it running.  Effective priority is
-  ``priority + age_seconds / aging_seconds``: a job gains one priority
+* :meth:`JobQueue.claim` — atomically pick the ready pending job of the
+  least-recently-served *client* (round-robin fairness, so a mega-sweep's
+  batch flood cannot starve interactive submitters), breaking ties by
+  highest *effective* priority, and mark it running.  Effective priority
+  is ``priority + age_seconds / aging_seconds``: a job gains one priority
   level per aging interval it waits, so any fixed-priority flood
-  eventually loses to an old low-priority job (no starvation).  Ties break
-  on submission order.  The pick-and-mark is a single
+  eventually loses to an old low-priority job (no starvation).  Remaining
+  ties break on submission order.  The pick-and-mark is a single
   ``UPDATE ... RETURNING`` statement, so two workers (or two server
   processes sharing the file) can never claim the same job;
 * :meth:`JobQueue.complete` / :meth:`JobQueue.fail` — finish a running
@@ -73,7 +75,12 @@ CREATE TABLE IF NOT EXISTS jobs (
     claimed_by   TEXT,
     payload      TEXT    NOT NULL,
     result       TEXT,
-    error        TEXT
+    error        TEXT,
+    client       TEXT    NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS clients (
+    client          TEXT PRIMARY KEY,
+    last_claimed_at REAL NOT NULL DEFAULT 0.0
 );
 CREATE INDEX IF NOT EXISTS jobs_claim_idx ON jobs (state, not_before);
 CREATE INDEX IF NOT EXISTS jobs_key_idx ON jobs (job_key, state);
@@ -81,7 +88,7 @@ CREATE INDEX IF NOT EXISTS jobs_key_idx ON jobs (job_key, state);
 
 _COLUMNS = (
     "seq, id, job_key, state, priority, attempts, max_attempts, "
-    "not_before, created_at, updated_at, claimed_by, payload, result, error"
+    "not_before, created_at, updated_at, claimed_by, payload, result, error, client"
 )
 
 
@@ -101,6 +108,7 @@ def _row_to_job(row: tuple) -> Job:
         payload,
         result,
         error,
+        client,
     ) = row
     return Job(
         id=job_id,
@@ -114,6 +122,7 @@ def _row_to_job(row: tuple) -> Job:
         updated_at=float(updated_at),
         seq=int(seq),
         claimed_by=claimed_by,
+        client=str(client or ""),
         payload=json.loads(payload),
         result=json.loads(result) if result is not None else None,
         error=error,
@@ -168,6 +177,12 @@ class JobQueue:
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA busy_timeout=5000")
         self._conn.executescript(_SCHEMA)
+        # Queue files created before per-client fairness existed lack the
+        # client column (CREATE TABLE IF NOT EXISTS never adds one); migrate
+        # in place so old queues keep working with the fair claim order.
+        columns = {row[1] for row in self._conn.execute("PRAGMA table_info(jobs)")}
+        if "client" not in columns:
+            self._conn.execute("ALTER TABLE jobs ADD COLUMN client TEXT NOT NULL DEFAULT ''")
         self._conn.commit()
 
     # ------------------------------------------------------------------ #
@@ -195,6 +210,7 @@ class JobQueue:
         job_key: str,
         priority: int = 0,
         max_attempts: Optional[int] = None,
+        client: str = "",
         now: Optional[float] = None,
     ) -> tuple:
         """Insert a pending job; returns ``(job, deduped)``.
@@ -203,6 +219,9 @@ class JobQueue:
         done job, that job is returned with ``deduped=True`` and nothing is
         inserted (``queue.deduped`` counts it).  Failed and dead jobs do
         not dedupe — resubmitting after a failure queues a fresh attempt.
+
+        ``client`` tags the job for per-client fairness (see
+        :meth:`claim`); untagged jobs share the ``""`` client.
         """
         stamp = self._now(now)
         attempts = self.default_max_attempts if max_attempts is None else int(max_attempts)
@@ -223,10 +242,10 @@ class JobQueue:
             job_id = uuid.uuid4().hex[:16]
             self._conn.execute(
                 "INSERT INTO jobs (id, job_key, state, priority, attempts, max_attempts,"
-                " not_before, created_at, updated_at, payload)"
-                " VALUES (?, ?, ?, ?, 0, ?, 0.0, ?, ?, ?)",
+                " not_before, created_at, updated_at, payload, client)"
+                " VALUES (?, ?, ?, ?, 0, ?, 0.0, ?, ?, ?, ?)",
                 (job_id, job_key, PENDING, int(priority), attempts, stamp, stamp,
-                 dumps_payload(payload)),
+                 dumps_payload(payload), str(client or "")),
             )
             self._conn.commit()
             job = self._get_locked(job_id)
@@ -242,10 +261,18 @@ class JobQueue:
     ) -> Optional[Job]:
         """Atomically claim the best ready pending job (or return ``None``).
 
-        Claim order: effective priority ``priority + age/aging_seconds``
-        descending, then submission order — computed and applied in one
-        ``UPDATE ... RETURNING`` statement so concurrent claimers (threads
-        or separate server processes on the same file) never double-claim.
+        Claim order is *fair across clients first*: the client served
+        longest ago (never-served clients count as the epoch) wins, then —
+        within that client's jobs — effective priority
+        ``priority + age/aging_seconds`` descending, then submission order.
+        With every job under one client this degenerates to the historical
+        priority+aging order.  A sweep flooding thousands of batch jobs
+        therefore alternates with an interactive submitter instead of
+        starving it, whatever priorities the flood claims for itself.
+
+        The pick, the mark and the fairness-clock update happen under one
+        lock and commit, so concurrent claimers (threads or separate server
+        processes on the same file) never double-claim.
         """
         stamp = self._now(now)
         tracer = self.tracer()
@@ -259,12 +286,22 @@ class JobQueue:
                 row = self._conn.execute(
                     "UPDATE jobs SET state=?, claimed_by=?, attempts=attempts+1, updated_at=?"
                     " WHERE seq = ("
-                    "   SELECT seq FROM jobs WHERE state=? AND not_before <= ?"
-                    "   ORDER BY priority + (? - created_at) / ? DESC, seq ASC LIMIT 1"
+                    "   SELECT j.seq FROM jobs j"
+                    "   LEFT JOIN clients c ON c.client = j.client"
+                    "   WHERE j.state=? AND j.not_before <= ?"
+                    "   ORDER BY COALESCE(c.last_claimed_at, 0.0) ASC,"
+                    "     j.priority + (? - j.created_at) / ? DESC, j.seq ASC LIMIT 1"
                     " ) AND state=?"
                     f" RETURNING {_COLUMNS}",
                     (RUNNING, worker, stamp, PENDING, stamp, stamp, self.aging_seconds, PENDING),
                 ).fetchone()
+                if row is not None:
+                    self._conn.execute(
+                        "INSERT INTO clients (client, last_claimed_at) VALUES (?, ?)"
+                        " ON CONFLICT(client) DO UPDATE"
+                        " SET last_claimed_at=excluded.last_claimed_at",
+                        (str(row[-1] or ""), stamp),
+                    )
                 self._conn.commit()
             job = _row_to_job(row) if row is not None else None
         finally:

@@ -10,6 +10,9 @@ method    path                   behaviour
 ========  =====================  ==========================================
 POST      ``/v1/jobs``           submit (201 created, 200 deduped,
                                  400 malformed)
+POST      ``/v1/batches``        submit a multi-submission batch, claimed
+                                 as one unit by a single worker (same
+                                 status codes as ``/v1/jobs``)
 GET       ``/v1/jobs/<id>``      one job (404 unknown)
 GET       ``/v1/jobs``           newest-first listing (``?state=``,
                                  ``?limit=``)
@@ -92,12 +95,26 @@ class AllocationService:
     def submit(self, body: Any) -> Tuple[Any, bool]:
         """Validate + enqueue one submission; returns ``(job, deduped)``."""
         payload = api.normalize_submission(body)
+        return self._enqueue(payload)
+
+    def submit_batch(self, body: Any) -> Tuple[Any, bool]:
+        """Validate + enqueue one batch; returns ``(job, deduped)``.
+
+        The batch enters the queue as a *single* job, so one worker claims
+        and drains all member submissions together (cache-first, in
+        submission order).
+        """
+        payload = api.normalize_batch(body)
+        return self._enqueue(payload)
+
+    def _enqueue(self, payload: Dict[str, Any]) -> Tuple[Any, bool]:
         key = api.job_key(payload)
         job, deduped = self.queue.enqueue(
             payload,
             job_key=key,
             priority=payload["priority"],
             max_attempts=payload["max_attempts"],
+            client=payload.get("client", ""),
         )
         if not deduped:
             self.pool.notify()
@@ -231,11 +248,15 @@ def _make_handler(service: AllocationService) -> type:
         def do_POST(self) -> None:  # noqa: N802 - http.server contract
             parsed = urlparse(self.path)
             parts = [p for p in parsed.path.split("/") if p]
-            if parts != ["v1", "jobs"]:
+            if parts == ["v1", "jobs"]:
+                submit = service.submit
+            elif parts == ["v1", "batches"]:
+                submit = service.submit_batch
+            else:
                 self._send_json(404, {"error": f"no such endpoint {parsed.path!r}"})
                 return
             try:
-                job, deduped = service.submit(self._read_body())
+                job, deduped = submit(self._read_body())
             except ServiceError as error:
                 self._send_json(400, {"error": str(error)})
                 return

@@ -24,16 +24,19 @@ from repro.store.base import (
 )
 from repro.store.jsonl import JsonlExperimentStore, StoreFormatError
 from repro.store.keys import CellKey, problem_digest
+from repro.store.merge import MergeReport, merge_batches
 from repro.store.sqlite import SqliteExperimentStore
 
 __all__ = [
     "CellKey",
     "ExperimentStore",
     "JsonlExperimentStore",
+    "MergeReport",
     "RunManifest",
     "SqliteExperimentStore",
     "StoreFormatError",
     "current_git_rev",
+    "merge_batches",
     "open_store",
     "problem_digest",
     "record_from_dict",

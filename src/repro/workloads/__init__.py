@@ -23,7 +23,7 @@ Modules
 from repro.workloads.programs import GeneratorProfile, generate_function, generate_module
 from repro.workloads.suites import SUITES, SuiteSpec, get_suite
 from repro.workloads.extraction import extract_chordal_problem, extract_general_problem
-from repro.workloads.corpus import Corpus, build_corpus
+from repro.workloads.corpus import Corpus, CorpusStream, build_corpus
 
 __all__ = [
     "GeneratorProfile",
@@ -35,5 +35,6 @@ __all__ = [
     "extract_chordal_problem",
     "extract_general_problem",
     "Corpus",
+    "CorpusStream",
     "build_corpus",
 ]

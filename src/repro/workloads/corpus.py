@@ -4,6 +4,16 @@ A *corpus* is the list of per-function allocation problems extracted from one
 synthetic suite for one target — the unit the experiment harness sweeps over.
 Construction is deterministic given ``(suite, target, seed)``, so every
 figure and benchmark is reproducible.
+
+Two constructions live here:
+
+* :func:`build_corpus` materializes the full :class:`Corpus` up front —
+  right for the figure-scale suites (hundreds of instances);
+* :class:`CorpusStream` generates problems one at a time from a seeded
+  per-index RNG — right for corpus-scale stress sweeps (100k+ functions)
+  where materializing the list would exhaust memory.  The streamed sweep
+  path (``run_streamed_experiment`` / ``sweep --corpus``) consumes it in
+  windows at constant memory.
 """
 
 from __future__ import annotations
@@ -61,6 +71,69 @@ class Corpus:
             "mean_pressure": sum(pressures) / len(pressures),
             "max_pressure": max(pressures),
         }
+
+
+class CorpusStream:
+    """A lazily generated corpus-scale workload (see the module docstring).
+
+    ``count`` functions are drawn from the suite's generator profiles in
+    round-robin order.  Generation is *per-index* deterministic: function
+    ``i`` is built from ``random.Random(seed * 2**32 + i)``, so any
+    iteration order, window size or shard split produces bit-identical
+    problems — a distributed sweep over index ranges keys the same store
+    cells as a local sequential pass.  Iterating never retains problems:
+    memory stays constant regardless of ``count``.
+
+    Instances are named ``corpus/<program>/fn<index>`` (a suite-distinct
+    prefix, so streamed records never collide with the figure corpora in a
+    shared store's aggregations).
+    """
+
+    def __init__(
+        self,
+        count: int,
+        suite: SuiteSpec | str = "eembc",
+        target: Optional[TargetMachine | str] = None,
+        seed: int = 2013,
+    ) -> None:
+        if count < 0:
+            raise ValueError(f"CorpusStream count must be >= 0, got {count}")
+        if isinstance(suite, str):
+            suite = get_suite(suite)
+        if target is None:
+            target = suite.default_target
+        if isinstance(target, str):
+            target = get_target(target)
+        self.count = int(count)
+        self.suite = suite
+        self.target = target
+        self.seed = int(seed)
+        #: (program_name, profile) cycle the stream draws from.
+        self._profiles = [
+            (program_name, profile)
+            for program_name, (_, profile) in suite.programs.items()
+        ]
+        if not self._profiles:
+            raise ValueError(f"suite {suite.name!r} has no programs to stream from")
+
+    def __len__(self) -> int:
+        return self.count
+
+    def problem_at(self, index: int) -> AllocationProblem:
+        """Generate function ``index`` (independent of any iteration state)."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"corpus index {index} out of range [0, {self.count})")
+        program_name, profile = self._profiles[index % len(self._profiles)]
+        rng = random.Random(self.seed * 2**32 + index)
+        function = generate_function(f"{program_name}_fn{index}", profile, rng)
+        name = f"corpus/{program_name}/fn{index}"
+        if self.suite.chordal:
+            return extract_chordal_problem(function, self.target, name=name)
+        return extract_general_problem(function, self.target, name=name)
+
+    def __iter__(self) -> Iterator[AllocationProblem]:
+        for index in range(self.count):
+            yield self.problem_at(index)
 
 
 def build_corpus(

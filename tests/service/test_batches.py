@@ -1,0 +1,249 @@
+"""Batch submissions (``POST /v1/batches``) and per-client queue fairness.
+
+* :func:`normalize_batch` validation and the batch idempotency key
+  (order-insensitive over member keys);
+* :func:`execute_job` recursion over batch members, with the new
+  ``records`` payload every member result carries;
+* end-to-end batch over HTTP: one queue job, claimed as a unit, member
+  results in submission order;
+* per-client fairness: a flood from one client cannot starve another
+  client's single job;
+* schema migration: a queue database created before the ``client`` column
+  existed opens and claims cleanly.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.api import (
+    MAX_BATCH_JOBS,
+    execute_job,
+    job_key,
+    normalize_batch,
+    normalize_submission,
+)
+from repro.service.jobs import PENDING
+from repro.service.queue import JobQueue
+from repro.service.server import AllocationService
+from repro.service.client import ServiceClient
+from repro.store import open_store
+
+IR = """\
+func @f(%a, %b) {
+entry:
+  %t = add %a, %b
+  ret %t
+}
+"""
+
+
+def _member(name="m", allocator="NL", registers=4):
+    return {"ir": IR, "name": name, "allocator": allocator, "registers": registers}
+
+
+# ---------------------------------------------------------------------- #
+# validation + keys
+# ---------------------------------------------------------------------- #
+def test_normalize_batch_validates_shape():
+    with pytest.raises(ServiceError, match="JSON object"):
+        normalize_batch([_member()])
+    with pytest.raises(ServiceError, match="unknown batch field"):
+        normalize_batch({"jobs": [_member()], "allocator": "NL"})
+    with pytest.raises(ServiceError, match="non-empty list"):
+        normalize_batch({"jobs": []})
+    with pytest.raises(ServiceError, match="exceeds the limit"):
+        normalize_batch({"jobs": [_member()] * (MAX_BATCH_JOBS + 1)})
+    with pytest.raises(ServiceError, match="batch member 1"):
+        normalize_batch({"jobs": [_member(), {"ir": "", "registers": 4}]})
+    with pytest.raises(ServiceError, match="queue control"):
+        normalize_batch({"jobs": [{**_member(), "priority": 3}]})
+
+
+def test_normalize_batch_carries_batch_level_controls():
+    payload = normalize_batch(
+        {"jobs": [_member()], "name": "sweep-00", "client": "sweep", "priority": 2}
+    )
+    assert payload["kind"] == "batch"
+    assert payload["name"] == "sweep-00"
+    assert payload["client"] == "sweep"
+    assert payload["priority"] == 2
+    assert [m["name"] for m in payload["jobs"]] == ["m"]
+
+
+def test_batch_job_key_is_member_order_insensitive():
+    a = normalize_batch({"jobs": [_member("x"), _member("y", registers=2)]})
+    b = normalize_batch({"jobs": [_member("y", registers=2), _member("x")]})
+    assert job_key(a) == job_key(b)
+    c = normalize_batch({"jobs": [_member("x")]})
+    assert job_key(a) != job_key(c)
+
+
+def test_submission_client_field_normalizes():
+    payload = normalize_submission({**_member(), "client": "cli"})
+    assert payload["client"] == "cli"
+    assert normalize_submission(_member())["client"] == ""
+
+
+# ---------------------------------------------------------------------- #
+# execution
+# ---------------------------------------------------------------------- #
+def test_execute_batch_recurses_members_and_aggregates_meta(tmp_path):
+    payload = normalize_batch({"jobs": [_member("a"), _member("b", registers=2)]})
+    with open_store(tmp_path / "cells.sqlite") as store:
+        result = execute_job(payload, store)
+    assert [m["name"] for m in result["jobs"]] == ["a", "b"]
+    assert result["meta"]["jobs"] == 2
+    for member in result["jobs"]:
+        assert member["functions"], "member result must carry function summaries"
+        assert member["records"], "member result must carry records"
+        for record in member["records"]:
+            assert record["runtime_seconds"] == 0.0
+    total = sum(member["meta"]["cache"]["miss"] for member in result["jobs"])
+    assert result["meta"]["cache"]["miss"] == total
+
+
+def test_single_job_results_now_carry_records(tmp_path):
+    payload = normalize_submission(_member())
+    with open_store(tmp_path / "cells.sqlite") as store:
+        result = execute_job(payload, store)
+    assert len(result["records"]) == len(result["functions"])
+    record = result["records"][0]
+    assert record["allocator"] == "NL"
+    assert record["num_registers"] == 4
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end over HTTP
+# ---------------------------------------------------------------------- #
+def test_batch_over_http_runs_as_one_job_and_dedupes(tmp_path):
+    service = AllocationService(tmp_path / "cells.sqlite", workers=1, port=0).start()
+    try:
+        client = ServiceClient(service.url)
+        body = {
+            "jobs": [_member("a"), _member("b", registers=2)],
+            "name": "batch-e2e",
+            "client": "sweep",
+        }
+        response = client.submit_batch(body)
+        assert not response["deduped"]
+        job = client.wait(response["job"]["id"], timeout=60.0)
+        assert job["state"] == "done"
+        assert job["client"] == "sweep"
+        assert [m["name"] for m in job["result"]["jobs"]] == ["a", "b"]
+
+        # Same members, different order: the batch key collides and dedupes.
+        reordered = {"jobs": [_member("b", registers=2), _member("a")], "client": "sweep"}
+        again = client.submit_batch(reordered)
+        assert again["deduped"]
+        assert again["job"]["id"] == response["job"]["id"]
+    finally:
+        service.shutdown()
+
+
+def test_malformed_batch_is_http_400(tmp_path):
+    service = AllocationService(tmp_path / "cells.sqlite", workers=0, port=0).start()
+    try:
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            client.submit_batch({"jobs": []})
+    finally:
+        service.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# per-client fairness
+# ---------------------------------------------------------------------- #
+def test_claims_round_robin_across_clients(tmp_path):
+    queue = JobQueue(tmp_path / "q.sqlite")
+    try:
+        for index in range(10):
+            queue.enqueue(
+                {"name": f"sweep-{index}"}, job_key=f"s{index}", client="mega-sweep"
+            )
+        queue.enqueue({"name": "interactive"}, job_key="i0", client="alice")
+        # Despite ten earlier sweep jobs, alice's single submission is
+        # claimed second — least-recently-served client first.
+        first = queue.claim("w0")
+        second = queue.claim("w0")
+        clients = {first.client, second.client}
+        assert clients == {"mega-sweep", "alice"}
+    finally:
+        queue.close()
+
+
+def test_single_client_queue_degenerates_to_submission_order(tmp_path):
+    queue = JobQueue(tmp_path / "q.sqlite")
+    try:
+        for index in range(4):
+            queue.enqueue({"name": f"j{index}"}, job_key=f"k{index}")
+        order = [queue.claim("w0").payload["name"] for _ in range(4)]
+        assert order == ["j0", "j1", "j2", "j3"]
+    finally:
+        queue.close()
+
+
+def test_flooding_client_cannot_starve_interactive_client(tmp_path):
+    queue = JobQueue(tmp_path / "q.sqlite")
+    try:
+        for index in range(6):
+            queue.enqueue({"name": f"s{index}"}, job_key=f"s{index}", client="sweep")
+        for index in range(2):
+            queue.enqueue({"name": f"i{index}"}, job_key=f"i{index}", client="cli")
+        claimed = [queue.claim("w0") for _ in range(4)]
+        by_client = [job.client for job in claimed]
+        # Strict alternation while both clients have pending jobs.
+        assert by_client == ["sweep", "cli", "sweep", "cli"]
+    finally:
+        queue.close()
+
+
+# ---------------------------------------------------------------------- #
+# schema migration
+# ---------------------------------------------------------------------- #
+def test_pre_client_queue_database_migrates(tmp_path):
+    """A queue DB written before the client column existed opens cleanly."""
+    path = tmp_path / "old.sqlite"
+    conn = sqlite3.connect(path)
+    conn.executescript(
+        """
+        CREATE TABLE jobs (
+            seq INTEGER PRIMARY KEY AUTOINCREMENT,
+            id TEXT NOT NULL UNIQUE,
+            job_key TEXT NOT NULL,
+            state TEXT NOT NULL,
+            priority INTEGER NOT NULL DEFAULT 0,
+            attempts INTEGER NOT NULL DEFAULT 0,
+            max_attempts INTEGER NOT NULL DEFAULT 3,
+            not_before REAL NOT NULL DEFAULT 0,
+            created_at REAL NOT NULL,
+            updated_at REAL NOT NULL,
+            claimed_by TEXT,
+            payload TEXT NOT NULL,
+            result TEXT,
+            error TEXT
+        );
+        """
+    )
+    now = time.time()
+    conn.execute(
+        "INSERT INTO jobs (id, job_key, state, created_at, updated_at, payload)"
+        " VALUES ('old-1', 'k-old', ?, ?, ?, '{\"name\": \"legacy\"}')",
+        (PENDING, now, now),
+    )
+    conn.commit()
+    conn.close()
+
+    queue = JobQueue(path)
+    try:
+        job = queue.claim("w0")
+        assert job is not None
+        assert job.id == "old-1"
+        assert job.client == ""
+        queue.complete(job.id, {"ok": True})
+    finally:
+        queue.close()

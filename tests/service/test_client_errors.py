@@ -1,0 +1,190 @@
+"""ServiceClient transport-failure mapping and ``wait`` backoff.
+
+Satellite fixes pinned here:
+
+* every socket-level failure shape — connection refused, server dying
+  mid-response (``http.client.RemoteDisconnected``), timeouts — surfaces
+  as a :class:`ServiceError` naming the unreachable endpoint, never a raw
+  traceback (the CLI turns these into clean exit-1 messages);
+* ``wait`` polls with exponential backoff + jitter and honors its
+  ``timeout=``, so long sweeps don't hammer the server while short jobs
+  still return promptly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+
+
+# ---------------------------------------------------------------------- #
+# transport-failure mapping (satellite: no raw URLError tracebacks)
+# ---------------------------------------------------------------------- #
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def test_connection_refused_names_the_endpoint():
+    url = f"http://127.0.0.1:{_free_port()}"
+    with pytest.raises(ServiceError, match=url):
+        ServiceClient(url).health()
+
+
+def test_server_dying_mid_response_names_the_endpoint():
+    """A server that accepts then slams the connection leaks
+    ``RemoteDisconnected`` (an OSError, *not* a URLError) from urllib —
+    the client must map it like any other unreachable-endpoint failure."""
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    port = server.getsockname()[1]
+
+    def slam():
+        conn, _ = server.accept()
+        conn.recv(1024)
+        conn.close()
+
+    thread = threading.Thread(target=slam, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{port}"
+    try:
+        with pytest.raises(ServiceError, match=url):
+            ServiceClient(url).health()
+    finally:
+        thread.join(timeout=5.0)
+        server.close()
+
+
+def test_mapped_transport_errors_cover_http_exceptions(monkeypatch):
+    def raise_remote_disconnected(*args, **kwargs):
+        raise http.client.RemoteDisconnected("Remote end closed connection")
+
+    monkeypatch.setattr(urllib.request, "urlopen", raise_remote_disconnected)
+    client = ServiceClient("http://example.invalid:1")
+    with pytest.raises(ServiceError, match="example.invalid"):
+        client.stats()
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["jobs", "--url", "http://127.0.0.1:1", "--stats"],
+        ["jobs", "--url", "http://127.0.0.1:1"],
+    ],
+)
+def test_cli_against_unreachable_service_exits_1_cleanly(argv, capsys):
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "http://127.0.0.1:1" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_cli_submit_against_unreachable_service_exits_1_cleanly(tmp_path, capsys):
+    ir = tmp_path / "f.ir"
+    ir.write_text("func @f(%a) {\nentry:\n  ret %a\n}\n")
+    argv = ["submit", "--url", "http://127.0.0.1:1", "--input", str(ir), "--registers", "4"]
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "http://127.0.0.1:1" in captured.err
+    assert "Traceback" not in captured.err
+
+
+# ---------------------------------------------------------------------- #
+# wait(): exponential backoff with jitter, injectable for determinism
+# ---------------------------------------------------------------------- #
+class _StubClient(ServiceClient):
+    """A ServiceClient whose job() is canned (no sockets involved)."""
+
+    def __init__(self, states):
+        super().__init__("http://stub")
+        self.states = list(states)
+        self.polls = 0
+
+    def job(self, job_id):
+        state = self.states[min(self.polls, len(self.states) - 1)]
+        self.polls += 1
+        return {"id": job_id, "state": state}
+
+
+def _run_wait(states, *, timeout=60.0, jitter=0.25, rand=lambda: 0.0, **kwargs):
+    client = _StubClient(states)
+    clock = {"now": 0.0}
+    sleeps = []
+
+    def fake_clock():
+        return clock["now"]
+
+    def fake_sleep(seconds):
+        sleeps.append(seconds)
+        clock["now"] += seconds
+
+    result = client.wait(
+        "j1",
+        timeout=timeout,
+        jitter=jitter,
+        _clock=fake_clock,
+        _sleep=fake_sleep,
+        _random=rand,
+        **kwargs,
+    )
+    return client, sleeps, result
+
+
+def test_wait_backs_off_exponentially_up_to_max_poll():
+    states = ["pending"] * 8 + ["done"]
+    _, sleeps, result = _run_wait(
+        states, poll=0.1, max_poll=0.8, backoff=2.0, jitter=0.0
+    )
+    assert result["state"] == "done"
+    assert sleeps[:4] == [pytest.approx(0.1), pytest.approx(0.2),
+                          pytest.approx(0.4), pytest.approx(0.8)]
+    # Caps at max_poll rather than growing without bound.
+    assert all(s <= 0.8 + 1e-9 for s in sleeps)
+
+
+def test_wait_jitter_stretches_sleeps_but_never_shrinks_them():
+    states = ["pending"] * 3 + ["done"]
+    _, plain, _ = _run_wait(states, poll=0.1, backoff=1.0, jitter=0.0)
+    _, jittered, _ = _run_wait(
+        states, poll=0.1, backoff=1.0, jitter=0.5, rand=lambda: 1.0
+    )
+    assert all(j == pytest.approx(p * 1.5) for p, j in zip(plain, jittered))
+
+
+def test_wait_times_out_with_a_clear_error():
+    client = _StubClient(["pending"])
+    clock = {"now": 0.0}
+
+    def fake_clock():
+        return clock["now"]
+
+    def fake_sleep(seconds):
+        clock["now"] += seconds
+
+    with pytest.raises(ServiceError, match="timed out after 1s"):
+        client.wait(
+            "j1", timeout=1.0, _clock=fake_clock, _sleep=fake_sleep, _random=lambda: 0.0
+        )
+    assert client.polls >= 2
+
+
+def test_wait_rejects_nonpositive_timeout():
+    with pytest.raises(ServiceError, match="timeout must be positive"):
+        _StubClient(["done"]).wait("j1", timeout=0.0)
+
+
+def test_wait_returns_immediately_on_terminal_state():
+    client, sleeps, result = _run_wait(["done"])
+    assert result["state"] == "done"
+    assert sleeps == []
+    assert client.polls == 1

@@ -1,0 +1,128 @@
+"""CorpusStream: the seeded, constant-memory corpus-scale generator.
+
+The contract that makes distributed/windowed sweeps safe: function ``i``
+depends only on ``(suite, seed, i)``, never on iteration state — so any
+window size, shard split or access order produces bit-identical problems
+and therefore identical store cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_streamed_experiment
+from repro.graphs.io import graph_digest
+from repro.store import open_store
+from repro.workloads import CorpusStream
+
+
+def _digest(problem):
+    return (problem.name, graph_digest(problem.graph), problem.num_registers)
+
+
+def test_stream_is_deterministic_across_instances():
+    a = [_digest(p) for p in CorpusStream(6, suite="eembc", seed=7)]
+    b = [_digest(p) for p in CorpusStream(6, suite="eembc", seed=7)]
+    assert a == b
+
+
+def test_problem_at_matches_iteration_any_order():
+    stream = CorpusStream(8, suite="eembc", seed=3)
+    iterated = [_digest(p) for p in stream]
+    random_access = [_digest(stream.problem_at(i)) for i in (5, 0, 7, 2)]
+    assert random_access == [iterated[5], iterated[0], iterated[7], iterated[2]]
+
+
+def test_seed_and_suite_change_the_stream():
+    base = [_digest(p) for p in CorpusStream(3, suite="eembc", seed=1)]
+    reseeded = [_digest(p) for p in CorpusStream(3, suite="eembc", seed=2)]
+    assert base != reseeded
+
+
+def test_len_and_bounds():
+    stream = CorpusStream(5, suite="eembc")
+    assert len(stream) == 5
+    with pytest.raises(IndexError):
+        stream.problem_at(5)
+    with pytest.raises(IndexError):
+        stream.problem_at(-1)
+    with pytest.raises(ValueError):
+        CorpusStream(-1)
+
+
+def test_names_use_the_corpus_prefix():
+    names = [p.name for p in CorpusStream(3, suite="eembc")]
+    assert all(name.startswith("corpus/") for name in names)
+    assert len(set(names)) == 3
+
+
+def test_general_suites_stream_general_problems():
+    chordal = next(iter(CorpusStream(1, suite="eembc")))
+    general = next(iter(CorpusStream(1, suite="specjvm98")))
+    assert chordal.is_chordal
+    assert general.name.startswith("corpus/")
+
+
+# ---------------------------------------------------------------------- #
+# the streamed sweep path
+# ---------------------------------------------------------------------- #
+def test_streamed_sweep_matches_any_window_size(tmp_path):
+    config = ExperimentConfig(allocators=["NL"], register_counts=[4], verify=False)
+
+    def cells(path, window):
+        with open_store(path) as store:
+            manifest = run_streamed_experiment(
+                CorpusStream(7, suite="eembc", seed=5),
+                config,
+                store,
+                window=window,
+                suite="corpus",
+                seed=5,
+            )
+            assert manifest.instances == 7
+            assert manifest.config["window"] == window
+            return {
+                key: (r.instance, r.spill_cost, r.num_spilled)
+                for key, r in store.items()
+            }
+
+    assert cells(tmp_path / "w2.sqlite", 2) == cells(tmp_path / "w256.sqlite", 256)
+
+
+def test_streamed_sweep_resumes_from_the_store(tmp_path):
+    config = ExperimentConfig(allocators=["NL"], register_counts=[4], verify=False)
+    with open_store(tmp_path / "s.sqlite") as store:
+        cold = run_streamed_experiment(
+            CorpusStream(4, suite="eembc", seed=5), config, store, suite="corpus", seed=5
+        )
+        warm = run_streamed_experiment(
+            CorpusStream(4, suite="eembc", seed=5), config, store, suite="corpus", seed=5
+        )
+    assert cold.cells_computed == cold.cells_total
+    assert warm.cells_computed == 0
+    assert warm.cells_cached == warm.cells_total
+
+
+def test_streamed_sweep_never_materializes_the_iterable(tmp_path):
+    """Feed a one-shot generator: anything that list()s it would exhaust it
+    before the sweep and compute zero instances."""
+    config = ExperimentConfig(allocators=["NL"], register_counts=[4], verify=False)
+    stream = CorpusStream(5, suite="eembc", seed=9)
+
+    def one_shot():
+        for index in range(len(stream)):
+            yield stream.problem_at(index)
+
+    with open_store(tmp_path / "g.sqlite") as store:
+        manifest = run_streamed_experiment(one_shot(), config, store, window=2)
+    assert manifest.instances == 5
+    assert manifest.cells_computed == 5
+
+
+def test_streamed_sweep_max_instances_truncates(tmp_path):
+    config = ExperimentConfig(allocators=["NL"], register_counts=[4], verify=False)
+    with open_store(tmp_path / "t.sqlite") as store:
+        manifest = run_streamed_experiment(
+            CorpusStream(10, suite="eembc", seed=5), config, store, max_instances=3
+        )
+    assert manifest.instances == 3
